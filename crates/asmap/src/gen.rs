@@ -1,0 +1,386 @@
+//! Synthetic Internet-like topology generation.
+//!
+//! The paper's large-scale experiments run over a measured AS graph (public
+//! BGP feeds extended with 5M BitTorrent traceroute paths). We substitute a
+//! hierarchical generator producing the structural properties those
+//! experiments rely on:
+//!
+//! * a fully meshed tier-1 clique at the top (no providers),
+//! * mid-tier transit ASes multi-homed to higher tiers with preferential
+//!   attachment (yielding a heavy-tailed degree distribution),
+//! * peering links between same-tier transit ASes,
+//! * stub/edge ASes, most of them multi-homed, some single-homed (the paper
+//!   notes that poisoning the only provider of a stub cuts it off).
+//!
+//! Generation is fully deterministic given the seed.
+
+use crate::graph::{AsGraph, GraphBuilder};
+use crate::ids::AsId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which canned shape to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// Tiered Internet-like hierarchy (the default for experiments).
+    Hierarchical,
+    /// A simple provider chain `0 -> 1 -> ... -> n-1` (0 at the top); useful
+    /// in unit tests.
+    Chain,
+}
+
+/// Parameters for the hierarchical generator.
+#[derive(Clone, Debug)]
+pub struct TopologyConfig {
+    /// Shape to generate.
+    pub kind: TopologyKind,
+    /// Number of tier-1 ASes (fully meshed by peering).
+    pub tier1: usize,
+    /// Number of large transit ASes (tier 2).
+    pub tier2: usize,
+    /// Number of regional transit ASes (tier 3).
+    pub tier3: usize,
+    /// Number of stub / edge ASes.
+    pub stubs: usize,
+    /// Fraction of stubs that are multi-homed (two or more providers).
+    pub stub_multihoming: f64,
+    /// Probability that two same-tier transit ASes peer.
+    pub transit_peering: f64,
+    /// RNG seed; same seed, same graph.
+    pub seed: u64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            kind: TopologyKind::Hierarchical,
+            tier1: 8,
+            tier2: 40,
+            tier3: 150,
+            stubs: 800,
+            stub_multihoming: 0.75,
+            transit_peering: 0.15,
+            seed: 0x11f36a4d,
+        }
+    }
+}
+
+impl TopologyConfig {
+    /// A small topology (a few dozen ASes) for fast tests.
+    pub fn small(seed: u64) -> Self {
+        TopologyConfig {
+            kind: TopologyKind::Hierarchical,
+            tier1: 3,
+            tier2: 6,
+            tier3: 12,
+            stubs: 30,
+            stub_multihoming: 0.75,
+            transit_peering: 0.25,
+            seed,
+        }
+    }
+
+    /// A mid-sized topology (~1000 ASes) matching the defaults.
+    pub fn medium(seed: u64) -> Self {
+        TopologyConfig {
+            seed,
+            ..TopologyConfig::default()
+        }
+    }
+
+    /// A large topology (~10k ASes) for the §5.1 style simulation sweeps.
+    pub fn large(seed: u64) -> Self {
+        TopologyConfig {
+            kind: TopologyKind::Hierarchical,
+            tier1: 12,
+            tier2: 120,
+            tier3: 900,
+            stubs: 9000,
+            stub_multihoming: 0.7,
+            transit_peering: 0.06,
+            seed,
+        }
+    }
+
+    /// Total AS count the config will produce.
+    pub fn total(&self) -> usize {
+        match self.kind {
+            TopologyKind::Hierarchical => self.tier1 + self.tier2 + self.tier3 + self.stubs,
+            TopologyKind::Chain => self.stubs.max(2),
+        }
+    }
+
+    /// Generate the topology.
+    pub fn generate(&self) -> AsGraph {
+        match self.kind {
+            TopologyKind::Hierarchical => generate_hierarchical(self),
+            TopologyKind::Chain => generate_chain(self.total()),
+        }
+    }
+}
+
+fn generate_chain(n: usize) -> AsGraph {
+    let mut b = GraphBuilder::with_ases(n);
+    for i in 1..n {
+        b.provider_customer(AsId(i as u32 - 1), AsId(i as u32));
+    }
+    for i in 0..n {
+        b.set_tier(AsId(i as u32), if i == 0 { 1 } else { 2 });
+    }
+    b.build()
+}
+
+/// Pick a provider from `pool` with degree-preferential attachment.
+fn pick_preferential(
+    b: &GraphBuilder,
+    pool: &[AsId],
+    degrees: &[usize],
+    target: AsId,
+    rng: &mut SmallRng,
+) -> Option<AsId> {
+    // Weight = degree + 1 so zero-degree candidates remain reachable.
+    let candidates: Vec<AsId> = pool
+        .iter()
+        .copied()
+        .filter(|p| *p != target && !b.are_adjacent(*p, target))
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let total: usize = candidates.iter().map(|c| degrees[c.index()] + 1).sum();
+    let mut pick = rng.gen_range(0..total);
+    for c in &candidates {
+        let w = degrees[c.index()] + 1;
+        if pick < w {
+            return Some(*c);
+        }
+        pick -= w;
+    }
+    candidates.last().copied()
+}
+
+fn generate_hierarchical(cfg: &TopologyConfig) -> AsGraph {
+    assert!(cfg.tier1 >= 1, "need at least one tier-1 AS");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let total = cfg.total();
+    let mut b = GraphBuilder::with_ases(total);
+    let mut degrees = vec![0usize; total];
+
+    let tier1: Vec<AsId> = (0..cfg.tier1 as u32).map(AsId).collect();
+    let tier2: Vec<AsId> = (cfg.tier1 as u32..(cfg.tier1 + cfg.tier2) as u32)
+        .map(AsId)
+        .collect();
+    let t3_start = (cfg.tier1 + cfg.tier2) as u32;
+    let tier3: Vec<AsId> = (t3_start..t3_start + cfg.tier3 as u32).map(AsId).collect();
+    let stub_start = t3_start + cfg.tier3 as u32;
+    let stubs: Vec<AsId> = (stub_start..stub_start + cfg.stubs as u32)
+        .map(AsId)
+        .collect();
+
+    for a in &tier1 {
+        b.set_tier(*a, 1);
+    }
+    for a in &tier2 {
+        b.set_tier(*a, 2);
+    }
+    for a in &tier3 {
+        b.set_tier(*a, 3);
+    }
+    for a in &stubs {
+        b.set_tier(*a, 4);
+    }
+
+    // Tier-1 clique.
+    for i in 0..tier1.len() {
+        for j in i + 1..tier1.len() {
+            b.peer(tier1[i], tier1[j]);
+            degrees[tier1[i].index()] += 1;
+            degrees[tier1[j].index()] += 1;
+        }
+    }
+
+    let attach = |b: &mut GraphBuilder,
+                  degrees: &mut Vec<usize>,
+                  rng: &mut SmallRng,
+                  child: AsId,
+                  pool: &[AsId],
+                  n_providers: usize| {
+        for _ in 0..n_providers {
+            if let Some(p) = pick_preferential(b, pool, degrees, child, rng) {
+                b.provider_customer(p, child);
+                degrees[p.index()] += 1;
+                degrees[child.index()] += 1;
+            }
+        }
+    };
+
+    // Tier-2: 2-3 tier-1 providers each (large transit networks are richly
+    // connected upward).
+    for &t2 in &tier2 {
+        let n = (2 + rng.gen_range(0..2usize)).min(tier1.len());
+        attach(&mut b, &mut degrees, &mut rng, t2, &tier1, n);
+    }
+    // Tier-2 peering.
+    for i in 0..tier2.len() {
+        for j in i + 1..tier2.len() {
+            if rng.gen_bool(cfg.transit_peering) && !b.are_adjacent(tier2[i], tier2[j]) {
+                b.peer(tier2[i], tier2[j]);
+                degrees[tier2[i].index()] += 1;
+                degrees[tier2[j].index()] += 1;
+            }
+        }
+    }
+
+    // Tier-3: 2-3 providers drawn mostly from tier-2, occasionally tier-1
+    // (regional transit is effectively always multihomed).
+    for &t3 in &tier3 {
+        let n = 2 + rng.gen_range(0..2usize);
+        let pool = if rng.gen_bool(0.15) { &tier1 } else { &tier2 };
+        attach(&mut b, &mut degrees, &mut rng, t3, pool, n);
+    }
+    // Tier-3 peering (regional IXP-style).
+    let t3_peering = (cfg.transit_peering * 0.8).min(1.0);
+    if tier3.len() > 1 {
+        let tries = tier3.len() * 4;
+        for _ in 0..tries {
+            let i = rng.gen_range(0..tier3.len());
+            let j = rng.gen_range(0..tier3.len());
+            if i != j && rng.gen_bool(t3_peering) && !b.are_adjacent(tier3[i], tier3[j]) {
+                b.peer(tier3[i], tier3[j]);
+                degrees[tier3[i].index()] += 1;
+                degrees[tier3[j].index()] += 1;
+            }
+        }
+    }
+
+    // Stubs: multi-homed with probability `stub_multihoming`, providers from
+    // tier-3 (mostly) or tier-2.
+    for &s in &stubs {
+        let multi = rng.gen_bool(cfg.stub_multihoming);
+        let n = if multi {
+            2 + rng.gen_range(0..2usize)
+        } else {
+            1
+        };
+        for _ in 0..n {
+            let pool = if rng.gen_bool(0.25) { &tier2 } else { &tier3 };
+            attach(&mut b, &mut degrees, &mut rng, s, pool, 1);
+        }
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relationship::Relationship;
+
+    #[test]
+    fn chain_topology_shape() {
+        let g = TopologyConfig {
+            kind: TopologyKind::Chain,
+            stubs: 4,
+            ..TopologyConfig::small(1)
+        }
+        .generate();
+        assert_eq!(g.len(), 4);
+        assert_eq!(
+            g.relationship(AsId(0), AsId(1)),
+            Some(Relationship::Customer)
+        );
+        assert_eq!(
+            g.relationship(AsId(3), AsId(2)),
+            Some(Relationship::Provider)
+        );
+        assert!(g.is_stub(AsId(3)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = TopologyConfig::small(42).generate();
+        let b = TopologyConfig::small(42).generate();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for x in a.ases() {
+            assert_eq!(a.neighbors(x), b.neighbors(x));
+        }
+    }
+
+    #[test]
+    fn different_seed_different_graph() {
+        let a = TopologyConfig::small(1).generate();
+        let b = TopologyConfig::small(2).generate();
+        let differs =
+            a.edge_count() != b.edge_count() || a.ases().any(|x| a.neighbors(x) != b.neighbors(x));
+        assert!(differs);
+    }
+
+    #[test]
+    fn tier1_is_clique_without_providers() {
+        let cfg = TopologyConfig::small(7);
+        let g = cfg.generate();
+        for i in 0..cfg.tier1 as u32 {
+            assert!(g.providers(AsId(i)).is_empty(), "tier-1 {i} has a provider");
+            for j in 0..cfg.tier1 as u32 {
+                if i != j {
+                    assert_eq!(g.relationship(AsId(i), AsId(j)), Some(Relationship::Peer));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_tier1_has_a_provider() {
+        let cfg = TopologyConfig::small(3);
+        let g = cfg.generate();
+        for a in g.ases() {
+            if g.tier(a) > 1 {
+                assert!(
+                    !g.providers(a).is_empty(),
+                    "{a} (tier {}) lacks a provider",
+                    g.tier(a)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stubs_have_no_customers() {
+        let cfg = TopologyConfig::small(11);
+        let g = cfg.generate();
+        for a in g.ases() {
+            if g.tier(a) == 4 {
+                assert!(g.customers(a).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn medium_size_matches_config() {
+        let cfg = TopologyConfig::medium(5);
+        let g = cfg.generate();
+        assert_eq!(g.len(), cfg.total());
+        // Sanity: average degree in a plausible Internet-like band.
+        let avg = 2.0 * g.edge_count() as f64 / g.len() as f64;
+        assert!(avg > 1.5 && avg < 10.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn some_stubs_single_homed_some_multi() {
+        let cfg = TopologyConfig::medium(9);
+        let g = cfg.generate();
+        let mut single = 0;
+        let mut multi = 0;
+        for a in g.ases() {
+            if g.tier(a) == 4 {
+                match g.providers(a).len() {
+                    0 | 1 => single += 1,
+                    _ => multi += 1,
+                }
+            }
+        }
+        assert!(single > 0, "expected some single-homed stubs");
+        assert!(multi > single, "expected mostly multi-homed stubs");
+    }
+}

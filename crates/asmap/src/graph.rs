@@ -1,0 +1,324 @@
+//! The AS-level graph: adjacency with business relationships.
+
+use crate::ids::AsId;
+use crate::relationship::Relationship;
+
+/// An immutable AS-level topology with per-edge business relationships.
+///
+/// Adjacency is stored per AS as `(neighbor, relationship-from-this-AS's-
+/// viewpoint)`. The graph is always relationship-consistent: if `a` lists `b`
+/// as a customer then `b` lists `a` as a provider. Use [`GraphBuilder`] to
+/// construct one.
+#[derive(Clone, Debug)]
+pub struct AsGraph {
+    adj: Vec<Vec<(AsId, Relationship)>>,
+    /// Tier annotation from the generator (1 = tier-1 clique); 0 when unknown.
+    tiers: Vec<u8>,
+    edge_count: usize,
+}
+
+impl AsGraph {
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when the graph has no ASes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of undirected AS-level links.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// All AS ids, in index order.
+    pub fn ases(&self) -> impl Iterator<Item = AsId> + '_ {
+        (0..self.adj.len() as u32).map(AsId)
+    }
+
+    /// Neighbors of `a` with the relationship from `a`'s point of view.
+    pub fn neighbors(&self, a: AsId) -> &[(AsId, Relationship)] {
+        &self.adj[a.index()]
+    }
+
+    /// The relationship of `a` toward `b`, if they are adjacent.
+    pub fn relationship(&self, a: AsId, b: AsId) -> Option<Relationship> {
+        self.adj[a.index()]
+            .iter()
+            .find(|(n, _)| *n == b)
+            .map(|(_, r)| *r)
+    }
+
+    /// True when `a` and `b` share a link.
+    pub fn are_adjacent(&self, a: AsId, b: AsId) -> bool {
+        self.relationship(a, b).is_some()
+    }
+
+    /// Neighbors of `a` filtered by relationship.
+    pub fn neighbors_with(&self, a: AsId, rel: Relationship) -> impl Iterator<Item = AsId> + '_ {
+        self.adj[a.index()]
+            .iter()
+            .filter(move |(_, r)| *r == rel)
+            .map(|(n, _)| *n)
+    }
+
+    /// Providers of `a`.
+    pub fn providers(&self, a: AsId) -> Vec<AsId> {
+        self.neighbors_with(a, Relationship::Provider).collect()
+    }
+
+    /// Customers of `a`.
+    pub fn customers(&self, a: AsId) -> Vec<AsId> {
+        self.neighbors_with(a, Relationship::Customer).collect()
+    }
+
+    /// Peers of `a`.
+    pub fn peers(&self, a: AsId) -> Vec<AsId> {
+        self.neighbors_with(a, Relationship::Peer).collect()
+    }
+
+    /// True when `a` has no customers (it is an edge/stub network).
+    pub fn is_stub(&self, a: AsId) -> bool {
+        !self.adj[a.index()]
+            .iter()
+            .any(|(_, r)| *r == Relationship::Customer)
+    }
+
+    /// Generator-provided tier of `a` (1 = tier-1), or 0 if unannotated.
+    pub fn tier(&self, a: AsId) -> u8 {
+        self.tiers[a.index()]
+    }
+
+    /// Total degree of `a`.
+    pub fn degree(&self, a: AsId) -> usize {
+        self.adj[a.index()].len()
+    }
+
+    /// All transit ASes (those with at least one customer).
+    pub fn transit_ases(&self) -> Vec<AsId> {
+        self.ases().filter(|a| !self.is_stub(*a)).collect()
+    }
+
+    /// A copy of the graph without the link `a`-`b` (no-op when absent).
+    /// Used by the paper's §5.1 simulation methodology of removing links
+    /// and re-checking reachability.
+    pub fn without_link(&self, a: AsId, b: AsId) -> AsGraph {
+        let mut g = self.clone();
+        let before = g.adj[a.index()].len();
+        g.adj[a.index()].retain(|(n, _)| *n != b);
+        g.adj[b.index()].retain(|(n, _)| *n != a);
+        if g.adj[a.index()].len() != before {
+            g.edge_count -= 1;
+        }
+        g
+    }
+
+    /// A copy of the graph with every link of `a` removed ("remove all of
+    /// A's links from the topology", §5.1).
+    pub fn without_as(&self, a: AsId) -> AsGraph {
+        let mut g = self.clone();
+        let removed = g.adj[a.index()].len();
+        let neighbors: Vec<AsId> = g.adj[a.index()].iter().map(|(n, _)| *n).collect();
+        g.adj[a.index()].clear();
+        for n in neighbors {
+            g.adj[n.index()].retain(|(x, _)| *x != a);
+        }
+        g.edge_count -= removed;
+        g
+    }
+}
+
+/// Mutable builder for [`AsGraph`]; enforces relationship consistency.
+#[derive(Default, Debug)]
+pub struct GraphBuilder {
+    adj: Vec<Vec<(AsId, Relationship)>>,
+    tiers: Vec<u8>,
+    edge_count: usize,
+}
+
+impl GraphBuilder {
+    /// Resume building from an existing graph (e.g. to attach a new origin
+    /// AS to a generated topology).
+    pub fn from_graph(g: &AsGraph) -> Self {
+        GraphBuilder {
+            adj: g.adj.clone(),
+            tiers: g.tiers.clone(),
+            edge_count: g.edge_count,
+        }
+    }
+
+    /// Create a builder with `n` ASes and no links.
+    pub fn with_ases(n: usize) -> Self {
+        GraphBuilder {
+            adj: vec![Vec::new(); n],
+            tiers: vec![0; n],
+            edge_count: 0,
+        }
+    }
+
+    /// Add one AS, returning its id.
+    pub fn add_as(&mut self) -> AsId {
+        let id = AsId(self.adj.len() as u32);
+        self.adj.push(Vec::new());
+        self.tiers.push(0);
+        id
+    }
+
+    /// Number of ASes added so far.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when no ASes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Annotate the tier of an AS.
+    pub fn set_tier(&mut self, a: AsId, tier: u8) {
+        self.tiers[a.index()] = tier;
+    }
+
+    /// Link `a` and `b` with `rel` being `a`'s view of `b`.
+    ///
+    /// `provider_customer(a, b)` is spelled `link(a, b, Customer)`: b is a's
+    /// customer. Duplicate links and self-links are rejected.
+    pub fn link(&mut self, a: AsId, b: AsId, rel: Relationship) {
+        assert_ne!(a, b, "self-link on {a}");
+        assert!(
+            !self.adj[a.index()].iter().any(|(n, _)| *n == b),
+            "duplicate link {a}-{b}"
+        );
+        self.adj[a.index()].push((b, rel));
+        self.adj[b.index()].push((a, rel.reverse()));
+        self.edge_count += 1;
+    }
+
+    /// Convenience: make `customer` a customer of `provider`.
+    pub fn provider_customer(&mut self, provider: AsId, customer: AsId) {
+        self.link(provider, customer, Relationship::Customer);
+    }
+
+    /// Convenience: peer `a` and `b`.
+    pub fn peer(&mut self, a: AsId, b: AsId) {
+        self.link(a, b, Relationship::Peer);
+    }
+
+    /// True when `a` and `b` are already linked.
+    pub fn are_adjacent(&self, a: AsId, b: AsId) -> bool {
+        self.adj[a.index()].iter().any(|(n, _)| *n == b)
+    }
+
+    /// Finish building; sorts adjacency for deterministic iteration.
+    pub fn build(mut self) -> AsGraph {
+        for nbrs in &mut self.adj {
+            nbrs.sort_unstable_by_key(|(n, _)| *n);
+        }
+        AsGraph {
+            adj: self.adj,
+            tiers: self.tiers,
+            edge_count: self.edge_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relationship::Relationship::*;
+
+    fn triangle() -> AsGraph {
+        // 0 provides to 1; 1 provides to 2; 0 peers with 2.
+        let mut b = GraphBuilder::with_ases(3);
+        b.provider_customer(AsId(0), AsId(1));
+        b.provider_customer(AsId(1), AsId(2));
+        b.peer(AsId(0), AsId(2));
+        b.build()
+    }
+
+    #[test]
+    fn relationship_views_are_consistent() {
+        let g = triangle();
+        assert_eq!(g.relationship(AsId(0), AsId(1)), Some(Customer));
+        assert_eq!(g.relationship(AsId(1), AsId(0)), Some(Provider));
+        assert_eq!(g.relationship(AsId(0), AsId(2)), Some(Peer));
+        assert_eq!(g.relationship(AsId(2), AsId(0)), Some(Peer));
+        assert_eq!(g.relationship(AsId(1), AsId(2)), Some(Customer));
+    }
+
+    #[test]
+    fn stub_detection() {
+        let g = triangle();
+        assert!(!g.is_stub(AsId(0)));
+        assert!(!g.is_stub(AsId(1)));
+        assert!(g.is_stub(AsId(2)));
+        assert_eq!(g.transit_ases(), vec![AsId(0), AsId(1)]);
+    }
+
+    #[test]
+    fn degree_and_edge_count() {
+        let g = triangle();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(AsId(0)), 2);
+        assert_eq!(g.providers(AsId(2)), vec![AsId(1)]);
+        assert_eq!(g.customers(AsId(0)), vec![AsId(1)]);
+        assert_eq!(g.peers(AsId(2)), vec![AsId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link")]
+    fn duplicate_links_rejected() {
+        let mut b = GraphBuilder::with_ases(2);
+        b.peer(AsId(0), AsId(1));
+        b.peer(AsId(1), AsId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-link")]
+    fn self_links_rejected() {
+        let mut b = GraphBuilder::with_ases(1);
+        b.peer(AsId(0), AsId(0));
+    }
+
+    #[test]
+    fn without_link_and_without_as() {
+        let g = triangle();
+        let cut = g.without_link(AsId(0), AsId(1));
+        assert_eq!(cut.edge_count(), 2);
+        assert!(!cut.are_adjacent(AsId(0), AsId(1)));
+        assert!(cut.are_adjacent(AsId(0), AsId(2)));
+        // Removing a missing link is a no-op.
+        let same = cut.without_link(AsId(0), AsId(1));
+        assert_eq!(same.edge_count(), 2);
+        // Removing an AS drops all its links, both directions.
+        let gone = g.without_as(AsId(0));
+        assert_eq!(gone.edge_count(), 1);
+        assert!(gone.neighbors(AsId(0)).is_empty());
+        assert!(!gone.are_adjacent(AsId(1), AsId(0)));
+        assert!(gone.are_adjacent(AsId(1), AsId(2)));
+    }
+
+    #[test]
+    fn from_graph_resumes_building() {
+        let g = triangle();
+        let mut b = GraphBuilder::from_graph(&g);
+        let new = b.add_as();
+        b.provider_customer(AsId(0), new);
+        let g2 = b.build();
+        assert_eq!(g2.len(), 4);
+        assert_eq!(g2.edge_count(), 4);
+        // Old structure preserved.
+        assert_eq!(g2.relationship(AsId(0), AsId(1)), Some(Customer));
+        assert_eq!(g2.relationship(new, AsId(0)), Some(Provider));
+    }
+
+    #[test]
+    fn builder_add_as_assigns_sequential_ids() {
+        let mut b = GraphBuilder::default();
+        assert_eq!(b.add_as(), AsId(0));
+        assert_eq!(b.add_as(), AsId(1));
+        assert_eq!(b.len(), 2);
+    }
+}

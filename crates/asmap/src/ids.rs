@@ -1,0 +1,119 @@
+//! Identifiers for autonomous systems and border routers.
+
+use std::fmt;
+
+/// An autonomous-system number.
+///
+/// AS identifiers double as dense indices into per-AS tables, so topology
+/// generators hand out consecutive ids starting at zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AsId(pub u32);
+
+impl AsId {
+    /// Index form for dense per-AS vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl fmt::Display for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for AsId {
+    fn from(v: u32) -> Self {
+        AsId(v)
+    }
+}
+
+/// A border-router identity, modeled as an ingress interface of an AS.
+///
+/// Traceroute hops in the real Internet are router IP addresses; two paths
+/// "intersect at a shared IP" (the §2.2 splicing requirement) only when they
+/// enter the same AS over the same adjacency. We therefore identify a router
+/// by the pair `(owner, entered_from)`. Packets originating inside an AS use
+/// the distinguished [`RouterId::internal`] router.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RouterId {
+    /// The AS that owns the router.
+    pub owner: AsId,
+    /// The neighboring AS the traffic arrived from, or `owner` itself for the
+    /// AS-internal (host-side) router.
+    pub entered_from: AsId,
+}
+
+impl RouterId {
+    /// The border router of `owner` facing neighbor `from`.
+    pub fn border(owner: AsId, from: AsId) -> Self {
+        RouterId {
+            owner,
+            entered_from: from,
+        }
+    }
+
+    /// The internal router of an AS (used for packets sourced inside it).
+    pub fn internal(owner: AsId) -> Self {
+        RouterId {
+            owner,
+            entered_from: owner,
+        }
+    }
+
+    /// True when this is the AS-internal router rather than a border router.
+    pub fn is_internal(self) -> bool {
+        self.owner == self.entered_from
+    }
+}
+
+impl fmt::Debug for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_internal() {
+            write!(f, "r({}/int)", self.owner)
+        } else {
+            write!(f, "r({}<-{})", self.owner, self.entered_from)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_id_index_roundtrip() {
+        assert_eq!(AsId(7).index(), 7);
+        assert_eq!(AsId::from(3u32), AsId(3));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", AsId(12)), "AS12");
+        assert_eq!(format!("{:?}", AsId(12)), "AS12");
+    }
+
+    #[test]
+    fn router_internal_detection() {
+        assert!(RouterId::internal(AsId(4)).is_internal());
+        assert!(!RouterId::border(AsId(4), AsId(5)).is_internal());
+    }
+
+    #[test]
+    fn router_identity_requires_same_ingress() {
+        // Two paths entering AS 9 from different neighbors do NOT share a
+        // router — this encodes the paper's caveat that paths may cross at a
+        // PoP without sharing an IP address.
+        let a = RouterId::border(AsId(9), AsId(1));
+        let b = RouterId::border(AsId(9), AsId(2));
+        assert_ne!(a, b);
+        assert_eq!(a, RouterId::border(AsId(9), AsId(1)));
+    }
+}

@@ -1,0 +1,223 @@
+//! Loading and saving AS graphs in the CAIDA serial-1 relationship format.
+//!
+//! The de-facto interchange format for AS-relationship datasets (and the
+//! kind of input the paper's own topology was assembled from) is one line
+//! per link:
+//!
+//! ```text
+//! # comments start with '#'
+//! <provider-as>|<customer-as>|-1
+//! <peer-as>|<peer-as>|0
+//! ```
+//!
+//! [`parse_relationships`] builds an [`AsGraph`] from that format (AS
+//! numbers are remapped to dense ids; the mapping is returned), and
+//! [`to_relationships`] serializes a graph back, so generated topologies
+//! can be exported to external tools.
+
+use crate::graph::{AsGraph, GraphBuilder};
+use crate::ids::AsId;
+use crate::relationship::Relationship;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse error with line number.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseRelError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseRelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseRelError {}
+
+/// Result of parsing: the graph plus the original-ASN ↔ dense-id mapping.
+#[derive(Debug)]
+pub struct ParsedGraph {
+    /// The graph over dense ids.
+    pub graph: AsGraph,
+    /// Dense id → original AS number.
+    pub original_asn: Vec<u32>,
+    /// Original AS number → dense id.
+    pub id_of: HashMap<u32, AsId>,
+}
+
+/// Parse CAIDA serial-1 relationship text into a graph.
+pub fn parse_relationships(text: &str) -> Result<ParsedGraph, ParseRelError> {
+    let mut id_of: HashMap<u32, AsId> = HashMap::new();
+    let mut original_asn: Vec<u32> = Vec::new();
+    let mut links: Vec<(AsId, AsId, Relationship)> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('|');
+        let err = |message: String| ParseRelError {
+            line: line_no,
+            message,
+        };
+        let a: u32 = parts
+            .next()
+            .ok_or_else(|| err("missing first AS".into()))?
+            .trim()
+            .parse()
+            .map_err(|e| err(format!("bad AS number: {e}")))?;
+        let b: u32 = parts
+            .next()
+            .ok_or_else(|| err("missing second AS".into()))?
+            .trim()
+            .parse()
+            .map_err(|e| err(format!("bad AS number: {e}")))?;
+        let rel_code = parts
+            .next()
+            .ok_or_else(|| err("missing relationship code".into()))?
+            .trim();
+        if a == b {
+            return Err(err(format!("self-link on AS{a}")));
+        }
+        let mut intern = |asn: u32| -> AsId {
+            *id_of.entry(asn).or_insert_with(|| {
+                let id = AsId(original_asn.len() as u32);
+                original_asn.push(asn);
+                id
+            })
+        };
+        let ia = intern(a);
+        let ib = intern(b);
+        let rel = match rel_code {
+            // a is the provider of b.
+            "-1" => Relationship::Customer,
+            "0" => Relationship::Peer,
+            other => return Err(err(format!("unknown relationship code {other:?}"))),
+        };
+        links.push((ia, ib, rel));
+    }
+
+    let mut b = GraphBuilder::with_ases(original_asn.len());
+    for (ia, ib, rel) in links {
+        if b.are_adjacent(ia, ib) {
+            return Err(ParseRelError {
+                line: 0,
+                message: format!(
+                    "duplicate link AS{}-AS{}",
+                    original_asn[ia.index()],
+                    original_asn[ib.index()]
+                ),
+            });
+        }
+        b.link(ia, ib, rel);
+    }
+    Ok(ParsedGraph {
+        graph: b.build(),
+        original_asn,
+        id_of,
+    })
+}
+
+/// Serialize a graph to the CAIDA serial-1 format (dense ids as ASNs).
+pub fn to_relationships(graph: &AsGraph) -> String {
+    let mut out = String::from("# <provider-as>|<customer-as>|-1  or  <peer-as>|<peer-as>|0\n");
+    for a in graph.ases() {
+        for (b, rel) in graph.neighbors(a) {
+            match rel {
+                Relationship::Customer => {
+                    out.push_str(&format!("{}|{}|-1\n", a.0, b.0));
+                }
+                Relationship::Peer if a < *b => {
+                    out.push_str(&format!("{}|{}|0\n", a.0, b.0));
+                }
+                _ => {} // the other direction emits the line
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# tier-1 clique
+174|3356|0
+# transit
+174|7018|-1
+3356|7018|-1
+7018|398465|-1
+";
+
+    #[test]
+    fn parse_sample() {
+        let parsed = parse_relationships(SAMPLE).unwrap();
+        assert_eq!(parsed.graph.len(), 4);
+        assert_eq!(parsed.graph.edge_count(), 4);
+        let id174 = parsed.id_of[&174];
+        let id3356 = parsed.id_of[&3356];
+        let id7018 = parsed.id_of[&7018];
+        let stub = parsed.id_of[&398_465];
+        assert_eq!(
+            parsed.graph.relationship(id174, id3356),
+            Some(Relationship::Peer)
+        );
+        assert_eq!(
+            parsed.graph.relationship(id174, id7018),
+            Some(Relationship::Customer)
+        );
+        assert!(parsed.graph.is_stub(stub));
+        assert_eq!(parsed.original_asn[stub.index()], 398_465);
+    }
+
+    #[test]
+    fn roundtrip_through_serialization() {
+        let parsed = parse_relationships(SAMPLE).unwrap();
+        let text = to_relationships(&parsed.graph);
+        let again = parse_relationships(&text).unwrap();
+        assert_eq!(again.graph.len(), parsed.graph.len());
+        assert_eq!(again.graph.edge_count(), parsed.graph.edge_count());
+        // Structure preserved under the (identity) dense remap.
+        for a in parsed.graph.ases() {
+            for (b, rel) in parsed.graph.neighbors(a) {
+                assert_eq!(again.graph.relationship(a, *b), Some(*rel));
+            }
+        }
+    }
+
+    #[test]
+    fn generated_topology_roundtrips() {
+        let g = crate::gen::TopologyConfig::small(3).generate();
+        let text = to_relationships(&g);
+        let parsed = parse_relationships(&text).unwrap();
+        assert_eq!(parsed.graph.len(), g.len());
+        assert_eq!(parsed.graph.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let e = parse_relationships("174|174|0\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("self-link"));
+        let e = parse_relationships("1|2|-1\nx|2|0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_relationships("1|2|7\n").unwrap_err();
+        assert!(e.message.contains("unknown relationship"));
+        let e = parse_relationships("1|2|-1\n1|2|0\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let parsed = parse_relationships("# hi\n\n  \n1|2|0\n").unwrap();
+        assert_eq!(parsed.graph.len(), 2);
+        assert_eq!(parsed.graph.edge_count(), 1);
+    }
+}

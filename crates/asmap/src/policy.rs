@@ -1,0 +1,238 @@
+//! Export-policy predicates: valley-free paths and the observed three-tuple
+//! test.
+//!
+//! The paper validates spliced and simulated paths against export policy in
+//! two ways: the classic Gao valley-free rule (an AS path must climb
+//! customer→provider links, cross at most one peer link, then descend
+//! provider→customer links), and an empirical "three-tuple" test (§2.2,
+//! §5.1): a subpath `a-b-c` is considered exportable if that AS triple was
+//! observed in at least one real path during the measurement window. Both are
+//! implemented here.
+
+use crate::graph::AsGraph;
+use crate::ids::AsId;
+use crate::relationship::Relationship;
+use std::collections::HashSet;
+
+/// True when `path` (origin last or first — direction-symmetric) is
+/// valley-free under the relationships in `graph`.
+///
+/// Returns `false` when consecutive ASes are not adjacent, when an AS
+/// repeats, or when the up*/peer?/down* shape is violated.
+pub fn is_valley_free(graph: &AsGraph, path: &[AsId]) -> bool {
+    if path.len() < 2 {
+        return true;
+    }
+    let mut seen = HashSet::with_capacity(path.len());
+    if !path.iter().all(|a| seen.insert(*a)) {
+        return false;
+    }
+    // Phases: 0 = climbing (customer→provider hops), 1 = crossed the single
+    // allowed peer link, 2 = descending (provider→customer hops).
+    let mut phase = 0u8;
+    for w in path.windows(2) {
+        // Relationship of the *sender* (w[0]) toward the receiver (w[1]):
+        // hop is "up" when w[1] is w[0]'s provider.
+        let rel = match graph.relationship(w[0], w[1]) {
+            Some(r) => r,
+            None => return false,
+        };
+        match rel {
+            Relationship::Provider => {
+                // Going up: only allowed before any peer/down hop.
+                if phase != 0 {
+                    return false;
+                }
+            }
+            Relationship::Peer => {
+                if phase != 0 {
+                    return false;
+                }
+                phase = 1;
+            }
+            Relationship::Customer => {
+                // Going down: always allowed; locks the phase.
+                phase = 2;
+            }
+        }
+    }
+    true
+}
+
+/// A set of observed AS triples used as an empirical export-policy test.
+///
+/// `allows(a, b, c)` answers whether the centered subpath `a-b-c` has been
+/// observed; the paper accepts a spliced path only if every length-3 AS
+/// subpath centered at the splice point passes this test, which suffices to
+/// encode the common valley-free export policy without knowing
+/// relationships. Triples are stored direction-insensitively because a path
+/// observed in one direction witnesses the adjacency policy of both.
+#[derive(Default, Debug, Clone)]
+pub struct TripleSet {
+    triples: HashSet<(AsId, AsId, AsId)>,
+    pairs: HashSet<(AsId, AsId)>,
+}
+
+impl TripleSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record every AS triple (and adjacent pair) appearing in `path`.
+    pub fn observe_path(&mut self, path: &[AsId]) {
+        for w in path.windows(2) {
+            self.pairs.insert(Self::norm2(w[0], w[1]));
+        }
+        for w in path.windows(3) {
+            self.triples.insert(Self::norm3(w[0], w[1], w[2]));
+        }
+    }
+
+    /// Build from an iterator of paths.
+    pub fn from_paths<'a, I: IntoIterator<Item = &'a [AsId]>>(paths: I) -> Self {
+        let mut s = Self::new();
+        for p in paths {
+            s.observe_path(p);
+        }
+        s
+    }
+
+    fn norm2(a: AsId, b: AsId) -> (AsId, AsId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    fn norm3(a: AsId, b: AsId, c: AsId) -> (AsId, AsId, AsId) {
+        if a <= c {
+            (a, b, c)
+        } else {
+            (c, b, a)
+        }
+    }
+
+    /// Whether the AS triple `a-b-c` was observed in any path.
+    pub fn allows(&self, a: AsId, b: AsId, c: AsId) -> bool {
+        self.triples.contains(&Self::norm3(a, b, c))
+    }
+
+    /// Whether adjacency `a-b` was observed in any path.
+    pub fn allows_pair(&self, a: AsId, b: AsId) -> bool {
+        self.pairs.contains(&Self::norm2(a, b))
+    }
+
+    /// Whether a full AS `path` passes the test: every internal triple
+    /// observed, every adjacency observed, and no AS repeated.
+    pub fn allows_path(&self, path: &[AsId]) -> bool {
+        let mut seen = HashSet::with_capacity(path.len());
+        if !path.iter().all(|a| seen.insert(*a)) {
+            return false;
+        }
+        if !path.windows(2).all(|w| self.allows_pair(w[0], w[1])) {
+            return false;
+        }
+        path.windows(3).all(|w| self.allows(w[0], w[1], w[2]))
+    }
+
+    /// Number of distinct triples observed.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True when nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// 0 and 1 are tier-1 peers; 0 provides to 2, 1 provides to 3; 2 and 3
+    /// are peers; 2 provides to 4, 3 provides to 5.
+    fn diamond() -> AsGraph {
+        let mut b = GraphBuilder::with_ases(6);
+        b.peer(AsId(0), AsId(1));
+        b.provider_customer(AsId(0), AsId(2));
+        b.provider_customer(AsId(1), AsId(3));
+        b.peer(AsId(2), AsId(3));
+        b.provider_customer(AsId(2), AsId(4));
+        b.provider_customer(AsId(3), AsId(5));
+        b.build()
+    }
+
+    #[test]
+    fn up_peer_down_is_valley_free() {
+        let g = diamond();
+        // 4 -> 2 (up) -> 0 (up) -> 1 (peer) -> 3 (down) -> 5 (down)
+        assert!(is_valley_free(
+            &g,
+            &[AsId(4), AsId(2), AsId(0), AsId(1), AsId(3), AsId(5)]
+        ));
+    }
+
+    #[test]
+    fn peer_then_peer_is_a_valley() {
+        let g = diamond();
+        // 4 -> 2 (up) -> 3 (peer) -> 1 (up!) would be a valley; also
+        // 0 -> 1 peer then 3 down then 2 peer again is invalid.
+        assert!(!is_valley_free(&g, &[AsId(0), AsId(1), AsId(3), AsId(2)]));
+    }
+
+    #[test]
+    fn down_then_up_is_a_valley() {
+        let g = diamond();
+        // 0 -> 2 (down) -> 3 (peer after down) invalid.
+        assert!(!is_valley_free(&g, &[AsId(0), AsId(2), AsId(3)]));
+        // 1 -> 3 (down) -> 5 (down) ok.
+        assert!(is_valley_free(&g, &[AsId(1), AsId(3), AsId(5)]));
+    }
+
+    #[test]
+    fn non_adjacent_or_repeating_fails() {
+        let g = diamond();
+        assert!(!is_valley_free(&g, &[AsId(0), AsId(5)]));
+        assert!(!is_valley_free(&g, &[AsId(0), AsId(2), AsId(0)]));
+    }
+
+    #[test]
+    fn short_paths_trivially_pass() {
+        let g = diamond();
+        assert!(is_valley_free(&g, &[AsId(0)]));
+        assert!(is_valley_free(&g, &[]));
+    }
+
+    #[test]
+    fn triple_set_membership() {
+        let mut t = TripleSet::new();
+        t.observe_path(&[AsId(4), AsId(2), AsId(0), AsId(1)]);
+        assert!(t.allows(AsId(4), AsId(2), AsId(0)));
+        assert!(t.allows(AsId(2), AsId(0), AsId(1)));
+        // Reverse direction counts as observed.
+        assert!(t.allows(AsId(0), AsId(2), AsId(4)));
+        assert!(!t.allows(AsId(4), AsId(0), AsId(2)));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn triple_set_path_test() {
+        let t = TripleSet::from_paths([
+            &[AsId(4), AsId(2), AsId(0), AsId(1)][..],
+            &[AsId(1), AsId(3), AsId(5)][..],
+        ]);
+        assert!(t.allows_path(&[AsId(4), AsId(2), AsId(0), AsId(1)]));
+        // Spliced path whose center triples were never observed:
+        assert!(!t.allows_path(&[AsId(2), AsId(0), AsId(1), AsId(3)]));
+        // Repeated AS never allowed.
+        assert!(!t.allows_path(&[AsId(4), AsId(2), AsId(4)]));
+        // Unobserved adjacency rejected even with no triple.
+        assert!(!t.allows_path(&[AsId(4), AsId(5)]));
+        // Observed adjacency-only path accepted.
+        assert!(t.allows_path(&[AsId(4), AsId(2)]));
+    }
+}

@@ -1,0 +1,90 @@
+//! Inter-AS business relationships in the Gao-Rexford model.
+
+/// The relationship an AS has with a neighbor, from the AS's point of view.
+///
+/// `Customer` means "the neighbor is my customer" (I provide transit to it),
+/// `Provider` means "the neighbor is my provider", and `Peer` is settlement-
+/// free peering. Routes learned from customers are preferred over routes
+/// learned from peers, which are preferred over routes learned from
+/// providers, because customers pay.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Relationship {
+    /// The neighbor pays this AS for transit.
+    Customer,
+    /// Settlement-free peer.
+    Peer,
+    /// This AS pays the neighbor for transit.
+    Provider,
+}
+
+impl Relationship {
+    /// The relationship as seen from the other side of the link.
+    pub fn reverse(self) -> Relationship {
+        match self {
+            Relationship::Customer => Relationship::Provider,
+            Relationship::Provider => Relationship::Customer,
+            Relationship::Peer => Relationship::Peer,
+        }
+    }
+
+    /// BGP local-preference class: lower is more preferred.
+    ///
+    /// This is the first tiebreak of the decision process — an AS always
+    /// prefers routes its customers announce over peer routes over provider
+    /// routes, regardless of path length.
+    pub fn pref_class(self) -> u8 {
+        match self {
+            Relationship::Customer => 0,
+            Relationship::Peer => 1,
+            Relationship::Provider => 2,
+        }
+    }
+
+    /// Gao-Rexford export rule: may a route *learned over* `self` be exported
+    /// to a neighbor related by `to`?
+    ///
+    /// Routes learned from customers (and locally originated routes, which
+    /// callers handle separately) export everywhere; routes learned from
+    /// peers or providers export only to customers.
+    pub fn exportable_to(self, to: Relationship) -> bool {
+        match self {
+            Relationship::Customer => true,
+            Relationship::Peer | Relationship::Provider => to == Relationship::Customer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Relationship::*;
+
+    #[test]
+    fn reverse_is_involution() {
+        for r in [Customer, Peer, Provider] {
+            assert_eq!(r.reverse().reverse(), r);
+        }
+        assert_eq!(Customer.reverse(), Provider);
+        assert_eq!(Peer.reverse(), Peer);
+    }
+
+    #[test]
+    fn preference_orders_customer_first() {
+        assert!(Customer.pref_class() < Peer.pref_class());
+        assert!(Peer.pref_class() < Provider.pref_class());
+    }
+
+    #[test]
+    fn export_rules_are_valley_free() {
+        // Customer-learned routes go everywhere.
+        assert!(Customer.exportable_to(Customer));
+        assert!(Customer.exportable_to(Peer));
+        assert!(Customer.exportable_to(Provider));
+        // Peer- and provider-learned routes go only to customers.
+        assert!(Peer.exportable_to(Customer));
+        assert!(!Peer.exportable_to(Peer));
+        assert!(!Peer.exportable_to(Provider));
+        assert!(Provider.exportable_to(Customer));
+        assert!(!Provider.exportable_to(Peer));
+        assert!(!Provider.exportable_to(Provider));
+    }
+}

@@ -1,0 +1,216 @@
+//! IP-level path splicing (§2.2): find a working policy-compliant alternate
+//! path by joining a measured path *from the source* with a measured path *to
+//! the destination* at a shared router.
+//!
+//! The paper's methodology: for each round of a failure, try to find a path
+//! from the source that intersects (at the IP level) a path to the
+//! destination such that the spliced path avoids the AS where the failing
+//! traceroute terminated, and accept the splice only if the AS subpath of
+//! length three centered at the splice point was observed in some traceroute
+//! during the measurement week (the three-tuple export-policy test).
+
+use crate::ids::{AsId, RouterId};
+use crate::policy::TripleSet;
+use std::collections::HashMap;
+
+/// A measured router-level path with its AS-level projection.
+#[derive(Clone, Debug)]
+pub struct MeasuredPath {
+    /// Router-level hops, source side first.
+    pub routers: Vec<RouterId>,
+}
+
+impl MeasuredPath {
+    /// AS-level projection with consecutive duplicates collapsed.
+    pub fn as_path(&self) -> Vec<AsId> {
+        let mut out: Vec<AsId> = Vec::new();
+        for r in &self.routers {
+            if out.last() != Some(&r.owner) {
+                out.push(r.owner);
+            }
+        }
+        out
+    }
+}
+
+/// Inputs to the splice search for one (source, destination) failure round.
+pub struct SpliceInput<'a> {
+    /// Paths measured *from the failing source* (to any target) that are
+    /// currently working.
+    pub from_source: &'a [MeasuredPath],
+    /// Paths measured *to the destination* (from any vantage point) that are
+    /// currently working end-to-end.
+    pub to_destination: &'a [MeasuredPath],
+    /// The AS in which the failing traceroute terminated; the spliced path
+    /// must avoid it.
+    pub avoid: AsId,
+    /// Observed triples for the export-policy test.
+    pub triples: &'a TripleSet,
+}
+
+/// A successfully spliced alternate path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplicedPath {
+    /// Router-level hops of the spliced path.
+    pub routers: Vec<RouterId>,
+    /// AS-level projection.
+    pub as_path: Vec<AsId>,
+    /// The shared router at which the two measurements were joined.
+    pub splice_point: RouterId,
+}
+
+/// Search for a valid spliced path.
+///
+/// Returns the first (deterministically ordered) splice that (1) joins a
+/// source-side path and a destination-side path at a shared router, (2)
+/// avoids `avoid` entirely at the AS level, (3) repeats no AS, and (4)
+/// passes the three-tuple export test at the splice point.
+pub fn splice_alternate_path(input: &SpliceInput<'_>) -> Option<SplicedPath> {
+    // Index destination-side paths by every router they contain so the join
+    // is O(paths x hops) instead of quadratic in hop pairs.
+    let mut by_router: HashMap<RouterId, Vec<(usize, usize)>> = HashMap::new();
+    for (pi, p) in input.to_destination.iter().enumerate() {
+        for (hi, r) in p.routers.iter().enumerate() {
+            by_router.entry(*r).or_default().push((pi, hi));
+        }
+    }
+
+    for sp in input.from_source {
+        for (si, r) in sp.routers.iter().enumerate() {
+            let Some(joins) = by_router.get(r) else {
+                continue;
+            };
+            for (pi, hi) in joins {
+                let dst_side = &input.to_destination[*pi];
+                let mut routers: Vec<RouterId> =
+                    Vec::with_capacity(si + 1 + dst_side.routers.len() - hi);
+                routers.extend_from_slice(&sp.routers[..=si]);
+                routers.extend_from_slice(&dst_side.routers[hi + 1..]);
+                let spliced = MeasuredPath { routers };
+                let as_path = spliced.as_path();
+                if as_path.contains(&input.avoid) {
+                    continue;
+                }
+                if !input.triples.allows_path(&as_path) {
+                    continue;
+                }
+                return Some(SplicedPath {
+                    routers: spliced.routers,
+                    as_path,
+                    splice_point: *r,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(owner: u32, from: u32) -> RouterId {
+        RouterId::border(AsId(owner), AsId(from))
+    }
+
+    fn path(hops: &[(u32, u32)]) -> MeasuredPath {
+        MeasuredPath {
+            routers: hops.iter().map(|(o, f)| r(*o, *f)).collect(),
+        }
+    }
+
+    #[test]
+    fn as_projection_collapses_duplicates() {
+        let p = path(&[(1, 1), (2, 1), (2, 2), (3, 2)]);
+        assert_eq!(p.as_path(), vec![AsId(1), AsId(2), AsId(3)]);
+    }
+
+    #[test]
+    fn splice_finds_shared_router_path() {
+        // Source AS1; failing path went via AS9 (avoid). A working path from
+        // AS1 reaches AS3 entering from AS2; a vantage path from AS7 to the
+        // destination AS5 crosses the SAME router in AS3.
+        let from_src = [path(&[(1, 1), (2, 1), (3, 2)])];
+        let to_dst = [path(&[(7, 7), (3, 2), (4, 3), (5, 4)])];
+        let mut triples = TripleSet::new();
+        // Observe the spliced AS path's triples in some historical trace.
+        triples.observe_path(&[AsId(1), AsId(2), AsId(3), AsId(4), AsId(5)]);
+        let got = splice_alternate_path(&SpliceInput {
+            from_source: &from_src,
+            to_destination: &to_dst,
+            avoid: AsId(9),
+            triples: &triples,
+        })
+        .expect("splice should exist");
+        assert_eq!(got.splice_point, r(3, 2));
+        assert_eq!(
+            got.as_path,
+            vec![AsId(1), AsId(2), AsId(3), AsId(4), AsId(5)]
+        );
+    }
+
+    #[test]
+    fn splice_requires_same_ingress_router() {
+        // Destination-side path crosses AS3 but enters from AS8, not AS2 —
+        // different router, so no IP-level intersection exists.
+        let from_src = [path(&[(1, 1), (2, 1), (3, 2)])];
+        let to_dst = [path(&[(8, 8), (3, 8), (4, 3), (5, 4)])];
+        let mut triples = TripleSet::new();
+        triples.observe_path(&[AsId(1), AsId(2), AsId(3), AsId(4), AsId(5)]);
+        assert!(splice_alternate_path(&SpliceInput {
+            from_source: &from_src,
+            to_destination: &to_dst,
+            avoid: AsId(9),
+            triples: &triples,
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn splice_rejects_paths_through_avoided_as() {
+        let from_src = [path(&[(1, 1), (9, 1), (3, 9)])];
+        let to_dst = [path(&[(7, 7), (3, 9), (5, 3)])];
+        let mut triples = TripleSet::new();
+        triples.observe_path(&[AsId(1), AsId(9), AsId(3), AsId(5)]);
+        assert!(splice_alternate_path(&SpliceInput {
+            from_source: &from_src,
+            to_destination: &to_dst,
+            avoid: AsId(9),
+            triples: &triples,
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn splice_rejects_unobserved_triples() {
+        let from_src = [path(&[(1, 1), (2, 1), (3, 2)])];
+        let to_dst = [path(&[(7, 7), (3, 2), (4, 3), (5, 4)])];
+        // Never observed 2-3-4 as a triple: export-policy test fails.
+        let mut triples = TripleSet::new();
+        triples.observe_path(&[AsId(1), AsId(2), AsId(3)]);
+        triples.observe_path(&[AsId(3), AsId(4), AsId(5)]);
+        assert!(splice_alternate_path(&SpliceInput {
+            from_source: &from_src,
+            to_destination: &to_dst,
+            avoid: AsId(9),
+            triples: &triples,
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn splice_rejects_as_loops() {
+        // Spliced path would revisit AS2.
+        let from_src = [path(&[(1, 1), (2, 1), (3, 2)])];
+        let to_dst = [path(&[(7, 7), (3, 2), (2, 3), (5, 2)])];
+        let mut triples = TripleSet::new();
+        triples.observe_path(&[AsId(1), AsId(2), AsId(3), AsId(2), AsId(5)]);
+        assert!(splice_alternate_path(&SpliceInput {
+            from_source: &from_src,
+            to_destination: &to_dst,
+            avoid: AsId(9),
+            triples: &triples,
+        })
+        .is_none());
+    }
+}

@@ -1,0 +1,24 @@
+//! Historical path atlas (§4.1 "maintain background atlas").
+//!
+//! In the steady state LIFEGUARD keeps, per (vantage point, destination)
+//! pair, a time-series of forward and reverse paths plus a responsiveness
+//! database (so a silent router is not confused with a failed one). During
+//! an outage the atlas supplies (a) candidate failure locations — the ASes
+//! on recent paths — and (b) the historical reverse paths whose hops the
+//! isolation pipeline pings to find the reachability horizon.
+//!
+//! The refresh scheduler reproduces the §5.4 probe economics: reverse paths
+//! are measured incrementally hop-by-hop (a few IP-option probes per hop)
+//! and measurements are *reused across converging paths* — once the segment
+//! from some AS back to the vantage point is cached, any other reverse path
+//! through that AS splices the cached tail instead of re-measuring it. This
+//! is what takes the paper's cost from 35 option probes per path to an
+//! amortized 10.
+
+pub mod refresh;
+pub mod resp;
+pub mod store;
+
+pub use refresh::{RefreshScheduler, RefreshStats};
+pub use resp::ResponsivenessDb;
+pub use store::{Atlas, PathKind, PathRecord};

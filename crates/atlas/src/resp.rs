@@ -1,0 +1,87 @@
+//! Learned responsiveness database.
+//!
+//! "Because some routers are configured to ignore ICMP pings, LIFEGUARD also
+//! maintains a database of historical ping responsiveness, allowing it to
+//! later distinguish between connectivity problems and routers configured to
+//! not respond to ICMP probes." (§4.1.2)
+
+use lg_asmap::AsId;
+use lg_sim::Time;
+use std::collections::HashMap;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Entry {
+    observed: u32,
+    responded: u32,
+    last_response: Option<Time>,
+}
+
+/// Per-AS history of probe responsiveness, learned from observations only.
+#[derive(Clone, Debug, Default)]
+pub struct ResponsivenessDb {
+    entries: HashMap<AsId, Entry>,
+}
+
+impl ResponsivenessDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one probe observation of `a`.
+    pub fn observe(&mut self, a: AsId, now: Time, responded: bool) {
+        let e = self.entries.entry(a).or_default();
+        e.observed += 1;
+        if responded {
+            e.responded += 1;
+            e.last_response = Some(now);
+        }
+    }
+
+    /// Has `a` ever answered a probe?
+    pub fn ever_responded(&self, a: AsId) -> bool {
+        self.entries.get(&a).is_some_and(|e| e.responded > 0)
+    }
+
+    /// Should a non-response from `a` be treated as evidence of a failure?
+    ///
+    /// `true` when the AS has answered before; `false` when the AS has never
+    /// answered despite several observations (it is presumed configured to
+    /// ignore probes) or has never been observed at all.
+    pub fn silence_is_meaningful(&self, a: AsId) -> bool {
+        match self.entries.get(&a) {
+            Some(e) => e.responded > 0,
+            None => false,
+        }
+    }
+
+    /// Number of observations of `a`.
+    pub fn observations(&self, a: AsId) -> u32 {
+        self.entries.get(&a).map_or(0, |e| e.observed)
+    }
+
+    /// Last time `a` answered.
+    pub fn last_response(&self, a: AsId) -> Option<Time> {
+        self.entries.get(&a).and_then(|e| e.last_response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silence_only_meaningful_after_a_response() {
+        let mut db = ResponsivenessDb::new();
+        let a = AsId(7);
+        assert!(!db.silence_is_meaningful(a), "unknown AS");
+        db.observe(a, Time::from_secs(1), false);
+        db.observe(a, Time::from_secs(2), false);
+        assert!(!db.silence_is_meaningful(a), "never responded");
+        db.observe(a, Time::from_secs(3), true);
+        assert!(db.silence_is_meaningful(a));
+        assert!(db.ever_responded(a));
+        assert_eq!(db.observations(a), 3);
+        assert_eq!(db.last_response(a), Some(Time::from_secs(3)));
+    }
+}

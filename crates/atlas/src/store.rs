@@ -1,0 +1,219 @@
+//! Path storage: timestamped forward and reverse path histories.
+
+use lg_asmap::{AsId, RouterId};
+use lg_sim::Time;
+use std::collections::{HashMap, VecDeque};
+
+/// Which direction a stored path describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PathKind {
+    /// Vantage point → destination.
+    Forward,
+    /// Destination → vantage point.
+    Reverse,
+}
+
+/// One measured path with its measurement time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathRecord {
+    /// When the path was measured.
+    pub measured_at: Time,
+    /// Router-level hops, source side first.
+    pub hops: Vec<RouterId>,
+}
+
+impl PathRecord {
+    /// AS-level projection with consecutive duplicates collapsed.
+    pub fn as_path(&self) -> Vec<AsId> {
+        let mut out: Vec<AsId> = Vec::new();
+        for r in &self.hops {
+            if out.last() != Some(&r.owner) {
+                out.push(r.owner);
+            }
+        }
+        out
+    }
+}
+
+/// The path atlas: bounded per-pair histories of forward and reverse paths.
+#[derive(Debug)]
+pub struct Atlas {
+    paths: HashMap<(PathKind, AsId, AsId), VecDeque<PathRecord>>,
+    history_cap: usize,
+}
+
+impl Default for Atlas {
+    fn default() -> Self {
+        Atlas {
+            paths: HashMap::new(),
+            history_cap: 16,
+        }
+    }
+}
+
+impl Atlas {
+    /// Atlas keeping up to `history_cap` records per (kind, vp, dst).
+    pub fn new(history_cap: usize) -> Self {
+        assert!(history_cap >= 1);
+        Atlas {
+            paths: HashMap::new(),
+            history_cap,
+        }
+    }
+
+    /// Record a measured path for `(vp, dst)`. Consecutive duplicates of the
+    /// latest record update its timestamp instead of growing history (paths
+    /// are stable most of the time; what matters is when they *change*).
+    pub fn record(&mut self, kind: PathKind, vp: AsId, dst: AsId, rec: PathRecord) {
+        let q = self.paths.entry((kind, vp, dst)).or_default();
+        if let Some(last) = q.back_mut() {
+            if last.hops == rec.hops {
+                last.measured_at = rec.measured_at;
+                return;
+            }
+        }
+        if q.len() == self.history_cap {
+            q.pop_front();
+        }
+        q.push_back(rec);
+    }
+
+    /// Latest record for `(vp, dst)` of `kind`.
+    pub fn latest(&self, kind: PathKind, vp: AsId, dst: AsId) -> Option<&PathRecord> {
+        self.paths.get(&(kind, vp, dst))?.back()
+    }
+
+    /// Full history, oldest first.
+    pub fn history(&self, kind: PathKind, vp: AsId, dst: AsId) -> &[PathRecord] {
+        self.paths
+            .get(&(kind, vp, dst))
+            .map(|q| q.as_slices().0)
+            .unwrap_or(&[])
+    }
+
+    /// History newest-first as owned records (both VecDeque slices).
+    pub fn history_newest_first(&self, kind: PathKind, vp: AsId, dst: AsId) -> Vec<&PathRecord> {
+        self.paths
+            .get(&(kind, vp, dst))
+            .map(|q| q.iter().rev().collect())
+            .unwrap_or_default()
+    }
+
+    /// All distinct ASes seen on any recorded path (either kind) between
+    /// `vp` and `dst` — the isolation candidate set.
+    pub fn candidate_ases(&self, vp: AsId, dst: AsId) -> Vec<AsId> {
+        let mut out: Vec<AsId> = Vec::new();
+        for kind in [PathKind::Forward, PathKind::Reverse] {
+            if let Some(q) = self.paths.get(&(kind, vp, dst)) {
+                for rec in q {
+                    for a in rec.as_path() {
+                        if !out.contains(&a) {
+                            out.push(a);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Age of the latest record, or `None` if never measured.
+    pub fn staleness(&self, kind: PathKind, vp: AsId, dst: AsId, now: Time) -> Option<u64> {
+        self.latest(kind, vp, dst).map(|r| now - r.measured_at)
+    }
+
+    /// Number of (kind, vp, dst) entries.
+    pub fn entry_count(&self) -> usize {
+        self.paths.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(owner: u32, from: u32) -> RouterId {
+        RouterId::border(AsId(owner), AsId(from))
+    }
+
+    fn rec(t: u64, hops: &[(u32, u32)]) -> PathRecord {
+        PathRecord {
+            measured_at: Time::from_secs(t),
+            hops: hops.iter().map(|(o, f)| r(*o, *f)).collect(),
+        }
+    }
+
+    const VP: AsId = AsId(1);
+    const DST: AsId = AsId(9);
+
+    #[test]
+    fn record_and_latest() {
+        let mut atlas = Atlas::default();
+        atlas.record(PathKind::Forward, VP, DST, rec(10, &[(2, 1), (9, 2)]));
+        let latest = atlas.latest(PathKind::Forward, VP, DST).unwrap();
+        assert_eq!(latest.as_path(), vec![AsId(2), AsId(9)]);
+        assert!(atlas.latest(PathKind::Reverse, VP, DST).is_none());
+    }
+
+    #[test]
+    fn duplicate_paths_update_timestamp_not_history() {
+        let mut atlas = Atlas::default();
+        atlas.record(PathKind::Reverse, VP, DST, rec(10, &[(2, 1)]));
+        atlas.record(PathKind::Reverse, VP, DST, rec(20, &[(2, 1)]));
+        assert_eq!(atlas.history(PathKind::Reverse, VP, DST).len(), 1);
+        assert_eq!(
+            atlas
+                .latest(PathKind::Reverse, VP, DST)
+                .unwrap()
+                .measured_at,
+            Time::from_secs(20)
+        );
+        // A changed path appends.
+        atlas.record(PathKind::Reverse, VP, DST, rec(30, &[(3, 1)]));
+        assert_eq!(
+            atlas.history_newest_first(PathKind::Reverse, VP, DST).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut atlas = Atlas::new(3);
+        for i in 0..10u32 {
+            atlas.record(PathKind::Forward, VP, DST, rec(i as u64, &[(i + 2, 1)]));
+        }
+        let hist = atlas.history_newest_first(PathKind::Forward, VP, DST);
+        assert_eq!(hist.len(), 3);
+        assert_eq!(hist[0].as_path(), vec![AsId(11)]);
+        assert_eq!(hist[2].as_path(), vec![AsId(9)]);
+    }
+
+    #[test]
+    fn candidate_ases_union_both_directions() {
+        let mut atlas = Atlas::default();
+        atlas.record(PathKind::Forward, VP, DST, rec(10, &[(2, 1), (9, 2)]));
+        atlas.record(
+            PathKind::Reverse,
+            VP,
+            DST,
+            rec(10, &[(9, 9), (5, 9), (1, 5)]),
+        );
+        let cands = atlas.candidate_ases(VP, DST);
+        for a in [2, 9, 5, 1] {
+            assert!(cands.contains(&AsId(a)), "missing AS{a}");
+        }
+    }
+
+    #[test]
+    fn staleness_tracks_latest() {
+        let mut atlas = Atlas::default();
+        assert!(atlas
+            .staleness(PathKind::Forward, VP, DST, Time::from_secs(100))
+            .is_none());
+        atlas.record(PathKind::Forward, VP, DST, rec(10, &[(2, 1)]));
+        assert_eq!(
+            atlas.staleness(PathKind::Forward, VP, DST, Time::from_secs(100)),
+            Some(90_000)
+        );
+    }
+}

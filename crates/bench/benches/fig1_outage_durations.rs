@@ -1,0 +1,20 @@
+//! Regenerates Fig 1: the distribution of partial-outage durations and the
+//! share of total unreachability they account for.
+
+use lg_bench::outage_figs;
+use lg_bench::report::pct;
+
+fn main() {
+    let trace = outage_figs::standard_trace();
+    outage_figs::fig1_table(&trace).print();
+    let (short_frac, long_unavail) = outage_figs::fig1_anchors(&trace);
+    println!();
+    println!(
+        "paper: >90% of outages last <=10 min          | measured: {}",
+        pct(short_frac)
+    );
+    println!(
+        "paper: 84% of unavailability from >10 min     | measured: {}",
+        pct(long_unavail)
+    );
+}

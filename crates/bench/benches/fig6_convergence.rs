@@ -1,0 +1,16 @@
+//! Regenerates Fig 6: per-peer convergence time after poisoned
+//! announcements, for the prepended (O-O-O) versus plain (O) baseline, for
+//! peers that did and did not route via the poisoned AS.
+
+use lg_bench::convergence::{fig6_table, run_convergence, ConvergenceConfig};
+
+fn main() {
+    let cfg = ConvergenceConfig::standard(2012);
+    eprintln!(
+        "running {} poisonings x 2 baselines over a {}-AS topology ...",
+        cfg.max_poisons,
+        cfg.topo.total() + 1
+    );
+    let r = run_convergence(&cfg);
+    fig6_table(&r).print();
+}

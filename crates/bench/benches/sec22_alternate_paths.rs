@@ -1,0 +1,23 @@
+//! Regenerates §2.2: do policy-compliant spliced alternate paths exist
+//! during partial outages?
+
+use lg_bench::alternates::{alternates_table, run_alternates, AlternatesConfig};
+
+fn main() {
+    let cfg = AlternatesConfig::standard(22);
+    eprintln!(
+        "splice search over {} outages on a {}-AS mesh with {} sites ...",
+        cfg.outages,
+        cfg.topo.total(),
+        cfg.sites
+    );
+    let r = run_alternates(&cfg);
+    alternates_table(&r).print();
+    println!();
+    println!(
+        "note: a {}-site mesh witnesses far fewer IP-level intersections than",
+        cfg.sites
+    );
+    println!("the paper's ~300-site PlanetLab view, so the absolute rate is lower;");
+    println!("the shape (alternates exist, concentrated at well-connected transit) holds.");
+}

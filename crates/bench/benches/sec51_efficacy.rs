@@ -1,0 +1,15 @@
+//! Regenerates §5.1: how often alternate routes exist around poisoned ASes
+//! (BGP-Mux-style deployment + large-scale simulation).
+
+use lg_asmap::TopologyConfig;
+use lg_bench::efficacy::{efficacy_table, run_largescale, run_mux_efficacy};
+use lg_bench::worlds::mux_world;
+
+fn main() {
+    eprintln!("harvest-and-poison sweep over a ~1000-AS topology ...");
+    let world = mux_world(&TopologyConfig::medium(42), 1, 150);
+    let mux = run_mux_efficacy(&world, 60);
+    eprintln!("large-scale path sweep ...");
+    let sim = run_largescale(&TopologyConfig::medium(43), 25, 40);
+    efficacy_table(&mux, &sim).print();
+}

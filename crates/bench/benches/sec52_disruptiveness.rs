@@ -1,0 +1,24 @@
+//! Regenerates §5.2: disruption of working routes — global convergence,
+//! loss during convergence, forward provider diversity, and selective
+//! poisoning coverage.
+
+use lg_asmap::TopologyConfig;
+use lg_bench::convergence::{disruption_table, run_convergence, ConvergenceConfig};
+use lg_bench::disruptive::{
+    communities_table, diversity_table, footprint_table, run_communities, run_diversity,
+    run_footprint,
+};
+use lg_bench::worlds::mux_world;
+
+fn main() {
+    eprintln!("convergence + loss study (event-driven engine) ...");
+    let conv = run_convergence(&ConvergenceConfig::standard(52));
+    disruption_table(&conv).print();
+    eprintln!("path-diversity study (5-provider origin, 114 peers) ...");
+    let world = mux_world(&TopologyConfig::medium(52), 5, 114);
+    let div = run_diversity(&world);
+    diversity_table(&div).print();
+    communities_table(&run_communities(&world)).print();
+    eprintln!("footprint ablation (selective poisoning vs §2.3 alternatives) ...");
+    footprint_table(&run_footprint(&world, 60)).print();
+}

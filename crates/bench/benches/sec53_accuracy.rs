@@ -1,0 +1,16 @@
+//! Regenerates §5.3: isolation accuracy against ground truth, consistency
+//! with target-side traceroutes, and disagreement with traceroute-only
+//! diagnosis.
+
+use lg_bench::accuracy::{accuracy_table, run_accuracy, AccuracyConfig};
+
+fn main() {
+    let cfg = AccuracyConfig::standard(53);
+    eprintln!(
+        "isolating {} ground-truth failures over a {}-AS mesh ...",
+        cfg.scenarios,
+        cfg.topo.total()
+    );
+    let r = run_accuracy(&cfg);
+    accuracy_table(&r).print();
+}

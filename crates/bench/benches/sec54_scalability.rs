@@ -1,0 +1,29 @@
+//! Regenerates §5.4: atlas refresh economics (amortized probe cost via the
+//! convergence cache) and isolation latency/probe budget.
+
+use lg_bench::accuracy::{run_accuracy, AccuracyConfig};
+use lg_bench::report::Table;
+use lg_bench::scalability::{refresh_table, run_refresh, RefreshConfig};
+
+fn main() {
+    eprintln!("atlas refresh rounds ...");
+    let r = run_refresh(&RefreshConfig::standard(54));
+    refresh_table(&r).print();
+    eprintln!("isolation cost (from the accuracy study) ...");
+    let acc = run_accuracy(&AccuracyConfig::standard(54));
+    let mut t = Table::new(
+        "§5.4 Scalability: isolation cost",
+        &["metric", "paper", "measured"],
+    );
+    t.row(&[
+        "mean isolation time (poisonable outages)".into(),
+        "140s".into(),
+        format!("{:.0}s", acc.mean_isolation_secs()),
+    ]);
+    t.row(&[
+        "probes per isolation".into(),
+        "~280".into(),
+        format!("{:.0}", acc.mean_probes()),
+    ]);
+    t.print();
+}

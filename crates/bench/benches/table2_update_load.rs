@@ -1,0 +1,20 @@
+//! Regenerates Table 2: Internet-wide additional update load at scale,
+//! I x T x P(d) x U, with U measured in the event-driven engine.
+
+use lg_bench::convergence::{run_convergence, ConvergenceConfig};
+use lg_bench::loadmodel::{overhead_table, table2, LoadModel};
+use lg_bench::outage_figs::standard_trace;
+
+fn main() {
+    let trace = standard_trace();
+    eprintln!("measuring U (route changes per router per poison) ...");
+    let conv = run_convergence(&ConvergenceConfig::tiny(2));
+    println!(
+        "measured U: affected routers {:.2} (paper 2.03), unaffected {:.2} (paper 1.07)",
+        conv.u_affected, conv.u_unaffected
+    );
+    println!("Table 2 uses the paper's simplification U = 1.");
+    let model = LoadModel::new(&trace, 1.0);
+    table2(&model).print();
+    overhead_table(&model).print();
+}

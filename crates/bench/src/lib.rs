@@ -1,0 +1,32 @@
+//! Experiment runners for the LIFEGUARD reproduction.
+//!
+//! Every table and figure of the paper's evaluation has a bench target
+//! under `benches/` (run with `cargo bench`); the logic lives here so the
+//! Table 1 summary can aggregate the individual experiments and so unit
+//! tests can exercise reduced configurations.
+//!
+//! | Paper item | Module | Bench target |
+//! |---|---|---|
+//! | Fig 1 | [`outage_figs`] | `fig1_outage_durations` |
+//! | Fig 5 | [`outage_figs`] | `fig5_residual_duration` |
+//! | Fig 6 | [`convergence`] | `fig6_convergence` |
+//! | Table 1 | all | `table1_summary` |
+//! | Table 2 | [`loadmodel`] | `table2_update_load` |
+//! | §2.2 | [`alternates`] | `sec22_alternate_paths` |
+//! | §5.1 | [`efficacy`] | `sec51_efficacy` |
+//! | §4.2 end-to-end | [`impact`] | `repair_impact` |
+//! | §5.2 | [`disruptive`], [`convergence`] | `sec52_disruptiveness` |
+//! | §5.3 | [`accuracy`] | `sec53_accuracy` |
+//! | §5.4 | [`scalability`] | `sec54_scalability` |
+
+pub mod accuracy;
+pub mod alternates;
+pub mod convergence;
+pub mod disruptive;
+pub mod efficacy;
+pub mod impact;
+pub mod loadmodel;
+pub mod outage_figs;
+pub mod report;
+pub mod scalability;
+pub mod worlds;

@@ -1,0 +1,98 @@
+//! Figures 1 and 5: outage-duration distribution and residual durations.
+
+use crate::report::{pct, Table};
+use lg_workloads::{OutageStats, OutageTrace, OutageTraceConfig};
+
+/// Generate the standard EC2-calibrated trace.
+pub fn standard_trace() -> OutageTrace {
+    OutageTraceConfig::default().generate()
+}
+
+/// Fig 1: CDF of outage durations and of total unreachability.
+pub fn fig1_table(trace: &OutageTrace) -> Table {
+    let stats = OutageStats::new(&trace.durations);
+    let mut t = Table::new(
+        "Fig 1: partial outage durations (EC2-calibrated synthetic trace)",
+        &[
+            "duration <=",
+            "fraction of events",
+            "fraction of unreachability",
+        ],
+    );
+    for mins in [1.5, 3.0, 5.0, 10.0, 30.0, 60.0, 600.0, 5760.0] {
+        let secs = mins * 60.0;
+        t.row(&[
+            format!("{mins} min"),
+            pct(stats.cdf(secs)),
+            pct(stats.unavailability_cdf(secs)),
+        ]);
+    }
+    t
+}
+
+/// The Fig 1 headline anchors: (events ≤ 10 min, unavailability from > 10
+/// min).
+pub fn fig1_anchors(trace: &OutageTrace) -> (f64, f64) {
+    let stats = OutageStats::new(&trace.durations);
+    (stats.cdf(600.0), 1.0 - stats.unavailability_cdf(600.0))
+}
+
+/// Fig 5: residual duration after an outage has persisted X minutes.
+pub fn fig5_table(trace: &OutageTrace) -> Table {
+    let stats = OutageStats::new(&trace.durations);
+    let mut t = Table::new(
+        "Fig 5: residual outage duration vs elapsed time",
+        &["elapsed", "25th pct", "median", "mean", "still active"],
+    );
+    for mins in [0u64, 2, 5, 10, 15, 20, 25, 30] {
+        let x = (mins * 60) as f64;
+        if let Some((q25, med, mean)) = stats.residual_summary(x) {
+            t.row(&[
+                format!("{mins} min"),
+                format!("{:.1} min", q25 / 60.0),
+                format!("{:.1} min", med / 60.0),
+                format!("{:.1} min", mean / 60.0),
+                pct(stats.survival(x)),
+            ]);
+        }
+    }
+    t
+}
+
+/// §4.2 persistence gates: P(≥10 | ≥5 min) and P(≥15 | ≥10 min), plus the
+/// avoidable-unavailability estimate with a 5 min reaction + 2 min
+/// convergence.
+pub fn persistence_anchors(trace: &OutageTrace) -> (f64, f64, f64) {
+    let stats = OutageStats::new(&trace.durations);
+    (
+        stats.conditional_survival(300.0, 600.0),
+        stats.conditional_survival(600.0, 900.0),
+        stats.avoidable_unavailability(300.0, 120.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_match_paper() {
+        let trace = standard_trace();
+        let (short_frac, long_unavail) = fig1_anchors(&trace);
+        assert!(short_frac > 0.9);
+        assert!((0.74..=0.92).contains(&long_unavail));
+        let (p5, p10, avoidable) = persistence_anchors(&trace);
+        assert!((0.42..=0.6).contains(&p5));
+        assert!((0.58..=0.85).contains(&p10));
+        assert!((0.68..=0.9).contains(&avoidable));
+    }
+
+    #[test]
+    fn tables_render() {
+        let trace = standard_trace();
+        let f1 = fig1_table(&trace).render();
+        assert!(f1.contains("10 min"));
+        let f5 = fig5_table(&trace).render();
+        assert!(f5.contains("still active"));
+    }
+}

@@ -1,0 +1,196 @@
+//! AS paths, prepending, and poison insertion.
+
+use lg_asmap::AsId;
+use std::fmt;
+
+/// A BGP AS path, stored nearest-AS first (the AS that announced the route to
+/// us is element 0, the origin is last).
+///
+/// LIFEGUARD manipulates origin announcements in two ways:
+///
+/// * **Prepending** the origin (`O-O-O`) as the steady-state baseline, so a
+///   later poisoned announcement has the same length and next hop and working
+///   routes reconverge instantly (§3.1.1).
+/// * **Poisoning**: inserting the problem AS between two copies of the origin
+///   (`O-A-O`) so `A`'s loop prevention drops the route (§3.1). The path must
+///   start with `O` (neighbors route to `O` next) and must end with `O`
+///   (registries list `O` as the origin).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AsPath(Vec<AsId>);
+
+impl AsPath {
+    /// Empty path (used for locally originated routes before announcement).
+    pub fn empty() -> Self {
+        AsPath(Vec::new())
+    }
+
+    /// Path from a raw hop list, nearest first.
+    pub fn from_hops(hops: Vec<AsId>) -> Self {
+        AsPath(hops)
+    }
+
+    /// The plain origin-only announcement `O`.
+    pub fn origin_only(origin: AsId) -> Self {
+        AsPath(vec![origin])
+    }
+
+    /// The prepended baseline `O-O-...-O` with `copies` total copies.
+    ///
+    /// `copies` is typically 3, matching the paper's `O-O-O` baseline.
+    pub fn prepended_baseline(origin: AsId, copies: usize) -> Self {
+        assert!(copies >= 1);
+        AsPath(vec![origin; copies])
+    }
+
+    /// A poisoned announcement: `O-A1-..-Ak-O` (origin, poisons, origin).
+    ///
+    /// With one poison this is the paper's `O-A-O`. Poisoning an AS twice
+    /// (for §7.1 networks that allow one occurrence of their own ASN) is
+    /// expressed by repeating it in `poisons`.
+    pub fn poisoned(origin: AsId, poisons: &[AsId]) -> Self {
+        let mut v = Vec::with_capacity(poisons.len() + 2);
+        v.push(origin);
+        v.extend_from_slice(poisons);
+        v.push(origin);
+        AsPath(v)
+    }
+
+    /// Hops nearest-first.
+    pub fn hops(&self) -> &[AsId] {
+        &self.0
+    }
+
+    /// Number of hops (prepended copies count, as in BGP path-length
+    /// comparison).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the path has no hops.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The AS that announced this path to us.
+    pub fn first(&self) -> Option<AsId> {
+        self.0.first().copied()
+    }
+
+    /// The origin AS.
+    pub fn origin(&self) -> Option<AsId> {
+        self.0.last().copied()
+    }
+
+    /// Number of times `a` occurs in the path.
+    pub fn count(&self, a: AsId) -> usize {
+        self.0.iter().filter(|x| **x == a).count()
+    }
+
+    /// True when `a` occurs anywhere in the path.
+    pub fn contains(&self, a: AsId) -> bool {
+        self.0.contains(&a)
+    }
+
+    /// The path as announced onward by `sender`: `sender` prepended.
+    pub fn announced_by(&self, sender: AsId) -> AsPath {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.push(sender);
+        v.extend_from_slice(&self.0);
+        AsPath(v)
+    }
+
+    /// Distinct ASes in order of first appearance (prepending collapsed).
+    pub fn distinct(&self) -> Vec<AsId> {
+        let mut out: Vec<AsId> = Vec::new();
+        for a in &self.0 {
+            if !out.contains(a) {
+                out.push(*a);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "<empty>");
+        }
+        let parts: Vec<String> = self.0.iter().map(|a| a.0.to_string()).collect();
+        write!(f, "{}", parts.join("-"))
+    }
+}
+
+impl From<Vec<AsId>> for AsPath {
+    fn from(v: Vec<AsId>) -> Self {
+        AsPath(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const O: AsId = AsId(100);
+    const A: AsId = AsId(7);
+
+    #[test]
+    fn baseline_matches_paper_shape() {
+        let p = AsPath::prepended_baseline(O, 3);
+        assert_eq!(p.to_string(), "100-100-100");
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.origin(), Some(O));
+        assert_eq!(p.first(), Some(O));
+    }
+
+    #[test]
+    fn poisoned_path_same_length_as_baseline() {
+        // The crux of §3.1.1: O-A-O and O-O-O are equally long and share a
+        // next hop, so unaffected ASes reconverge instantly.
+        let baseline = AsPath::prepended_baseline(O, 3);
+        let poisoned = AsPath::poisoned(O, &[A]);
+        assert_eq!(baseline.len(), poisoned.len());
+        assert_eq!(baseline.first(), poisoned.first());
+        assert_eq!(baseline.origin(), poisoned.origin());
+        assert_eq!(poisoned.to_string(), "100-7-100");
+        assert!(poisoned.contains(A));
+    }
+
+    #[test]
+    fn double_poison_for_lenient_loop_detection() {
+        let p = AsPath::poisoned(O, &[A, A]);
+        assert_eq!(p.count(A), 2);
+        assert_eq!(p.to_string(), "100-7-7-100");
+    }
+
+    #[test]
+    fn announced_by_prepends_sender() {
+        let p = AsPath::poisoned(O, &[A]);
+        let q = p.announced_by(AsId(55));
+        assert_eq!(q.to_string(), "55-100-7-100");
+        assert_eq!(q.origin(), Some(O));
+        assert_eq!(q.first(), Some(AsId(55)));
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn distinct_collapses_prepends() {
+        let p = AsPath::from_hops(vec![AsId(1), AsId(1), AsId(2), AsId(1), AsId(3)]);
+        assert_eq!(p.distinct(), vec![AsId(1), AsId(2), AsId(3)]);
+    }
+
+    #[test]
+    fn empty_path_behaviour() {
+        let p = AsPath::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.origin(), None);
+        assert_eq!(p.to_string(), "<empty>");
+        assert_eq!(p.count(O), 0);
+    }
+}

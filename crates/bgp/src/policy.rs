@@ -1,0 +1,187 @@
+//! Import policies: loop detection and path filters.
+
+use crate::path::AsPath;
+use lg_asmap::{AsId, Relationship};
+
+/// BGP loop-detection configuration for one AS.
+///
+/// Standard BGP drops any received path containing the receiver's own ASN.
+/// §7.1 documents two deviations LIFEGUARD must handle: networks that raise
+/// the threshold (e.g. AS286 accepts a path containing itself once, so a
+/// single poison does not stick and the origin must insert the AS twice), and
+/// networks that disable loop detection entirely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoopDetection {
+    /// Reject a path when the receiver's ASN occurs at least this many times.
+    /// `1` is standard BGP; `2` models the AS286-style max-occurrences
+    /// configuration; `u8::MAX` effectively disables loop detection.
+    pub reject_at: u8,
+}
+
+impl Default for LoopDetection {
+    fn default() -> Self {
+        LoopDetection { reject_at: 1 }
+    }
+}
+
+impl LoopDetection {
+    /// Standard single-occurrence rejection.
+    pub fn standard() -> Self {
+        Self::default()
+    }
+
+    /// Accept one occurrence of the own ASN, reject at two (AS286-style).
+    pub fn max_occurrences(n: u8) -> Self {
+        LoopDetection {
+            reject_at: n.saturating_add(1),
+        }
+    }
+
+    /// Loop detection disabled.
+    pub fn disabled() -> Self {
+        LoopDetection { reject_at: u8::MAX }
+    }
+
+    /// Does `own` accept a received `path` under this configuration?
+    pub fn accepts(&self, own: AsId, path: &AsPath) -> bool {
+        (path.count(own) as u64) < self.reject_at as u64
+    }
+}
+
+/// Full import policy of one AS.
+#[derive(Clone, Debug, Default)]
+pub struct ImportPolicy {
+    /// Loop-detection configuration.
+    pub loop_detection: LoopDetection,
+    /// Cogent-style filter (§7.1): reject an update *from a customer* when
+    /// the path contains one of this AS's peers. Poisoning a Tier-1 through
+    /// such a provider fails to propagate.
+    pub reject_peers_in_customer_path: bool,
+    /// Transit deny list (models commercial/academic route filters, §5.1's
+    /// validation cases): reject any path in which one of these ASes
+    /// appears as a *transit* hop. Routes originated by the listed AS are
+    /// still accepted — the filter refuses to route *through* it, not *to*
+    /// it.
+    pub deny_transit: Vec<AsId>,
+}
+
+impl ImportPolicy {
+    /// Standard policy: plain loop detection, no extra filters.
+    pub fn standard() -> Self {
+        Self::default()
+    }
+
+    /// Does this AS accept `path` announced by a neighbor related by
+    /// `rel_to_sender`, given the AS's peer list?
+    pub fn accepts(
+        &self,
+        own: AsId,
+        peers: &[AsId],
+        rel_to_sender: Relationship,
+        path: &AsPath,
+    ) -> bool {
+        if !self.loop_detection.accepts(own, path) {
+            return false;
+        }
+        if self.reject_peers_in_customer_path
+            && rel_to_sender == Relationship::Customer
+            && path.hops().iter().any(|h| peers.contains(h))
+        {
+            return false;
+        }
+        // Only the final hop is the origin; a denied AS anywhere earlier is
+        // a transit appearance.
+        let hops = path.hops();
+        let transit = &hops[..hops.len().saturating_sub(1)];
+        if transit.iter().any(|h| self.deny_transit.contains(h)) {
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ME: AsId = AsId(50);
+
+    #[test]
+    fn standard_loop_detection_rejects_own_asn() {
+        let ld = LoopDetection::standard();
+        assert!(ld.accepts(ME, &AsPath::from_hops(vec![AsId(1), AsId(2)])));
+        assert!(!ld.accepts(ME, &AsPath::from_hops(vec![AsId(1), ME])));
+    }
+
+    #[test]
+    fn max_occurrences_needs_double_poison() {
+        // AS286-style: one occurrence tolerated, two rejected.
+        let ld = LoopDetection::max_occurrences(1);
+        let single = AsPath::poisoned(AsId(100), &[ME]);
+        let double = AsPath::poisoned(AsId(100), &[ME, ME]);
+        assert!(ld.accepts(ME, &single), "single poison should NOT stick");
+        assert!(!ld.accepts(ME, &double), "double poison should stick");
+    }
+
+    #[test]
+    fn disabled_loop_detection_accepts_everything() {
+        let ld = LoopDetection::disabled();
+        let p = AsPath::from_hops(vec![ME; 20]);
+        assert!(ld.accepts(ME, &p));
+    }
+
+    #[test]
+    fn cogent_filter_rejects_customer_updates_naming_peers() {
+        let policy = ImportPolicy {
+            reject_peers_in_customer_path: true,
+            ..ImportPolicy::default()
+        };
+        let peers = [AsId(701), AsId(1299)];
+        let poisoned = AsPath::poisoned(AsId(100), &[AsId(701)]);
+        // From a customer: rejected.
+        assert!(!policy.accepts(ME, &peers, Relationship::Customer, &poisoned));
+        // The same path from a peer: accepted (filter is customer-specific).
+        assert!(policy.accepts(ME, &peers, Relationship::Peer, &poisoned));
+        // A clean path from a customer: accepted.
+        let clean = AsPath::origin_only(AsId(100));
+        assert!(policy.accepts(ME, &peers, Relationship::Customer, &clean));
+    }
+
+    #[test]
+    fn deny_transit_rejects_any_direction() {
+        let policy = ImportPolicy {
+            deny_transit: vec![AsId(9)],
+            ..ImportPolicy::default()
+        };
+        let p = AsPath::from_hops(vec![AsId(1), AsId(9), AsId(2)]);
+        assert!(!policy.accepts(ME, &[], Relationship::Provider, &p));
+        assert!(!policy.accepts(ME, &[], Relationship::Customer, &p));
+        let q = AsPath::from_hops(vec![AsId(1), AsId(2)]);
+        assert!(policy.accepts(ME, &[], Relationship::Provider, &q));
+    }
+
+    #[test]
+    fn deny_transit_still_accepts_routes_originated_by_denied_as() {
+        let policy = ImportPolicy {
+            deny_transit: vec![AsId(9)],
+            ..ImportPolicy::default()
+        };
+        // AS9 as the origin: acceptable (we refuse to route through it,
+        // not to it).
+        let own = AsPath::from_hops(vec![AsId(1), AsId(9)]);
+        assert!(policy.accepts(ME, &[], Relationship::Provider, &own));
+        // AS9 as origin but also mid-path: rejected.
+        let through = AsPath::from_hops(vec![AsId(9), AsId(1), AsId(9)]);
+        assert!(!policy.accepts(ME, &[], Relationship::Provider, &through));
+    }
+
+    #[test]
+    fn loop_detection_composes_with_filters() {
+        let policy = ImportPolicy {
+            reject_peers_in_customer_path: true,
+            ..ImportPolicy::default()
+        };
+        let p = AsPath::from_hops(vec![AsId(1), ME]);
+        assert!(!policy.accepts(ME, &[], Relationship::Customer, &p));
+    }
+}

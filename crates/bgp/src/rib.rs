@@ -1,0 +1,157 @@
+//! Adjacency RIB-In: per-neighbor route storage with best-path selection.
+
+use crate::decision::select_best;
+use crate::prefix::Prefix;
+use crate::route::Route;
+use lg_asmap::AsId;
+use std::collections::HashMap;
+
+/// Routes received from each neighbor, per prefix, plus best-path selection.
+///
+/// This is the state a single BGP speaker keeps for its neighbors. Import
+/// filtering happens *before* insertion (the caller applies
+/// [`crate::ImportPolicy`]); the RIB stores accepted routes only, mirroring
+/// a router's post-policy Adj-RIB-In.
+#[derive(Default, Debug, Clone)]
+pub struct AdjRibIn {
+    routes: HashMap<Prefix, HashMap<AsId, Route>>,
+}
+
+impl AdjRibIn {
+    /// Empty RIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace the route from `route.learned_from` for
+    /// `route.prefix`. Returns the replaced route, if any.
+    pub fn insert(&mut self, route: Route) -> Option<Route> {
+        self.routes
+            .entry(route.prefix)
+            .or_default()
+            .insert(route.learned_from, route)
+    }
+
+    /// Withdraw the route from `neighbor` for `prefix`. Returns it if present.
+    pub fn withdraw(&mut self, neighbor: AsId, prefix: Prefix) -> Option<Route> {
+        let per = self.routes.get_mut(&prefix)?;
+        let out = per.remove(&neighbor);
+        if per.is_empty() {
+            self.routes.remove(&prefix);
+        }
+        out
+    }
+
+    /// Drop every route learned from `neighbor` (session reset / link down).
+    /// Returns the affected prefixes.
+    pub fn withdraw_neighbor(&mut self, neighbor: AsId) -> Vec<Prefix> {
+        let mut affected = Vec::new();
+        self.routes.retain(|prefix, per| {
+            if per.remove(&neighbor).is_some() {
+                affected.push(*prefix);
+            }
+            !per.is_empty()
+        });
+        affected.sort_unstable();
+        affected
+    }
+
+    /// The best route for `prefix` under the decision process.
+    pub fn best(&self, prefix: Prefix) -> Option<&Route> {
+        select_best(self.routes.get(&prefix)?.values())
+    }
+
+    /// The route learned from a specific neighbor.
+    pub fn from_neighbor(&self, neighbor: AsId, prefix: Prefix) -> Option<&Route> {
+        self.routes.get(&prefix)?.get(&neighbor)
+    }
+
+    /// All candidate routes for `prefix`, unordered.
+    pub fn candidates(&self, prefix: Prefix) -> impl Iterator<Item = &Route> {
+        self.routes
+            .get(&prefix)
+            .into_iter()
+            .flat_map(|m| m.values())
+    }
+
+    /// Prefixes with at least one route.
+    pub fn prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.routes.keys().copied()
+    }
+
+    /// Number of (prefix, neighbor) entries.
+    pub fn entry_count(&self) -> usize {
+        self.routes.values().map(|m| m.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::AsPath;
+    use lg_asmap::Relationship;
+
+    fn pfx() -> Prefix {
+        Prefix::from_octets(10, 0, 0, 0, 16)
+    }
+
+    fn route(from: u32, rel: Relationship, hops: Vec<u32>) -> Route {
+        Route {
+            prefix: pfx(),
+            path: AsPath::from_hops(hops.into_iter().map(AsId).collect()),
+            learned_from: AsId(from),
+            rel,
+            communities: vec![],
+        }
+    }
+
+    #[test]
+    fn insert_select_withdraw_cycle() {
+        let mut rib = AdjRibIn::new();
+        rib.insert(route(1, Relationship::Provider, vec![1, 100]));
+        rib.insert(route(2, Relationship::Customer, vec![2, 3, 100]));
+        assert_eq!(rib.best(pfx()).unwrap().learned_from, AsId(2));
+        rib.withdraw(AsId(2), pfx());
+        assert_eq!(rib.best(pfx()).unwrap().learned_from, AsId(1));
+        rib.withdraw(AsId(1), pfx());
+        assert!(rib.best(pfx()).is_none());
+        assert_eq!(rib.entry_count(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_previous_route() {
+        let mut rib = AdjRibIn::new();
+        rib.insert(route(1, Relationship::Peer, vec![1, 2, 100]));
+        let old = rib.insert(route(1, Relationship::Peer, vec![1, 100]));
+        assert!(old.is_some());
+        assert_eq!(rib.entry_count(), 1);
+        assert_eq!(rib.best(pfx()).unwrap().path_len(), 2);
+    }
+
+    #[test]
+    fn withdraw_neighbor_clears_all_its_routes() {
+        let mut rib = AdjRibIn::new();
+        let other = Prefix::from_octets(20, 0, 0, 0, 16);
+        rib.insert(route(1, Relationship::Peer, vec![1, 100]));
+        rib.insert(Route {
+            prefix: other,
+            path: AsPath::from_hops(vec![AsId(1), AsId(100)]),
+            learned_from: AsId(1),
+            rel: Relationship::Peer,
+            communities: vec![],
+        });
+        rib.insert(route(2, Relationship::Peer, vec![2, 100]));
+        let affected = rib.withdraw_neighbor(AsId(1));
+        assert_eq!(affected, vec![pfx(), other]);
+        assert_eq!(rib.best(pfx()).unwrap().learned_from, AsId(2));
+        assert!(rib.best(other).is_none());
+    }
+
+    #[test]
+    fn from_neighbor_lookup() {
+        let mut rib = AdjRibIn::new();
+        rib.insert(route(1, Relationship::Peer, vec![1, 100]));
+        assert!(rib.from_neighbor(AsId(1), pfx()).is_some());
+        assert!(rib.from_neighbor(AsId(2), pfx()).is_none());
+    }
+}

@@ -1,0 +1,59 @@
+//! Routes as held in RIBs.
+
+use crate::path::AsPath;
+use crate::prefix::Prefix;
+use lg_asmap::{AsId, Relationship};
+
+/// A route to a prefix as learned from a specific neighbor.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Route {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// AS path as received (the announcing neighbor is the first hop).
+    pub path: AsPath,
+    /// Neighbor that announced the route (the next hop at AS granularity).
+    pub learned_from: AsId,
+    /// Our relationship toward that neighbor (drives local preference).
+    pub rel: Relationship,
+    /// BGP community values still attached when the route got here. Many
+    /// networks strip communities on export (§2.3), so these thin out as
+    /// the announcement travels.
+    pub communities: Vec<u32>,
+}
+
+impl Route {
+    /// Local-preference class (0 = customer route = most preferred).
+    pub fn pref_class(&self) -> u8 {
+        self.rel.pref_class()
+    }
+
+    /// AS-path length used in the decision process.
+    pub fn path_len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Whether this route traverses `a` anywhere on its AS path.
+    pub fn traverses(&self, a: AsId) -> bool {
+        self.path.contains(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_accessors() {
+        let r = Route {
+            prefix: Prefix::from_octets(10, 0, 0, 0, 16),
+            path: AsPath::from_hops(vec![AsId(2), AsId(3), AsId(4)]),
+            learned_from: AsId(2),
+            rel: Relationship::Peer,
+            communities: vec![],
+        };
+        assert_eq!(r.pref_class(), 1);
+        assert_eq!(r.path_len(), 3);
+        assert!(r.traverses(AsId(3)));
+        assert!(!r.traverses(AsId(9)));
+    }
+}

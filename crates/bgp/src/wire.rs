@@ -1,0 +1,771 @@
+//! RFC 4271 wire codec for BGP messages.
+//!
+//! LIFEGUARD's deployment speaks real BGP to the BGP-Mux testbed; this module
+//! provides the message encoding that a production deployment of the system
+//! would use to inject its crafted announcements. It implements the
+//! byte-level format of the four RFC 4271 message types with the path
+//! attributes the system manipulates (ORIGIN, AS_PATH, NEXT_HOP, MED,
+//! LOCAL_PREF, COMMUNITIES) and supports both 2-octet and 4-octet AS numbers
+//! (RFC 6793) selected by [`Codec::as4`].
+//!
+//! The offline package mirror lacks the `bytes` crate, so buffers are plain
+//! `Vec<u8>` / `&[u8]` — the codec is allocation-light regardless.
+
+use crate::path::AsPath;
+use crate::prefix::Prefix;
+use lg_asmap::AsId;
+use std::fmt;
+
+/// BGP message header marker: 16 bytes of all ones (RFC 4271 §4.1).
+pub const MARKER: [u8; 16] = [0xFF; 16];
+/// Fixed header length.
+pub const HEADER_LEN: usize = 19;
+/// Maximum BGP message length.
+pub const MAX_MESSAGE_LEN: usize = 4096;
+
+/// Message type codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MessageType {
+    /// Session establishment.
+    Open = 1,
+    /// Route announcement/withdrawal.
+    Update = 2,
+    /// Error notification (closes the session).
+    Notification = 3,
+    /// Hold-timer refresh.
+    Keepalive = 4,
+}
+
+/// ORIGIN attribute values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Origin {
+    /// Route is interior to the originating AS.
+    Igp = 0,
+    /// Learned via EGP.
+    Egp = 1,
+    /// Origin unknown (typical for redistributed routes).
+    Incomplete = 2,
+}
+
+impl Origin {
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            0 => Ok(Origin::Igp),
+            1 => Ok(Origin::Egp),
+            2 => Ok(Origin::Incomplete),
+            _ => Err(WireError::Malformed("bad ORIGIN value")),
+        }
+    }
+}
+
+/// A decoded BGP OPEN message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpenMsg {
+    /// Advertised ASN (AS_TRANS = 23456 when the real ASN needs 4 octets).
+    pub my_as: u32,
+    /// Hold time in seconds.
+    pub hold_time: u16,
+    /// BGP identifier (router id).
+    pub bgp_id: u32,
+    /// Whether the speaker advertised the 4-octet-AS capability.
+    pub four_octet_as: bool,
+}
+
+/// A decoded BGP UPDATE message.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct UpdateMsg {
+    /// Withdrawn prefixes.
+    pub withdrawn: Vec<Prefix>,
+    /// ORIGIN attribute (required when NLRI present).
+    pub origin: Option<Origin>,
+    /// AS_PATH attribute, nearest AS first.
+    pub as_path: Option<AsPath>,
+    /// NEXT_HOP attribute.
+    pub next_hop: Option<u32>,
+    /// MULTI_EXIT_DISC attribute.
+    pub med: Option<u32>,
+    /// LOCAL_PREF attribute.
+    pub local_pref: Option<u32>,
+    /// COMMUNITIES attribute (RFC 1997), as raw 32-bit values.
+    pub communities: Vec<u32>,
+    /// Announced prefixes.
+    pub nlri: Vec<Prefix>,
+}
+
+/// A decoded BGP NOTIFICATION message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotificationMsg {
+    /// Major error code (RFC 4271 §4.5).
+    pub code: u8,
+    /// Error subcode.
+    pub subcode: u8,
+    /// Diagnostic data.
+    pub data: Vec<u8>,
+}
+
+/// Any BGP message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// OPEN.
+    Open(OpenMsg),
+    /// UPDATE.
+    Update(UpdateMsg),
+    /// NOTIFICATION.
+    Notification(NotificationMsg),
+    /// KEEPALIVE.
+    Keepalive,
+}
+
+/// Decode/encode errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// Header marker was not all ones.
+    BadMarker,
+    /// Unknown message type code.
+    UnknownType(u8),
+    /// Structurally invalid contents.
+    Malformed(&'static str),
+    /// Message exceeds the 4096-byte limit.
+    TooLong(usize),
+    /// 2-octet codec asked to encode an ASN above 65535.
+    AsnOverflow(u32),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::BadMarker => write!(f, "bad header marker"),
+            WireError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            WireError::Malformed(why) => write!(f, "malformed message: {why}"),
+            WireError::TooLong(n) => write!(f, "message of {n} bytes exceeds 4096"),
+            WireError::AsnOverflow(a) => write!(f, "ASN {a} does not fit in 2 octets"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// Attribute type codes.
+const ATTR_ORIGIN: u8 = 1;
+const ATTR_AS_PATH: u8 = 2;
+const ATTR_NEXT_HOP: u8 = 3;
+const ATTR_MED: u8 = 4;
+const ATTR_LOCAL_PREF: u8 = 5;
+const ATTR_COMMUNITIES: u8 = 8;
+
+// Attribute flags.
+const FLAG_OPTIONAL: u8 = 0x80;
+const FLAG_TRANSITIVE: u8 = 0x40;
+const FLAG_EXT_LEN: u8 = 0x10;
+
+const AS_PATH_SEGMENT_SEQUENCE: u8 = 2;
+
+/// Encoder/decoder with ASN-width configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Codec {
+    /// Encode/decode AS_PATH with 4-octet ASNs (RFC 6793). When false, ASNs
+    /// must fit in 2 octets.
+    pub as4: bool,
+}
+
+impl Default for Codec {
+    fn default() -> Self {
+        Codec { as4: true }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Encode a prefix in UPDATE NLRI form: length byte + minimal octets.
+fn encode_nlri_prefix(out: &mut Vec<u8>, p: Prefix) {
+    out.push(p.len());
+    let nbytes = (p.len() as usize).div_ceil(8);
+    out.extend_from_slice(&p.addr().to_be_bytes()[..nbytes]);
+}
+
+fn decode_nlri_prefix(r: &mut Reader<'_>) -> Result<Prefix, WireError> {
+    let len = r.u8()?;
+    if len > 32 {
+        return Err(WireError::Malformed("prefix length > 32"));
+    }
+    let nbytes = (len as usize).div_ceil(8);
+    let raw = r.take(nbytes)?;
+    let mut octets = [0u8; 4];
+    octets[..nbytes].copy_from_slice(raw);
+    Ok(Prefix::new(u32::from_be_bytes(octets), len))
+}
+
+impl Codec {
+    /// Encode any message, header included.
+    pub fn encode(&self, msg: &Message) -> Result<Vec<u8>, WireError> {
+        let (ty, body) = match msg {
+            Message::Open(m) => (MessageType::Open, self.encode_open(m)?),
+            Message::Update(m) => (MessageType::Update, self.encode_update_body(m)?),
+            Message::Notification(m) => {
+                let mut b = vec![m.code, m.subcode];
+                b.extend_from_slice(&m.data);
+                (MessageType::Notification, b)
+            }
+            Message::Keepalive => (MessageType::Keepalive, Vec::new()),
+        };
+        let total = HEADER_LEN + body.len();
+        if total > MAX_MESSAGE_LEN {
+            return Err(WireError::TooLong(total));
+        }
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&MARKER);
+        put_u16(&mut out, total as u16);
+        out.push(ty as u8);
+        out.extend_from_slice(&body);
+        Ok(out)
+    }
+
+    /// Decode one message from `buf`; returns the message and bytes consumed.
+    pub fn decode(&self, buf: &[u8]) -> Result<(Message, usize), WireError> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        if buf[..16] != MARKER {
+            return Err(WireError::BadMarker);
+        }
+        let total = u16::from_be_bytes([buf[16], buf[17]]) as usize;
+        if !(HEADER_LEN..=MAX_MESSAGE_LEN).contains(&total) {
+            return Err(WireError::Malformed("bad length field"));
+        }
+        if buf.len() < total {
+            return Err(WireError::Truncated);
+        }
+        let ty = buf[18];
+        let body = &buf[HEADER_LEN..total];
+        let msg = match ty {
+            1 => Message::Open(self.decode_open(body)?),
+            2 => Message::Update(self.decode_update_body(body)?),
+            3 => {
+                if body.len() < 2 {
+                    return Err(WireError::Truncated);
+                }
+                Message::Notification(NotificationMsg {
+                    code: body[0],
+                    subcode: body[1],
+                    data: body[2..].to_vec(),
+                })
+            }
+            4 => {
+                if !body.is_empty() {
+                    return Err(WireError::Malformed("keepalive with body"));
+                }
+                Message::Keepalive
+            }
+            other => return Err(WireError::UnknownType(other)),
+        };
+        Ok((msg, total))
+    }
+
+    fn encode_open(&self, m: &OpenMsg) -> Result<Vec<u8>, WireError> {
+        let mut b = Vec::with_capacity(10 + 8);
+        b.push(4); // version
+        let wire_as = if m.my_as > 0xFFFF {
+            23456
+        } else {
+            m.my_as as u16
+        };
+        put_u16(&mut b, wire_as);
+        put_u16(&mut b, m.hold_time);
+        put_u32(&mut b, m.bgp_id);
+        if m.four_octet_as {
+            // Optional parameter 2 (Capabilities), capability 65
+            // (4-octet AS) carrying the real ASN.
+            let cap = {
+                let mut c = vec![65u8, 4];
+                put_u32(&mut c, m.my_as);
+                c
+            };
+            let mut param = vec![2u8, cap.len() as u8];
+            param.extend_from_slice(&cap);
+            b.push(param.len() as u8);
+            b.extend_from_slice(&param);
+        } else {
+            if m.my_as > 0xFFFF {
+                return Err(WireError::AsnOverflow(m.my_as));
+            }
+            b.push(0);
+        }
+        Ok(b)
+    }
+
+    fn decode_open(&self, body: &[u8]) -> Result<OpenMsg, WireError> {
+        let mut r = Reader::new(body);
+        let version = r.u8()?;
+        if version != 4 {
+            return Err(WireError::Malformed("unsupported BGP version"));
+        }
+        let wire_as = r.u16()? as u32;
+        let hold_time = r.u16()?;
+        let bgp_id = r.u32()?;
+        let opt_len = r.u8()? as usize;
+        let mut opts = Reader::new(r.take(opt_len)?);
+        let mut my_as = wire_as;
+        let mut four_octet_as = false;
+        while opts.remaining() > 0 {
+            let ptype = opts.u8()?;
+            let plen = opts.u8()? as usize;
+            let pdata = opts.take(plen)?;
+            if ptype != 2 {
+                continue; // ignore non-capability parameters
+            }
+            let mut caps = Reader::new(pdata);
+            while caps.remaining() > 0 {
+                let code = caps.u8()?;
+                let clen = caps.u8()? as usize;
+                let cdata = caps.take(clen)?;
+                if code == 65 {
+                    if clen != 4 {
+                        return Err(WireError::Malformed("bad 4-octet-AS capability"));
+                    }
+                    my_as = u32::from_be_bytes([cdata[0], cdata[1], cdata[2], cdata[3]]);
+                    four_octet_as = true;
+                }
+            }
+        }
+        Ok(OpenMsg {
+            my_as,
+            hold_time,
+            bgp_id,
+            four_octet_as,
+        })
+    }
+
+    fn encode_as_path_attr(&self, path: &AsPath) -> Result<Vec<u8>, WireError> {
+        // AS_PATH as one or more AS_SEQUENCE segments of at most 255 ASNs.
+        let mut val = Vec::new();
+        for chunk in path.hops().chunks(255) {
+            val.push(AS_PATH_SEGMENT_SEQUENCE);
+            val.push(chunk.len() as u8);
+            for a in chunk {
+                if self.as4 {
+                    put_u32(&mut val, a.0);
+                } else {
+                    if a.0 > 0xFFFF {
+                        return Err(WireError::AsnOverflow(a.0));
+                    }
+                    put_u16(&mut val, a.0 as u16);
+                }
+            }
+        }
+        Ok(val)
+    }
+
+    fn decode_as_path_attr(&self, data: &[u8]) -> Result<AsPath, WireError> {
+        let mut r = Reader::new(data);
+        let mut hops = Vec::new();
+        while r.remaining() > 0 {
+            let seg_type = r.u8()?;
+            if seg_type != AS_PATH_SEGMENT_SEQUENCE && seg_type != 1 {
+                return Err(WireError::Malformed("unknown AS_PATH segment type"));
+            }
+            let count = r.u8()? as usize;
+            for _ in 0..count {
+                let asn = if self.as4 { r.u32()? } else { r.u16()? as u32 };
+                hops.push(AsId(asn));
+            }
+        }
+        Ok(AsPath::from_hops(hops))
+    }
+
+    fn push_attr(out: &mut Vec<u8>, flags: u8, ty: u8, val: &[u8]) {
+        if val.len() > 255 {
+            out.push(flags | FLAG_EXT_LEN);
+            out.push(ty);
+            put_u16(out, val.len() as u16);
+        } else {
+            out.push(flags);
+            out.push(ty);
+            out.push(val.len() as u8);
+        }
+        out.extend_from_slice(val);
+    }
+
+    fn encode_update_body(&self, m: &UpdateMsg) -> Result<Vec<u8>, WireError> {
+        let mut withdrawn = Vec::new();
+        for p in &m.withdrawn {
+            encode_nlri_prefix(&mut withdrawn, *p);
+        }
+
+        let mut attrs = Vec::new();
+        if let Some(origin) = m.origin {
+            Self::push_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_ORIGIN, &[origin as u8]);
+        }
+        if let Some(path) = &m.as_path {
+            let val = self.encode_as_path_attr(path)?;
+            Self::push_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_AS_PATH, &val);
+        }
+        if let Some(nh) = m.next_hop {
+            Self::push_attr(
+                &mut attrs,
+                FLAG_TRANSITIVE,
+                ATTR_NEXT_HOP,
+                &nh.to_be_bytes(),
+            );
+        }
+        if let Some(med) = m.med {
+            Self::push_attr(&mut attrs, FLAG_OPTIONAL, ATTR_MED, &med.to_be_bytes());
+        }
+        if let Some(lp) = m.local_pref {
+            Self::push_attr(
+                &mut attrs,
+                FLAG_TRANSITIVE,
+                ATTR_LOCAL_PREF,
+                &lp.to_be_bytes(),
+            );
+        }
+        if !m.communities.is_empty() {
+            let mut val = Vec::with_capacity(m.communities.len() * 4);
+            for c in &m.communities {
+                put_u32(&mut val, *c);
+            }
+            Self::push_attr(
+                &mut attrs,
+                FLAG_OPTIONAL | FLAG_TRANSITIVE,
+                ATTR_COMMUNITIES,
+                &val,
+            );
+        }
+
+        let mut body = Vec::new();
+        put_u16(&mut body, withdrawn.len() as u16);
+        body.extend_from_slice(&withdrawn);
+        put_u16(&mut body, attrs.len() as u16);
+        body.extend_from_slice(&attrs);
+        for p in &m.nlri {
+            encode_nlri_prefix(&mut body, *p);
+        }
+        Ok(body)
+    }
+
+    fn decode_update_body(&self, body: &[u8]) -> Result<UpdateMsg, WireError> {
+        let mut r = Reader::new(body);
+        let mut m = UpdateMsg::default();
+
+        let wlen = r.u16()? as usize;
+        let mut wr = Reader::new(r.take(wlen)?);
+        while wr.remaining() > 0 {
+            m.withdrawn.push(decode_nlri_prefix(&mut wr)?);
+        }
+
+        let alen = r.u16()? as usize;
+        let mut ar = Reader::new(r.take(alen)?);
+        while ar.remaining() > 0 {
+            let flags = ar.u8()?;
+            let ty = ar.u8()?;
+            let len = if flags & FLAG_EXT_LEN != 0 {
+                ar.u16()? as usize
+            } else {
+                ar.u8()? as usize
+            };
+            let data = ar.take(len)?;
+            match ty {
+                ATTR_ORIGIN => {
+                    if data.len() != 1 {
+                        return Err(WireError::Malformed("bad ORIGIN length"));
+                    }
+                    m.origin = Some(Origin::from_u8(data[0])?);
+                }
+                ATTR_AS_PATH => m.as_path = Some(self.decode_as_path_attr(data)?),
+                ATTR_NEXT_HOP => {
+                    if data.len() != 4 {
+                        return Err(WireError::Malformed("bad NEXT_HOP length"));
+                    }
+                    m.next_hop = Some(u32::from_be_bytes([data[0], data[1], data[2], data[3]]));
+                }
+                ATTR_MED => {
+                    if data.len() != 4 {
+                        return Err(WireError::Malformed("bad MED length"));
+                    }
+                    m.med = Some(u32::from_be_bytes([data[0], data[1], data[2], data[3]]));
+                }
+                ATTR_LOCAL_PREF => {
+                    if data.len() != 4 {
+                        return Err(WireError::Malformed("bad LOCAL_PREF length"));
+                    }
+                    m.local_pref = Some(u32::from_be_bytes([data[0], data[1], data[2], data[3]]));
+                }
+                ATTR_COMMUNITIES => {
+                    if data.len() % 4 != 0 {
+                        return Err(WireError::Malformed("bad COMMUNITIES length"));
+                    }
+                    for c in data.chunks(4) {
+                        m.communities
+                            .push(u32::from_be_bytes([c[0], c[1], c[2], c[3]]));
+                    }
+                }
+                _ => {} // unknown attributes are skipped
+            }
+        }
+
+        while r.remaining() > 0 {
+            m.nlri.push(decode_nlri_prefix(&mut r)?);
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn codec() -> Codec {
+        Codec::default()
+    }
+
+    #[test]
+    fn keepalive_roundtrip() {
+        let bytes = codec().encode(&Message::Keepalive).unwrap();
+        assert_eq!(bytes.len(), HEADER_LEN);
+        let (msg, used) = codec().decode(&bytes).unwrap();
+        assert_eq!(msg, Message::Keepalive);
+        assert_eq!(used, HEADER_LEN);
+    }
+
+    #[test]
+    fn open_roundtrip_with_as4() {
+        let open = OpenMsg {
+            my_as: 396_998, // needs 4 octets
+            hold_time: 90,
+            bgp_id: 0x0A000001,
+            four_octet_as: true,
+        };
+        let bytes = codec().encode(&Message::Open(open.clone())).unwrap();
+        let (msg, _) = codec().decode(&bytes).unwrap();
+        assert_eq!(msg, Message::Open(open));
+    }
+
+    #[test]
+    fn open_2byte_asn_overflow_rejected() {
+        let open = OpenMsg {
+            my_as: 396_998,
+            hold_time: 90,
+            bgp_id: 1,
+            four_octet_as: false,
+        };
+        assert_eq!(
+            codec().encode(&Message::Open(open)),
+            Err(WireError::AsnOverflow(396_998))
+        );
+    }
+
+    fn poisoned_update() -> UpdateMsg {
+        UpdateMsg {
+            withdrawn: vec![],
+            origin: Some(Origin::Igp),
+            as_path: Some(AsPath::poisoned(AsId(100), &[AsId(3356)])),
+            next_hop: Some(0x0A000001),
+            med: None,
+            local_pref: Some(100),
+            communities: vec![(65000 << 16) | 666],
+            nlri: vec![Prefix::from_octets(184, 164, 224, 0, 19)],
+        }
+    }
+
+    #[test]
+    fn update_roundtrip_poisoned_announcement() {
+        let upd = poisoned_update();
+        let bytes = codec().encode(&Message::Update(upd.clone())).unwrap();
+        let (msg, _) = codec().decode(&bytes).unwrap();
+        assert_eq!(msg, Message::Update(upd));
+    }
+
+    #[test]
+    fn update_withdrawal_roundtrip() {
+        let upd = UpdateMsg {
+            withdrawn: vec![
+                Prefix::from_octets(184, 164, 224, 0, 19),
+                Prefix::from_octets(10, 0, 0, 0, 8),
+                Prefix::new(0, 0),
+            ],
+            ..UpdateMsg::default()
+        };
+        let bytes = codec().encode(&Message::Update(upd.clone())).unwrap();
+        let (msg, _) = codec().decode(&bytes).unwrap();
+        assert_eq!(msg, Message::Update(upd));
+    }
+
+    #[test]
+    fn notification_roundtrip() {
+        let n = NotificationMsg {
+            code: 6,
+            subcode: 2,
+            data: vec![1, 2, 3],
+        };
+        let bytes = codec().encode(&Message::Notification(n.clone())).unwrap();
+        let (msg, _) = codec().decode(&bytes).unwrap();
+        assert_eq!(msg, Message::Notification(n));
+    }
+
+    #[test]
+    fn bad_marker_rejected() {
+        let mut bytes = codec().encode(&Message::Keepalive).unwrap();
+        bytes[0] = 0;
+        assert_eq!(codec().decode(&bytes), Err(WireError::BadMarker));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = codec().encode(&Message::Update(poisoned_update())).unwrap();
+        for cut in [0, 5, HEADER_LEN - 1, HEADER_LEN + 3, bytes.len() - 1] {
+            assert_eq!(
+                codec().decode(&bytes[..cut]),
+                Err(WireError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut bytes = codec().encode(&Message::Keepalive).unwrap();
+        bytes[18] = 9;
+        assert_eq!(codec().decode(&bytes), Err(WireError::UnknownType(9)));
+    }
+
+    #[test]
+    fn two_byte_codec_roundtrip() {
+        let c = Codec { as4: false };
+        let upd = UpdateMsg {
+            origin: Some(Origin::Igp),
+            as_path: Some(AsPath::from_hops(vec![AsId(701), AsId(1299)])),
+            next_hop: Some(1),
+            nlri: vec![Prefix::from_octets(192, 0, 2, 0, 24)],
+            ..UpdateMsg::default()
+        };
+        let bytes = c.encode(&Message::Update(upd.clone())).unwrap();
+        let (msg, _) = c.decode(&bytes).unwrap();
+        assert_eq!(msg, Message::Update(upd));
+        // Same update is smaller than with 4-octet ASNs.
+        let bytes4 = codec()
+            .encode(&Message::Update(UpdateMsg {
+                origin: Some(Origin::Igp),
+                as_path: Some(AsPath::from_hops(vec![AsId(701), AsId(1299)])),
+                next_hop: Some(1),
+                nlri: vec![Prefix::from_octets(192, 0, 2, 0, 24)],
+                ..UpdateMsg::default()
+            }))
+            .unwrap();
+        assert!(bytes.len() < bytes4.len());
+    }
+
+    #[test]
+    fn long_as_path_uses_multiple_segments() {
+        // 300 hops forces two AS_SEQUENCE segments.
+        let hops: Vec<AsId> = (0..300u32).map(AsId).collect();
+        let upd = UpdateMsg {
+            origin: Some(Origin::Igp),
+            as_path: Some(AsPath::from_hops(hops)),
+            next_hop: Some(1),
+            nlri: vec![Prefix::from_octets(192, 0, 2, 0, 24)],
+            ..UpdateMsg::default()
+        };
+        let bytes = codec().encode(&Message::Update(upd.clone())).unwrap();
+        let (msg, _) = codec().decode(&bytes).unwrap();
+        assert_eq!(msg, Message::Update(upd));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_update_roundtrip(
+            withdrawn in proptest::collection::vec((any::<u32>(), 0u8..=32), 0..5),
+            hops in proptest::collection::vec(0u32..1_000_000, 0..20),
+            nlri in proptest::collection::vec((any::<u32>(), 0u8..=32), 0..5),
+            med in proptest::option::of(any::<u32>()),
+            communities in proptest::collection::vec(any::<u32>(), 0..4),
+        ) {
+            let upd = UpdateMsg {
+                withdrawn: withdrawn.into_iter().map(|(a, l)| Prefix::new(a, l)).collect(),
+                origin: Some(Origin::Incomplete),
+                as_path: Some(AsPath::from_hops(hops.into_iter().map(AsId).collect())),
+                next_hop: Some(0x0A00000B),
+                med,
+                local_pref: None,
+                communities,
+                nlri: nlri.into_iter().map(|(a, l)| Prefix::new(a, l)).collect(),
+            };
+            let bytes = codec().encode(&Message::Update(upd.clone())).unwrap();
+            let (msg, used) = codec().decode(&bytes).unwrap();
+            prop_assert_eq!(msg, Message::Update(upd));
+            prop_assert_eq!(used, bytes.len());
+        }
+
+        #[test]
+        fn prop_decode_arbitrary_bytes_never_panics(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let _ = codec().decode(&data);
+        }
+
+        #[test]
+        fn prop_decode_flipped_byte_never_panics(
+            hops in proptest::collection::vec(0u32..1_000_000, 0..10),
+            flip_at in any::<usize>(),
+            flip_to in any::<u8>(),
+        ) {
+            let upd = UpdateMsg {
+                origin: Some(Origin::Igp),
+                as_path: Some(AsPath::from_hops(hops.into_iter().map(AsId).collect())),
+                next_hop: Some(1),
+                nlri: vec![Prefix::from_octets(192, 0, 2, 0, 24)],
+                ..UpdateMsg::default()
+            };
+            let mut bytes = codec().encode(&Message::Update(upd)).unwrap();
+            let idx = flip_at % bytes.len();
+            bytes[idx] = flip_to;
+            let _ = codec().decode(&bytes);
+        }
+    }
+}

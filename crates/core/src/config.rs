@@ -1,0 +1,180 @@
+//! System configuration.
+
+use lg_asmap::AsId;
+use lg_bgp::Prefix;
+
+/// How the sentinel prefix is provisioned (§4.2, §7.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SentinelStrategy {
+    /// A less-specific prefix covering the production prefix plus unused
+    /// space (the deployment's choice): captive ASes keep a backup route
+    /// *and* repair pings can be sourced from the unused portion.
+    LessSpecific {
+        /// The covering prefix; must strictly cover the production prefix.
+        sentinel: Prefix,
+    },
+    /// A disjoint unused prefix: repair detection works, but captives
+    /// behind the poisoned AS get no backup route to production addresses.
+    Disjoint {
+        /// The unused prefix.
+        sentinel: Prefix,
+    },
+    /// No sentinel: nothing keeps captives routable and repairs must be
+    /// detected by probing the poisoned AS itself.
+    None,
+}
+
+/// Configuration of one LIFEGUARD instance.
+#[derive(Clone, Debug)]
+pub struct LifeguardConfig {
+    /// The edge AS running the system.
+    pub origin: AsId,
+    /// The production prefix carrying real traffic.
+    pub production: Prefix,
+    /// Sentinel provisioning.
+    pub sentinel: SentinelStrategy,
+    /// Provider attachment points used for announcements (the BGP-Mux
+    /// sites in the deployment). Empty = all neighbors.
+    pub providers: Vec<AsId>,
+    /// Monitored destination ASes.
+    pub targets: Vec<AsId>,
+    /// Vantage points assisting isolation (PlanetLab hosts in the paper).
+    pub vantage_points: Vec<AsId>,
+    /// Monitoring ping-pair interval (ms); the paper uses 30 s.
+    pub ping_interval_ms: u64,
+    /// Consecutive failed ping pairs that declare an outage (paper: 4, so
+    /// the minimum detectable outage is 90 s).
+    pub outage_threshold: u32,
+    /// Copies of the origin in the steady-state baseline (paper: 3 →
+    /// `O-O-O`).
+    pub prepend_copies: usize,
+    /// Modeled BGP convergence delay after a poisoned announcement (ms);
+    /// §5.2 measures ~91 s median global convergence with prepending.
+    pub convergence_ms: u64,
+    /// Interval between sentinel repair checks while poisoned (ms).
+    pub sentinel_check_interval_ms: u64,
+    /// How long to wait before re-examining a target declared unfixable
+    /// (ms).
+    pub unfixable_retry_ms: u64,
+}
+
+impl LifeguardConfig {
+    /// A configuration with the paper's operating points, for `origin`
+    /// announcing `production` inside sentinel `sentinel`.
+    pub fn paper_defaults(origin: AsId, production: Prefix, sentinel: Prefix) -> Self {
+        LifeguardConfig {
+            origin,
+            production,
+            sentinel: SentinelStrategy::LessSpecific { sentinel },
+            providers: Vec::new(),
+            targets: Vec::new(),
+            vantage_points: Vec::new(),
+            ping_interval_ms: 30_000,
+            outage_threshold: 4,
+            prepend_copies: 3,
+            convergence_ms: 91_000,
+            sentinel_check_interval_ms: 120_000,
+            unfixable_retry_ms: 600_000,
+        }
+    }
+
+    /// The sentinel prefix, when one is configured.
+    pub fn sentinel_prefix(&self) -> Option<Prefix> {
+        match self.sentinel {
+            SentinelStrategy::LessSpecific { sentinel }
+            | SentinelStrategy::Disjoint { sentinel } => Some(sentinel),
+            SentinelStrategy::None => None,
+        }
+    }
+
+    /// An address in the *unused* portion of the sentinel — inside the
+    /// sentinel but outside production — used to source repair pings so
+    /// responses route via the (unpoisoned) sentinel prefix. `None` when the
+    /// strategy provides no such space.
+    pub fn sentinel_unused_addr(&self) -> Option<u32> {
+        match self.sentinel {
+            SentinelStrategy::LessSpecific { sentinel } => {
+                let size = 1u64 << (32 - sentinel.len());
+                (0..size.min(1 << 16))
+                    .map(|i| sentinel.nth_addr(i as u32))
+                    .find(|a| !self.production.contains(*a))
+            }
+            SentinelStrategy::Disjoint { sentinel } => Some(sentinel.an_addr()),
+            SentinelStrategy::None => None,
+        }
+    }
+
+    /// Validate structural requirements.
+    pub fn validate(&self) -> Result<(), String> {
+        if let SentinelStrategy::LessSpecific { sentinel } = self.sentinel {
+            if !(sentinel.covers(self.production) && sentinel != self.production) {
+                return Err(format!(
+                    "sentinel {sentinel} must strictly cover production {}",
+                    self.production
+                ));
+            }
+            if self.sentinel_unused_addr().is_none() {
+                return Err("sentinel has no unused address space".into());
+            }
+        }
+        if self.outage_threshold == 0 || self.prepend_copies == 0 {
+            return Err("thresholds must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LifeguardConfig {
+        LifeguardConfig::paper_defaults(
+            AsId(0),
+            Prefix::from_octets(184, 164, 224, 0, 20),
+            Prefix::from_octets(184, 164, 224, 0, 19),
+        )
+    }
+
+    #[test]
+    fn paper_defaults_validate() {
+        let c = cfg();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.ping_interval_ms * c.outage_threshold as u64, 120_000);
+    }
+
+    #[test]
+    fn sentinel_unused_addr_outside_production() {
+        let c = cfg();
+        let addr = c.sentinel_unused_addr().unwrap();
+        assert!(c.sentinel_prefix().unwrap().contains(addr));
+        assert!(!c.production.contains(addr));
+    }
+
+    #[test]
+    fn sentinel_must_cover_production() {
+        let mut c = cfg();
+        c.sentinel = SentinelStrategy::LessSpecific {
+            sentinel: Prefix::from_octets(10, 0, 0, 0, 19),
+        };
+        assert!(c.validate().is_err());
+        // Equal prefix is not a cover either.
+        c.sentinel = SentinelStrategy::LessSpecific {
+            sentinel: c.production,
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn disjoint_and_none_strategies() {
+        let mut c = cfg();
+        c.sentinel = SentinelStrategy::Disjoint {
+            sentinel: Prefix::from_octets(198, 51, 100, 0, 24),
+        };
+        assert!(c.validate().is_ok());
+        assert!(c.sentinel_unused_addr().is_some());
+        c.sentinel = SentinelStrategy::None;
+        assert!(c.sentinel_prefix().is_none());
+        assert!(c.sentinel_unused_addr().is_none());
+    }
+}

@@ -1,0 +1,319 @@
+//! Repair planning: whether and how to poison (§4.2, §3.1).
+//!
+//! Given an isolation blame, the planner produces the announcement that
+//! implements `AVOID_PROBLEM(X, P)`:
+//!
+//! * it predicts *a priori* — by computing the post-poison routing fixed
+//!   point over the known topology, the same simulation methodology the
+//!   paper validates at 92.5% agreement against live poisonings — whether
+//!   the monitored target would retain a route, and refuses to poison when
+//!   no alternate policy-compliant path exists;
+//! * it discovers leniently configured ASes (§7.1: accept one occurrence of
+//!   their own ASN) by checking whether a single poison actually removes
+//!   the AS's route in the predicted fixed point, and doubles the poison
+//!   when needed;
+//! * for link blames it searches for a *selective* poisoning (§3.1.2):
+//!   poison via a subset of providers so the blamed AS sheds only the
+//!   failing link while keeping a working route.
+
+use crate::config::LifeguardConfig;
+use lg_asmap::AsId;
+use lg_locate::Blame;
+use lg_sim::{compute_routes, AnnouncementSpec, Network};
+
+/// A concrete repair: the announcement to make and what it should achieve.
+#[derive(Clone, Debug)]
+pub struct RepairPlan {
+    /// The new production announcement.
+    pub spec: AnnouncementSpec,
+    /// The AS inserted into the path.
+    pub poisoned: AsId,
+    /// Number of copies of the poisoned AS (2 for lenient loop detection).
+    pub poison_copies: usize,
+    /// Whether the poison is selective (differs per provider).
+    pub selective: bool,
+}
+
+fn providers_of(net: &Network, cfg: &LifeguardConfig) -> Vec<AsId> {
+    if cfg.providers.is_empty() {
+        net.graph()
+            .neighbors(cfg.origin)
+            .iter()
+            .map(|(n, _)| *n)
+            .collect()
+    } else {
+        cfg.providers.clone()
+    }
+}
+
+/// Plan a repair for `target` given `blame`. Returns `Err(reason)` when
+/// poisoning should not be attempted.
+pub fn plan_repair(
+    net: &Network,
+    cfg: &LifeguardConfig,
+    blame: Blame,
+    target: AsId,
+) -> Result<RepairPlan, String> {
+    let culprit = blame.poison_target();
+    if culprit == cfg.origin {
+        return Err("failure is in our own network; fix locally".into());
+    }
+    if culprit == target {
+        return Err("failure is inside the destination AS; poisoning cannot help".into());
+    }
+    let providers = providers_of(net, cfg);
+    if providers.contains(&culprit) && providers.len() == 1 {
+        return Err("culprit is our only provider; poisoning would cut us off".into());
+    }
+
+    // Selective poisoning first when the blame is a link and we have the
+    // provider diversity for it.
+    if let Blame::Link(a, b) = blame {
+        if providers.len() >= 2 {
+            if let Some(plan) = try_selective(net, cfg, &providers, a, b, target) {
+                return Ok(plan);
+            }
+        }
+    }
+
+    // Global poison; discover the needed poison count (1, or 2 for lenient
+    // loop detection) from the predicted fixed point.
+    for copies in 1..=2usize {
+        let poisons = vec![culprit; copies];
+        let spec = AnnouncementSpec::via(
+            cfg.production,
+            cfg.origin,
+            lg_bgp::AsPath::poisoned(cfg.origin, &poisons),
+            &providers,
+        );
+        let table = compute_routes(net, &spec);
+        if table.has_route(culprit) {
+            continue; // poison did not stick (lenient loop detection)
+        }
+        if !table.has_route(target) {
+            return Err(format!(
+                "no alternate policy-compliant path for {target} avoiding {culprit}"
+            ));
+        }
+        return Ok(RepairPlan {
+            spec,
+            poisoned: culprit,
+            poison_copies: copies,
+            selective: false,
+        });
+    }
+    Err(format!(
+        "{culprit} accepts paths containing itself; poison cannot stick"
+    ))
+}
+
+/// Search for a selective poisoning that steers `a` off the link `a`-`b`
+/// without cutting `a` (or the target) off: poison `a` on announcements via
+/// some providers, announce clean via the rest, and accept the first
+/// configuration whose predicted fixed point has `a` routed around `b`.
+fn try_selective(
+    net: &Network,
+    cfg: &LifeguardConfig,
+    providers: &[AsId],
+    a: AsId,
+    b: AsId,
+    target: AsId,
+) -> Option<RepairPlan> {
+    // Candidate poison_via sets: each single provider, then each
+    // complement-of-one (poison everywhere except one provider).
+    let mut candidates: Vec<Vec<AsId>> = providers.iter().map(|p| vec![*p]).collect();
+    if providers.len() > 2 {
+        for keep_clean in providers {
+            candidates.push(
+                providers
+                    .iter()
+                    .copied()
+                    .filter(|p| p != keep_clean)
+                    .collect(),
+            );
+        }
+    }
+    for poison_via in candidates {
+        let spec =
+            AnnouncementSpec::selective_poison(net, cfg.production, cfg.origin, &[a], &poison_via);
+        let table = compute_routes(net, &spec);
+        let Some(a_path) = table.as_path(a) else {
+            continue; // a lost its route entirely: not selective enough
+        };
+        // a must now route around the failing link: its path no longer
+        // crosses b.
+        if a_path.contains(&b) {
+            continue;
+        }
+        if !table.has_route(target) {
+            continue;
+        }
+        return Some(RepairPlan {
+            spec,
+            poisoned: a,
+            poison_copies: 1,
+            selective: true,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SentinelStrategy;
+    use lg_asmap::GraphBuilder;
+    use lg_bgp::{ImportPolicy, LoopDetection, Prefix};
+
+    fn pfx() -> Prefix {
+        Prefix::from_octets(184, 164, 224, 0, 20)
+    }
+
+    fn cfg(origin: AsId, providers: Vec<AsId>) -> LifeguardConfig {
+        let mut c = LifeguardConfig::paper_defaults(
+            origin,
+            pfx(),
+            Prefix::from_octets(184, 164, 224, 0, 19),
+        );
+        c.providers = providers;
+        c
+    }
+
+    /// Fig 2-like: O(0) under B(2); B under C(3) and A(1); C under D(4); A
+    /// and D under E(5); F(6) under A.
+    fn fig2() -> Network {
+        let mut g = GraphBuilder::with_ases(7);
+        g.provider_customer(AsId(2), AsId(0));
+        g.provider_customer(AsId(3), AsId(2));
+        g.provider_customer(AsId(1), AsId(2));
+        g.provider_customer(AsId(4), AsId(3));
+        g.provider_customer(AsId(5), AsId(1));
+        g.provider_customer(AsId(5), AsId(4));
+        g.provider_customer(AsId(6), AsId(1));
+        Network::new(g.build())
+    }
+
+    #[test]
+    fn global_poison_with_alternate_path() {
+        let net = fig2();
+        let c = cfg(AsId(0), vec![]);
+        let plan = plan_repair(&net, &c, Blame::As(AsId(1)), AsId(5)).unwrap();
+        assert_eq!(plan.poisoned, AsId(1));
+        assert_eq!(plan.poison_copies, 1);
+        assert!(!plan.selective);
+        let table = compute_routes(&net, &plan.spec);
+        assert!(!table.has_route(AsId(1)));
+        assert!(table.has_route(AsId(5)), "E rerouted via D");
+    }
+
+    #[test]
+    fn refuses_when_target_captive() {
+        // F(6) is captive behind A(1): no poison can restore it.
+        let net = fig2();
+        let c = cfg(AsId(0), vec![]);
+        let err = plan_repair(&net, &c, Blame::As(AsId(1)), AsId(6)).unwrap_err();
+        assert!(err.contains("no alternate"), "{err}");
+    }
+
+    #[test]
+    fn refuses_culprit_in_destination() {
+        let net = fig2();
+        let c = cfg(AsId(0), vec![]);
+        assert!(plan_repair(&net, &c, Blame::As(AsId(5)), AsId(5)).is_err());
+    }
+
+    #[test]
+    fn refuses_sole_provider() {
+        let net = fig2();
+        let c = cfg(AsId(0), vec![AsId(2)]);
+        let err = plan_repair(&net, &c, Blame::As(AsId(2)), AsId(5)).unwrap_err();
+        assert!(err.contains("only provider"), "{err}");
+    }
+
+    #[test]
+    fn doubles_poison_for_lenient_loop_detection() {
+        let mut net = fig2();
+        net.set_policy(
+            AsId(1),
+            ImportPolicy {
+                loop_detection: LoopDetection::max_occurrences(1),
+                ..ImportPolicy::standard()
+            },
+        );
+        let c = cfg(AsId(0), vec![]);
+        let plan = plan_repair(&net, &c, Blame::As(AsId(1)), AsId(5)).unwrap();
+        assert_eq!(plan.poison_copies, 2);
+        let table = compute_routes(&net, &plan.spec);
+        assert!(!table.has_route(AsId(1)));
+    }
+
+    #[test]
+    fn gives_up_when_loop_detection_disabled() {
+        let mut net = fig2();
+        net.set_policy(
+            AsId(1),
+            ImportPolicy {
+                loop_detection: LoopDetection::disabled(),
+                ..ImportPolicy::standard()
+            },
+        );
+        let c = cfg(AsId(0), vec![]);
+        let err = plan_repair(&net, &c, Blame::As(AsId(1)), AsId(5)).unwrap_err();
+        assert!(err.contains("cannot stick"), "{err}");
+    }
+
+    /// Fig 3 world: O(0) with providers D1(1), D2(2); B1(3) over D1, B2(4)
+    /// over D2; A(5) over both B1 and B2; C3(6) behind A.
+    fn fig3() -> Network {
+        let mut g = GraphBuilder::with_ases(7);
+        g.provider_customer(AsId(1), AsId(0));
+        g.provider_customer(AsId(2), AsId(0));
+        g.provider_customer(AsId(3), AsId(1));
+        g.provider_customer(AsId(4), AsId(2));
+        g.provider_customer(AsId(5), AsId(3));
+        g.provider_customer(AsId(5), AsId(4));
+        g.provider_customer(AsId(6), AsId(5));
+        Network::new(g.build())
+    }
+
+    #[test]
+    fn selective_poison_avoids_link_keeping_a_routed() {
+        let net = fig3();
+        let c = cfg(AsId(0), vec![AsId(1), AsId(2)]);
+        // Blame the link A(5)-B2(4).
+        let plan = plan_repair(&net, &c, Blame::Link(AsId(5), AsId(4)), AsId(6)).unwrap();
+        assert!(plan.selective);
+        let table = compute_routes(&net, &plan.spec);
+        // A keeps a route, now via B1, and so does its captive C3.
+        let a_path = table.as_path(AsId(5)).unwrap();
+        assert!(!a_path.contains(&AsId(4)), "A must avoid B2: {a_path:?}");
+        assert!(a_path.contains(&AsId(3)), "A now routes via B1: {a_path:?}");
+        assert!(table.has_route(AsId(6)));
+        // B2 itself keeps its (clean) route via D2.
+        assert_eq!(table.next_hop(AsId(4)), Some(AsId(2)));
+    }
+
+    #[test]
+    fn selective_falls_back_to_global_without_disjoint_paths() {
+        // Single-provider topology: selective impossible; link blame should
+        // fall back to a global poison of A if alternates exist, or error.
+        let net = fig2();
+        let c = cfg(AsId(0), vec![AsId(2)]);
+        // Culprit A(1)-E(5) link; only provider is B(2): global poison of A.
+        let plan = plan_repair(&net, &c, Blame::Link(AsId(1), AsId(5)), AsId(5));
+        // Global poison of A restores E via D.
+        let plan = plan.unwrap();
+        assert!(!plan.selective);
+        assert_eq!(plan.poisoned, AsId(1));
+    }
+
+    #[test]
+    fn sentinel_strategy_is_not_part_of_repair_spec() {
+        // The production spec must target only the production prefix.
+        let net = fig2();
+        let c = cfg(AsId(0), vec![]);
+        let plan = plan_repair(&net, &c, Blame::As(AsId(1)), AsId(5)).unwrap();
+        assert_eq!(plan.spec.prefix, c.production);
+        assert!(matches!(c.sentinel, SentinelStrategy::LessSpecific { .. }));
+    }
+}

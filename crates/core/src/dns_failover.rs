@@ -1,0 +1,175 @@
+//! DNS-redirection repair detection (§7.2 alternative to sentinel address
+//! space).
+//!
+//! A provider serving the same content from multiple prefixes can detect
+//! repair without spending any extra addresses: when a routing problem
+//! affects a set of clients, it poisons only the prefix `P1` serving them
+//! and keeps `P2` clean. Its DNS resolvers then occasionally hand an
+//! affected client an address from the *unpoisoned* `P2` (with `P1` as
+//! failover); when server logs show the client reaching `P2` — whose route
+//! still crosses the faulty AS — the underlying failure has healed and `P1`
+//! can be unpoisoned.
+//!
+//! The paper validates the prerequisite on Google: clients use a consistent
+//! route to reach all of a provider's prefixes in the absence of poisoning.
+//! [`routes_consistent`] checks that property in-simulation; [`DnsFailover`]
+//! implements the detection loop.
+
+use crate::world::World;
+use lg_asmap::AsId;
+use lg_bgp::Prefix;
+use lg_sim::dataplane::infra_addr;
+use lg_sim::{AnnouncementSpec, Time};
+
+/// Did `client`'s probes to both prefixes of `origin` take the same
+/// AS-level path (the property that makes DNS-based detection sound)?
+pub fn routes_consistent(
+    world: &World<'_>,
+    now: Time,
+    client: AsId,
+    p1: Prefix,
+    p2: Prefix,
+) -> bool {
+    let w1 = world.dp.walk(now, client, p1.nth_addr(1));
+    let w2 = world.dp.walk(now, client, p2.nth_addr(1));
+    w1.outcome.delivered() == w2.outcome.delivered() && w1.as_hops() == w2.as_hops()
+}
+
+/// The two-prefix detection mechanism.
+#[derive(Clone, Debug)]
+pub struct DnsFailover {
+    /// The origin AS operating both prefixes.
+    pub origin: AsId,
+    /// The prefix serving the affected clients (poisoned during repair).
+    pub p1: Prefix,
+    /// The clean prefix used as the probe path.
+    pub p2: Prefix,
+}
+
+impl DnsFailover {
+    /// Announce both prefixes with the prepended baseline.
+    pub fn install(&self, world: &mut World<'_>) {
+        for p in [self.p1, self.p2] {
+            let spec = AnnouncementSpec::prepended(world.dp.network(), p, self.origin, 3);
+            world.dp.announce(&spec);
+        }
+    }
+
+    /// Poison `culprit` on `p1` only; `p2` stays clean.
+    pub fn poison_p1(&self, world: &mut World<'_>, culprit: AsId) {
+        let spec = AnnouncementSpec::poisoned(world.dp.network(), self.p1, self.origin, &[culprit]);
+        world.dp.announce(&spec);
+    }
+
+    /// Restore the baseline on `p1`.
+    pub fn unpoison_p1(&self, world: &mut World<'_>) {
+        let spec = AnnouncementSpec::prepended(world.dp.network(), self.p1, self.origin, 3);
+        world.dp.announce(&spec);
+    }
+
+    /// One detection round: the resolver hands `client` a `P2` address
+    /// (with `P1` as failover) and the provider inspects its server logs —
+    /// i.e. did the client's traffic *arrive over `P2`*? The round trip
+    /// must work in both directions, and the reply to the client travels
+    /// `P2`'s (unpoisoned) route through the possibly-faulty AS.
+    pub fn client_reaches_p2(&self, world: &mut World<'_>, now: Time, client: AsId) -> bool {
+        world
+            .prober
+            .ping_from_addr(
+                &world.dp,
+                now,
+                client,
+                infra_addr(client),
+                self.p2.nth_addr(2),
+            )
+            .responded
+    }
+
+    /// Detection predicate: unpoison `p1` once every affected client shows
+    /// up in `p2`'s server logs.
+    pub fn repair_detected(
+        &self,
+        world: &mut World<'_>,
+        now: Time,
+        affected_clients: &[AsId],
+    ) -> bool {
+        affected_clients
+            .iter()
+            .all(|c| self.client_reaches_p2(world, now, *c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lg_asmap::GraphBuilder;
+    use lg_sim::failures::Failure;
+    use lg_sim::Network;
+
+    fn world_net() -> Network {
+        // E(3) is a stub with providers C(4) and D(5); C over A(1), D over
+        // B(2); both A and B provide O(0).
+        let mut g = GraphBuilder::with_ases(6);
+        g.provider_customer(AsId(1), AsId(0));
+        g.provider_customer(AsId(2), AsId(0));
+        g.provider_customer(AsId(4), AsId(3));
+        g.provider_customer(AsId(5), AsId(3));
+        g.provider_customer(AsId(1), AsId(4));
+        g.provider_customer(AsId(2), AsId(5));
+        Network::new(g.build())
+    }
+
+    fn fixture() -> (Network, DnsFailover, AsId) {
+        let net = world_net();
+        let fo = DnsFailover {
+            origin: AsId(0),
+            p1: Prefix::from_octets(184, 164, 224, 0, 20),
+            p2: Prefix::from_octets(184, 164, 240, 0, 20),
+        };
+        (net, fo, AsId(3))
+    }
+
+    #[test]
+    fn consistent_routing_prerequisite_holds() {
+        let (net, fo, client) = fixture();
+        let mut world = World::new(&net);
+        fo.install(&mut world);
+        assert!(routes_consistent(&world, Time::ZERO, client, fo.p1, fo.p2));
+    }
+
+    #[test]
+    fn detection_cycle() {
+        let (net, fo, client) = fixture();
+        let mut world = World::new(&net);
+        fo.install(&mut world);
+
+        // Failure in A (AS1), forward direction: traffic toward the
+        // origin's prefixes dies inside A (replies to the client are
+        // unaffected, so detection pings fail only because the request
+        // through A dies).
+        let heal = Time::from_mins(60);
+        for p in [fo.p1, fo.p2] {
+            world
+                .dp
+                .failures_mut()
+                .add(Failure::silent_as_toward(AsId(1), p).window(Time::ZERO, Some(heal)));
+        }
+
+        // Poison A on P1: affected clients route to P1 via B now.
+        fo.poison_p1(&mut world, AsId(1));
+        let w = world.dp.walk(Time::from_mins(1), client, fo.p1.nth_addr(1));
+        assert!(w.outcome.delivered(), "poisoned P1 flows around A");
+        assert!(!w.as_hops().contains(&AsId(1)));
+
+        // During the failure the client cannot reach P2 (its P2 route may
+        // cross A; with tiebreaks E->C->A preferred for both prefixes).
+        assert!(!fo.client_reaches_p2(&mut world, Time::from_mins(2), client));
+        assert!(!fo.repair_detected(&mut world, Time::from_mins(3), &[client]));
+
+        // After the heal, P2 logs show the client again.
+        assert!(fo.repair_detected(&mut world, heal + 60_000, &[client]));
+        fo.unpoison_p1(&mut world);
+        let w = world.dp.walk(heal + 120_000, client, fo.p1.nth_addr(1));
+        assert!(w.outcome.delivered());
+    }
+}

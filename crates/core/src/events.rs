@@ -1,0 +1,135 @@
+//! The system's event log.
+
+use lg_asmap::AsId;
+use lg_locate::{Blame, FailureDirection};
+use lg_sim::Time;
+use std::fmt;
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Monitoring declared an outage to a target.
+    OutageDetected {
+        /// The unreachable destination.
+        target: AsId,
+    },
+    /// Isolation finished.
+    IsolationCompleted {
+        /// The affected destination.
+        target: AsId,
+        /// Failing direction.
+        direction: FailureDirection,
+        /// Culprit, if found.
+        blame: Option<Blame>,
+        /// Modeled isolation latency (ms).
+        elapsed_ms: u64,
+    },
+    /// A poisoned announcement went out.
+    Poisoned {
+        /// The destination being repaired.
+        target: AsId,
+        /// The AS inserted into the path.
+        poisoned: AsId,
+        /// Whether the poison was selective (per-provider).
+        selective: bool,
+    },
+    /// The system decided not to poison.
+    PoisonSkipped {
+        /// The affected destination.
+        target: AsId,
+        /// Why.
+        reason: String,
+    },
+    /// Connectivity to the target was restored by the repair.
+    Repaired {
+        /// The destination.
+        target: AsId,
+        /// Failure-to-repair latency (ms), detection included.
+        downtime_ms: u64,
+    },
+    /// The sentinel detected that the underlying failure healed.
+    FailureHealed {
+        /// The destination.
+        target: AsId,
+    },
+    /// The baseline announcement was restored.
+    Unpoisoned {
+        /// The destination whose repair ended.
+        target: AsId,
+    },
+}
+
+/// A timestamped event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// When it happened.
+    pub at: Time,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.at)?;
+        match &self.kind {
+            EventKind::OutageDetected { target } => write!(f, "outage detected to {target}"),
+            EventKind::IsolationCompleted {
+                target,
+                direction,
+                blame,
+                elapsed_ms,
+            } => write!(
+                f,
+                "isolation for {target}: {direction:?} failure, blame {blame:?} ({}s)",
+                elapsed_ms / 1000
+            ),
+            EventKind::Poisoned {
+                target,
+                poisoned,
+                selective,
+            } => write!(
+                f,
+                "poisoned {poisoned} to repair {target}{}",
+                if *selective { " (selective)" } else { "" }
+            ),
+            EventKind::PoisonSkipped { target, reason } => {
+                write!(f, "did not poison for {target}: {reason}")
+            }
+            EventKind::Repaired {
+                target,
+                downtime_ms,
+            } => write!(
+                f,
+                "traffic to {target} restored after {}s",
+                downtime_ms / 1000
+            ),
+            EventKind::FailureHealed { target } => {
+                write!(f, "sentinel: failure toward {target} healed")
+            }
+            EventKind::Unpoisoned { target } => {
+                write!(f, "baseline announcement restored ({target})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Event {
+            at: Time::from_secs(75),
+            kind: EventKind::Poisoned {
+                target: AsId(9),
+                poisoned: AsId(4),
+                selective: true,
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("00:01:15"));
+        assert!(s.contains("AS4"));
+        assert!(s.contains("selective"));
+    }
+}

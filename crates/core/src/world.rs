@@ -1,0 +1,52 @@
+//! The scenario world: everything LIFEGUARD interacts with, bundled.
+
+use lg_atlas::{Atlas, RefreshScheduler, ResponsivenessDb};
+use lg_probe::Prober;
+use lg_sim::dataplane::DataPlane;
+use lg_sim::{Network, Time};
+
+/// A simulated deployment environment: the data plane (control +
+/// forwarding), the prober, and the measurement state LIFEGUARD maintains.
+pub struct World<'n> {
+    /// Control and data plane.
+    pub dp: DataPlane<'n>,
+    /// Measurement issuer.
+    pub prober: Prober,
+    /// Background path atlas.
+    pub atlas: Atlas,
+    /// Learned responsiveness.
+    pub resp: ResponsivenessDb,
+}
+
+impl<'n> World<'n> {
+    /// Fresh world over `net` with infra prefixes announced for every AS.
+    pub fn new(net: &'n Network) -> Self {
+        let mut dp = DataPlane::new(net);
+        dp.ensure_infra_all();
+        World {
+            dp,
+            prober: Prober::with_defaults(),
+            atlas: Atlas::default(),
+            resp: ResponsivenessDb::new(),
+        }
+    }
+
+    /// Warm the atlas for vantage `src` against `dsts` (plus responsiveness
+    /// history for every AS), as a healthy monitoring period would.
+    pub fn warm_atlas(&mut self, src: lg_asmap::AsId, dsts: &[lg_asmap::AsId], now: Time) {
+        let mut pairs: Vec<_> = dsts.iter().map(|d| (src, *d)).collect();
+        for a in self.dp.network().graph().ases() {
+            if a != src && !dsts.contains(&a) {
+                pairs.push((src, a));
+            }
+        }
+        let mut sched = RefreshScheduler::new(pairs, 60_000);
+        sched.refresh_due(
+            &self.dp,
+            &mut self.prober,
+            &mut self.atlas,
+            &mut self.resp,
+            now,
+        );
+    }
+}

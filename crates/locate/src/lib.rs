@@ -1,0 +1,30 @@
+//! Failure isolation (§4.1): locate the AS (or AS link) responsible for a
+//! persistent partial outage, using only measurements available from the
+//! vantage-point side.
+//!
+//! The pipeline follows the paper's four steps:
+//!
+//! 1. **Maintain background atlas** — done continuously by `lg-atlas`; the
+//!    isolator consumes its historical forward/reverse paths and learned
+//!    responsiveness.
+//! 2. **Isolate direction, measure the working direction** — spoofed pings
+//!    determine whether the forward, reverse, or both directions fail; a
+//!    spoofed traceroute (or vantage-assisted reverse measurement) captures
+//!    the path in the direction that works.
+//! 3. **Test atlas paths in the failing direction** — ping every candidate
+//!    hop from the source and from other vantage points.
+//! 4. **Prune candidates** — reachable hops are exonerated; the blame falls
+//!    on the first hop past the *reachability horizon* on the most recent
+//!    (then progressively older) historical path in the failing direction.
+//!
+//! A traceroute-only baseline localizer is included for the §5.3 comparison
+//! (the paper finds it wrong in 40% of cases, always under reverse-path
+//! failures).
+
+pub mod baseline;
+pub mod isolator;
+pub mod report;
+
+pub use baseline::traceroute_only_blame;
+pub use isolator::{Isolator, IsolatorConfig};
+pub use report::{Blame, FailureDirection, IsolationReport};

@@ -1,0 +1,115 @@
+//! Isolation result types.
+
+use lg_asmap::{AsId, RouterId};
+use lg_probe::ProbeCounters;
+
+/// The failing direction of an outage between a source and a destination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureDirection {
+    /// Packets from source to destination are lost.
+    Forward,
+    /// Packets from destination back to the source are lost.
+    Reverse,
+    /// Both directions fail.
+    Bidirectional,
+    /// Connectivity works (transient problem resolved before isolation).
+    NoFailure,
+}
+
+/// The isolated culprit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Blame {
+    /// A single AS is not forwarding traffic.
+    As(AsId),
+    /// The failure sits on the boundary between two ASes (ordered: the AS on
+    /// the far, broken side first).
+    Link(AsId, AsId),
+}
+
+impl Blame {
+    /// The AS to poison to route around this blame.
+    pub fn poison_target(self) -> AsId {
+        match self {
+            Blame::As(a) => a,
+            Blame::Link(a, _) => a,
+        }
+    }
+}
+
+/// Everything the isolation pipeline concluded about one outage.
+#[derive(Clone, Debug)]
+pub struct IsolationReport {
+    /// Direction of the failure.
+    pub direction: FailureDirection,
+    /// Isolated culprit, when one was found.
+    pub blame: Option<Blame>,
+    /// Where the reachability horizon fell: `(first unreachable, last
+    /// reachable)` along the most recent failing-direction path, when
+    /// established. A link-level hint for selective poisoning even when the
+    /// blame is AS-level.
+    pub horizon: Option<(AsId, AsId)>,
+    /// Candidate ASes that could not be exonerated.
+    pub suspects: Vec<AsId>,
+    /// The measured path in the *working* direction, if one was obtained
+    /// (often a viable policy-compliant alternate).
+    pub working_path: Option<Vec<RouterId>>,
+    /// What a traceroute-only diagnosis would have blamed (§5.3 baseline).
+    pub traceroute_blame: Option<AsId>,
+    /// Probe budget consumed by this isolation.
+    pub probes_used: ProbeCounters,
+    /// Modeled wall-clock time the isolation took (ms).
+    pub elapsed_ms: u64,
+}
+
+impl IsolationReport {
+    /// Convenience: the blamed AS, whatever the blame granularity.
+    pub fn blamed_as(&self) -> Option<AsId> {
+        self.blame.map(|b| b.poison_target())
+    }
+
+    /// Does the isolation disagree with the traceroute-only baseline?
+    pub fn differs_from_traceroute(&self) -> bool {
+        match (self.blamed_as(), self.traceroute_blame) {
+            (Some(a), Some(t)) => a != t,
+            (Some(_), None) | (None, Some(_)) => true,
+            (None, None) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poison_target_for_link_is_far_side() {
+        assert_eq!(Blame::As(AsId(5)).poison_target(), AsId(5));
+        assert_eq!(Blame::Link(AsId(5), AsId(6)).poison_target(), AsId(5));
+    }
+
+    #[test]
+    fn traceroute_disagreement() {
+        let base = IsolationReport {
+            direction: FailureDirection::Reverse,
+            blame: Some(Blame::As(AsId(5))),
+            horizon: None,
+            suspects: vec![AsId(5)],
+            working_path: None,
+            traceroute_blame: Some(AsId(2)),
+            probes_used: ProbeCounters::default(),
+            elapsed_ms: 0,
+        };
+        assert!(base.differs_from_traceroute());
+        let agree = IsolationReport {
+            traceroute_blame: Some(AsId(5)),
+            ..base.clone()
+        };
+        assert!(!agree.differs_from_traceroute());
+        let neither = IsolationReport {
+            blame: None,
+            traceroute_blame: None,
+            ..base
+        };
+        assert!(!neither.differs_from_traceroute());
+    }
+}

@@ -1,0 +1,64 @@
+//! Probe accounting (§5.4 scalability numbers are probe budgets).
+
+/// Running counts of probe packets sent, by kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeCounters {
+    /// Plain echo requests.
+    pub pings: u64,
+    /// Spoofed echo requests.
+    pub spoofed_pings: u64,
+    /// Traceroute probe packets (one per hop per attempt).
+    pub traceroute_probes: u64,
+    /// IP-option (record-route / timestamp) probes used by reverse
+    /// traceroute.
+    pub option_probes: u64,
+}
+
+impl ProbeCounters {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total probe packets of all kinds.
+    pub fn total(&self) -> u64 {
+        self.pings + self.spoofed_pings + self.traceroute_probes + self.option_probes
+    }
+
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &ProbeCounters) -> ProbeCounters {
+        ProbeCounters {
+            pings: self.pings - earlier.pings,
+            spoofed_pings: self.spoofed_pings - earlier.spoofed_pings,
+            traceroute_probes: self.traceroute_probes - earlier.traceroute_probes,
+            option_probes: self.option_probes - earlier.option_probes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_deltas() {
+        let a = ProbeCounters {
+            pings: 10,
+            spoofed_pings: 2,
+            traceroute_probes: 30,
+            option_probes: 5,
+        };
+        assert_eq!(a.total(), 47);
+        let b = ProbeCounters {
+            pings: 15,
+            spoofed_pings: 2,
+            traceroute_probes: 40,
+            option_probes: 15,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.pings, 5);
+        assert_eq!(d.traceroute_probes, 10);
+        assert_eq!(d.option_probes, 10);
+        assert_eq!(d.total(), 25);
+    }
+}

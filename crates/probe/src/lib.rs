@@ -1,0 +1,31 @@
+//! Measurement primitives over the simulated data plane.
+//!
+//! LIFEGUARD's isolation subsystem consumes exactly the measurements the
+//! deployed system used on PlanetLab: pings, traceroutes, *spoofed* pings and
+//! traceroutes (source-spoofing lets a vantage point with a working path
+//! send or receive on behalf of one with a failing path, isolating failure
+//! direction), and reverse traceroute (vantage-point-assisted measurement of
+//! the path *back* from a remote host, priced in IP-option probes).
+//!
+//! Measurement semantics are modeled faithfully, because they are what make
+//! localization hard in the first place:
+//!
+//! * a traceroute hop responds only if the probe reaches it **and** the
+//!   hop's reverse path back to the receiver works — this is why plain
+//!   traceroute misleads under reverse-path failures (Fig 4);
+//! * routers may be configured to ignore ICMP, and rate-limit responses;
+//! * reverse traceroute requires bidirectional connectivity to its target.
+//!
+//! Results expose an *observable* part (did a response arrive, from where)
+//! and a `diagnosis` ground-truth part used only by tests and accuracy
+//! studies (§5.3) — the isolation logic in `lg-locate` never reads it.
+
+pub mod counters;
+pub mod ping;
+pub mod prober;
+pub mod traceroute;
+
+pub use counters::ProbeCounters;
+pub use ping::{PingDiagnosis, PingResult};
+pub use prober::{Prober, ProberConfig};
+pub use traceroute::{Traceroute, TrbHop};

@@ -1,0 +1,66 @@
+//! Ping results: the observable outcome plus ground-truth diagnosis.
+
+use lg_asmap::AsId;
+
+/// Ground truth about what happened to a ping. **Not observable** by the
+/// prober in the real world; used only by tests and the §5.3 accuracy study
+/// to score isolation results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PingDiagnosis {
+    /// Echo reply came back.
+    Reply,
+    /// The request died on the forward path, in or entering this AS.
+    ForwardLoss(AsId),
+    /// The reply died on the reverse path, in or entering this AS.
+    ReverseLoss(AsId),
+    /// The destination's routers are configured to ignore ICMP.
+    DestIgnoresPings,
+    /// The destination rate-limited the probe.
+    RateLimited,
+}
+
+/// Outcome of one ping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PingResult {
+    /// Observable: did a reply arrive at the receiver?
+    pub responded: bool,
+    /// Observable: round-trip time when a reply arrived.
+    pub rtt_ms: Option<u64>,
+    /// Ground truth (see [`PingDiagnosis`]); isolation logic must not read
+    /// this.
+    pub diagnosis: PingDiagnosis,
+}
+
+impl PingResult {
+    pub(crate) fn reply(rtt_ms: u64) -> Self {
+        PingResult {
+            responded: true,
+            rtt_ms: Some(rtt_ms),
+            diagnosis: PingDiagnosis::Reply,
+        }
+    }
+
+    pub(crate) fn lost(diagnosis: PingDiagnosis) -> Self {
+        PingResult {
+            responded: false,
+            rtt_ms: None,
+            diagnosis,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let ok = PingResult::reply(42);
+        assert!(ok.responded);
+        assert_eq!(ok.rtt_ms, Some(42));
+        assert_eq!(ok.diagnosis, PingDiagnosis::Reply);
+        let bad = PingResult::lost(PingDiagnosis::ForwardLoss(AsId(3)));
+        assert!(!bad.responded);
+        assert_eq!(bad.rtt_ms, None);
+    }
+}

@@ -1,0 +1,96 @@
+//! Traceroute results.
+
+use lg_asmap::{AsId, RouterId};
+
+/// One traceroute hop: the probed TTL either yielded a responding router or
+/// a timeout (`responded = false`, router unknown to the observer — the
+/// `router` field is ground truth kept for scoring).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrbHop {
+    /// The router at this TTL (ground truth; observable only when
+    /// `responded`).
+    pub router: RouterId,
+    /// Did a TTL-exceeded response arrive at the receiver?
+    pub responded: bool,
+}
+
+/// A traceroute measurement.
+#[derive(Clone, Debug)]
+pub struct Traceroute {
+    /// Hops in probe order. The walk's failure point truncates the list: a
+    /// hop the packet never reached is simply absent.
+    pub hops: Vec<TrbHop>,
+    /// Whether the destination itself answered (the traceroute "completed").
+    pub reached_destination: bool,
+}
+
+impl Traceroute {
+    /// Routers that actually responded, in order — the operator-visible
+    /// path.
+    pub fn responsive_routers(&self) -> Vec<RouterId> {
+        self.hops
+            .iter()
+            .filter(|h| h.responded)
+            .map(|h| h.router)
+            .collect()
+    }
+
+    /// AS of the last responsive hop — what a traceroute-only diagnosis
+    /// would blame (§5.3's 40%-wrong baseline).
+    pub fn last_responsive_as(&self) -> Option<AsId> {
+        self.hops
+            .iter()
+            .rev()
+            .find(|h| h.responded)
+            .map(|h| h.router.owner)
+    }
+
+    /// Distinct ASes among responsive hops, in order.
+    pub fn responsive_as_path(&self) -> Vec<AsId> {
+        let mut out: Vec<AsId> = Vec::new();
+        for h in &self.hops {
+            if h.responded && out.last() != Some(&h.router.owner) {
+                out.push(h.router.owner);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(owner: u32, from: u32, responded: bool) -> TrbHop {
+        TrbHop {
+            router: RouterId::border(AsId(owner), AsId(from)),
+            responded,
+        }
+    }
+
+    #[test]
+    fn responsive_views() {
+        let tr = Traceroute {
+            hops: vec![
+                hop(1, 1, true),
+                hop(2, 1, true),
+                hop(3, 2, false),
+                hop(4, 3, true),
+            ],
+            reached_destination: false,
+        };
+        assert_eq!(tr.responsive_routers().len(), 3);
+        assert_eq!(tr.last_responsive_as(), Some(AsId(4)));
+        assert_eq!(tr.responsive_as_path(), vec![AsId(1), AsId(2), AsId(4)]);
+    }
+
+    #[test]
+    fn empty_traceroute() {
+        let tr = Traceroute {
+            hops: vec![],
+            reached_destination: false,
+        };
+        assert!(tr.last_responsive_as().is_none());
+        assert!(tr.responsive_routers().is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! Origin announcement specifications.
+//!
+//! LIFEGUARD's lever is the content of the origin's announcement: the
+//! prepended baseline `O-O-O`, the poisoned `O-A-O`, selective advertising
+//! (announce via only some providers), and selective poisoning (different
+//! path content per provider, §3.1.2). An [`AnnouncementSpec`] captures
+//! exactly what each neighbor of the origin receives.
+
+use crate::network::Network;
+use lg_asmap::AsId;
+use lg_bgp::{AsPath, Prefix};
+
+/// What an origin AS announces for one prefix: per-neighbor AS paths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnnouncementSpec {
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// The originating AS.
+    pub origin: AsId,
+    /// `(neighbor, path-as-received-by-neighbor)` — neighbors absent from the
+    /// list receive nothing (selective advertising). Paths must start and end
+    /// with `origin`.
+    pub seeds: Vec<(AsId, AsPath)>,
+    /// BGP community values attached to the announcement (§2.3). They ride
+    /// along until some AS on the path strips them.
+    pub communities: Vec<u32>,
+}
+
+impl AnnouncementSpec {
+    /// Announce `path` uniformly to every neighbor of `origin`.
+    pub fn uniform(net: &Network, prefix: Prefix, origin: AsId, path: AsPath) -> Self {
+        let seeds = net
+            .graph()
+            .neighbors(origin)
+            .iter()
+            .map(|(n, _)| (*n, path.clone()))
+            .collect();
+        AnnouncementSpec {
+            prefix,
+            origin,
+            seeds,
+            communities: Vec::new(),
+        }
+    }
+
+    /// The plain announcement `O` to all neighbors.
+    pub fn plain(net: &Network, prefix: Prefix, origin: AsId) -> Self {
+        Self::uniform(net, prefix, origin, AsPath::origin_only(origin))
+    }
+
+    /// The paper's steady-state baseline `O-O-O` to all neighbors.
+    pub fn prepended(net: &Network, prefix: Prefix, origin: AsId, copies: usize) -> Self {
+        Self::uniform(
+            net,
+            prefix,
+            origin,
+            AsPath::prepended_baseline(origin, copies),
+        )
+    }
+
+    /// A global poison `O-A1..Ak-O` to all neighbors.
+    pub fn poisoned(net: &Network, prefix: Prefix, origin: AsId, poisons: &[AsId]) -> Self {
+        Self::uniform(net, prefix, origin, AsPath::poisoned(origin, poisons))
+    }
+
+    /// Selective poisoning (§3.1.2): neighbors in `poison_via` receive the
+    /// poisoned path; everyone else receives the unpoisoned baseline of equal
+    /// length (poison count + 2 copies of the origin).
+    pub fn selective_poison(
+        net: &Network,
+        prefix: Prefix,
+        origin: AsId,
+        poisons: &[AsId],
+        poison_via: &[AsId],
+    ) -> Self {
+        let poisoned = AsPath::poisoned(origin, poisons);
+        let clean = AsPath::prepended_baseline(origin, poisons.len() + 2);
+        let seeds = net
+            .graph()
+            .neighbors(origin)
+            .iter()
+            .map(|(n, _)| {
+                let path = if poison_via.contains(n) {
+                    poisoned.clone()
+                } else {
+                    clean.clone()
+                };
+                (*n, path)
+            })
+            .collect();
+        AnnouncementSpec {
+            prefix,
+            origin,
+            seeds,
+            communities: Vec::new(),
+        }
+    }
+
+    /// Selective advertising: announce `path` only via the listed neighbors.
+    pub fn via(prefix: Prefix, origin: AsId, path: AsPath, neighbors: &[AsId]) -> Self {
+        AnnouncementSpec {
+            prefix,
+            origin,
+            seeds: neighbors.iter().map(|n| (*n, path.clone())).collect(),
+            communities: Vec::new(),
+        }
+    }
+
+    /// Attach community values to the announcement.
+    pub fn with_communities(mut self, communities: Vec<u32>) -> Self {
+        self.communities = communities;
+        self
+    }
+
+    /// The path announced to `neighbor`, if any.
+    pub fn path_for(&self, neighbor: AsId) -> Option<&AsPath> {
+        self.seeds
+            .iter()
+            .find(|(n, _)| *n == neighbor)
+            .map(|(_, p)| p)
+    }
+
+    /// Sanity-check the spec: every seed adjacent to the origin, every path
+    /// starting and ending with the origin.
+    pub fn validate(&self, net: &Network) -> Result<(), String> {
+        for (n, p) in &self.seeds {
+            if !net.graph().are_adjacent(self.origin, *n) {
+                return Err(format!(
+                    "seed {n} is not adjacent to origin {}",
+                    self.origin
+                ));
+            }
+            if p.first() != Some(self.origin) || p.origin() != Some(self.origin) {
+                return Err(format!(
+                    "path {p} announced to {n} must start and end with {}",
+                    self.origin
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lg_asmap::GraphBuilder;
+
+    fn net() -> Network {
+        // Origin 3 has providers 1 and 2; 0 is above both.
+        let mut b = GraphBuilder::with_ases(4);
+        b.provider_customer(AsId(0), AsId(1));
+        b.provider_customer(AsId(0), AsId(2));
+        b.provider_customer(AsId(1), AsId(3));
+        b.provider_customer(AsId(2), AsId(3));
+        Network::new(b.build())
+    }
+
+    fn pfx() -> Prefix {
+        Prefix::from_octets(10, 0, 0, 0, 16)
+    }
+
+    #[test]
+    fn uniform_covers_all_neighbors() {
+        let n = net();
+        let spec = AnnouncementSpec::prepended(&n, pfx(), AsId(3), 3);
+        assert_eq!(spec.seeds.len(), 2);
+        assert_eq!(spec.path_for(AsId(1)).unwrap().to_string(), "3-3-3");
+        assert_eq!(spec.path_for(AsId(2)).unwrap().to_string(), "3-3-3");
+        assert!(spec.validate(&n).is_ok());
+    }
+
+    #[test]
+    fn selective_poison_differs_per_neighbor() {
+        let n = net();
+        let spec = AnnouncementSpec::selective_poison(&n, pfx(), AsId(3), &[AsId(0)], &[AsId(2)]);
+        assert_eq!(spec.path_for(AsId(2)).unwrap().to_string(), "3-0-3");
+        assert_eq!(spec.path_for(AsId(1)).unwrap().to_string(), "3-3-3");
+        // Both arms the same length — the §3.1.1 convergence trick.
+        assert_eq!(
+            spec.path_for(AsId(1)).unwrap().len(),
+            spec.path_for(AsId(2)).unwrap().len()
+        );
+        assert!(spec.validate(&n).is_ok());
+    }
+
+    #[test]
+    fn selective_advertising_omits_neighbors() {
+        let n = net();
+        let spec = AnnouncementSpec::via(pfx(), AsId(3), AsPath::origin_only(AsId(3)), &[AsId(1)]);
+        assert!(spec.path_for(AsId(1)).is_some());
+        assert!(spec.path_for(AsId(2)).is_none());
+        assert!(spec.validate(&n).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_non_adjacent_seed() {
+        let n = net();
+        let spec = AnnouncementSpec::via(pfx(), AsId(3), AsPath::origin_only(AsId(3)), &[AsId(0)]);
+        assert!(spec.validate(&n).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_path_shape() {
+        let n = net();
+        // Path not ending with the origin looks like origin forgery.
+        let spec = AnnouncementSpec::via(
+            pfx(),
+            AsId(3),
+            AsPath::from_hops(vec![AsId(3), AsId(7)]),
+            &[AsId(1)],
+        );
+        assert!(spec.validate(&n).is_err());
+    }
+}

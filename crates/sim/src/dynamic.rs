@@ -1,0 +1,950 @@
+//! Event-driven message-level BGP engine.
+//!
+//! The static engine answers "where does routing converge"; this engine
+//! answers "what happens on the way there": per-AS update counts, per-AS and
+//! global convergence times, and transient data-plane behavior (loops, loss)
+//! while announcements propagate. It implements per-neighbor Adj-RIB-In
+//! maintenance, best-path selection, Gao-Rexford export filtering,
+//! per-(peer, prefix) MRAI timers with deterministic jitter, immediate
+//! withdrawals (MRAI applies to announcements only, matching common router
+//! behavior), and duplicate suppression (a router only sends when the
+//! advertised content actually changes).
+//!
+//! Everything is deterministic: events are ordered by `(time, sequence)` and
+//! all "randomness" (MRAI jitter, link delays) is hashed from stable ids.
+
+use crate::announce::AnnouncementSpec;
+use crate::dataplane::{walk_fib, Fib, FibEntry, Walk};
+use crate::failures::FailureSet;
+use crate::network::Network;
+use crate::time::Time;
+use lg_asmap::{AsId, Relationship};
+use lg_bgp::{AsPath, Prefix, Route};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct DynamicSimConfig {
+    /// Base MRAI interval in ms (RFC 4271 suggests 30 s for eBGP).
+    pub mrai_ms: u64,
+    /// Apply deterministic per-(node, peer) jitter of 75-100% of the base
+    /// interval, as routers do to avoid synchronization.
+    pub mrai_jitter: bool,
+    /// Per-message processing delay in ms, added to link propagation.
+    pub proc_delay_ms: u64,
+}
+
+impl Default for DynamicSimConfig {
+    fn default() -> Self {
+        DynamicSimConfig {
+            mrai_ms: 30_000,
+            mrai_jitter: true,
+            proc_delay_ms: 1,
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Event {
+    /// A BGP UPDATE arriving at `to` from `from`; `path = None` withdraws.
+    Recv {
+        from: AsId,
+        to: AsId,
+        prefix: Prefix,
+        path: Option<AsPath>,
+    },
+    /// The MRAI timer for (node, peer, prefix) fired.
+    MraiFire {
+        node: AsId,
+        peer: AsId,
+        prefix: Prefix,
+    },
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Queued {
+    at: Time,
+    seq: u64,
+    ev: Event,
+}
+
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at
+            .cmp(&other.at)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Default)]
+struct PeerPrefixState {
+    /// Earliest time the next *announcement* may be sent.
+    mrai_ready_at: Time,
+    /// An MraiFire event is already queued.
+    fire_pending: bool,
+    /// Content of the last update actually sent (None = withdrawn / nothing
+    /// ever sent). Outer Option: have we ever sent anything?
+    last_sent: Option<Option<AsPath>>,
+}
+
+#[derive(Default)]
+struct Node {
+    /// Routes accepted from each neighbor, per prefix.
+    adj_in: lg_bgp::AdjRibIn,
+    /// Selected route per prefix.
+    loc: HashMap<Prefix, Route>,
+    /// Per-(peer, prefix) sending state.
+    out: HashMap<(AsId, Prefix), PeerPrefixState>,
+}
+
+/// Per-prefix measurement of one convergence epoch.
+#[derive(Clone, Debug, Default)]
+pub struct PrefixMetrics {
+    /// Epoch start (set by [`DynamicSim::begin_epoch`]).
+    pub epoch_start: Time,
+    /// Updates sent per AS since the epoch started.
+    pub updates_sent: HashMap<AsId, u32>,
+    /// First and last send time per AS.
+    pub first_sent: HashMap<AsId, Time>,
+    /// Last send time per AS.
+    pub last_sent: HashMap<AsId, Time>,
+    /// Loc-RIB changes per AS.
+    pub loc_changes: HashMap<AsId, u32>,
+    /// Time of the first Loc-RIB change per AS.
+    pub first_loc_change: HashMap<AsId, Time>,
+    /// Time of the last Loc-RIB change per AS.
+    pub last_loc_change: HashMap<AsId, Time>,
+}
+
+impl PrefixMetrics {
+    /// The paper's Fig 6 per-peer metric: a route collector measures, per
+    /// peer AS, the time from the AS's first update to its stable
+    /// post-poisoning route. On a single collector session, updates are the
+    /// AS's best-route changes, so we measure first-to-last Loc-RIB change.
+    /// `Some(0)` means a single route change — "instant" convergence.
+    /// `None` means the AS's selection never changed this epoch.
+    pub fn convergence_ms(&self, a: AsId) -> Option<u64> {
+        let first = self.first_loc_change.get(&a)?;
+        let last = self.last_loc_change.get(&a)?;
+        Some(*last - *first)
+    }
+
+    /// Number of updates `a` sent this epoch.
+    pub fn updates_of(&self, a: AsId) -> u32 {
+        self.updates_sent.get(&a).copied().unwrap_or(0)
+    }
+
+    /// Global convergence time: from epoch start to the last Loc-RIB change
+    /// anywhere. `None` when nothing changed.
+    pub fn global_convergence_ms(&self) -> Option<u64> {
+        self.last_loc_change
+            .values()
+            .max()
+            .map(|t| *t - self.epoch_start)
+    }
+
+    /// Mean updates per AS over `population` ASes (for Table 2's U).
+    pub fn mean_updates(&self, population: &[AsId]) -> f64 {
+        if population.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = population.iter().map(|a| self.updates_of(*a) as u64).sum();
+        total as f64 / population.len() as f64
+    }
+}
+
+/// The event-driven simulator.
+pub struct DynamicSim<'n> {
+    net: &'n Network,
+    cfg: DynamicSimConfig,
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Queued>>,
+    nodes: Vec<Node>,
+    /// Current announcement per prefix (origin + seeds), to diff on change.
+    specs: HashMap<Prefix, AnnouncementSpec>,
+    metrics: HashMap<Prefix, PrefixMetrics>,
+    /// BGP sessions currently torn down (control-plane-visible link
+    /// failures), as unordered pairs.
+    down_links: Vec<(AsId, AsId)>,
+    /// Failures consulted by [`DynamicSim::walk`].
+    pub failures: FailureSet,
+}
+
+impl<'n> DynamicSim<'n> {
+    /// Fresh simulator over `net`.
+    pub fn new(net: &'n Network, cfg: DynamicSimConfig) -> Self {
+        DynamicSim {
+            net,
+            cfg,
+            now: Time::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: (0..net.len()).map(|_| Node::default()).collect(),
+            specs: HashMap::new(),
+            metrics: HashMap::new(),
+            down_links: Vec::new(),
+            failures: FailureSet::none(),
+        }
+    }
+
+    fn link_up(&self, a: AsId, b: AsId) -> bool {
+        !self
+            .down_links
+            .iter()
+            .any(|(x, y)| (*x == a && *y == b) || (*x == b && *y == a))
+    }
+
+    /// Tear down the BGP session over link `a`-`b` (a *control-plane
+    /// visible* failure, unlike the silent ones in [`Self::failures`]):
+    /// both ends drop everything learned from the other and propagate
+    /// withdrawals/alternatives.
+    pub fn fail_link(&mut self, a: AsId, b: AsId) {
+        if !self.link_up(a, b) {
+            return;
+        }
+        self.down_links.push((a, b));
+        for (node, peer) in [(a, b), (b, a)] {
+            let affected = self.nodes[node.index()].adj_in.withdraw_neighbor(peer);
+            for prefix in affected {
+                self.reselect(node, prefix);
+            }
+        }
+    }
+
+    /// Restore the session over link `a`-`b`; both ends re-advertise their
+    /// current best routes (and the origin re-seeds if it sits on the
+    /// link).
+    pub fn restore_link(&mut self, a: AsId, b: AsId) {
+        self.down_links
+            .retain(|(x, y)| !((*x == a && *y == b) || (*x == b && *y == a)));
+        // Clear duplicate-suppression state for the revived sessions so the
+        // current routes get re-sent, then push them out.
+        let prefixes: Vec<Prefix> = self.specs.keys().copied().collect();
+        for (node, peer) in [(a, b), (b, a)] {
+            for prefix in &prefixes {
+                if let Some(st) = self.nodes[node.index()].out.get_mut(&(peer, *prefix)) {
+                    st.last_sent = None;
+                }
+                self.schedule_update(node, peer, *prefix);
+            }
+        }
+        // Re-seed origin announcements that ride this link.
+        for spec in self.specs.clone().values() {
+            for (nbr, path) in &spec.seeds {
+                if (spec.origin == a && *nbr == b) || (spec.origin == b && *nbr == a) {
+                    let at = self.now + self.link_latency(spec.origin, *nbr);
+                    self.push(
+                        at,
+                        Event::Recv {
+                            from: spec.origin,
+                            to: *nbr,
+                            prefix: spec.prefix,
+                            path: Some(path.clone()),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Metrics for `prefix` (empty if never announced).
+    pub fn metrics(&self, prefix: Prefix) -> PrefixMetrics {
+        self.metrics.get(&prefix).cloned().unwrap_or_default()
+    }
+
+    /// Start a fresh measurement epoch for `prefix` at the current time.
+    pub fn begin_epoch(&mut self, prefix: Prefix) {
+        self.metrics.insert(
+            prefix,
+            PrefixMetrics {
+                epoch_start: self.now,
+                ..PrefixMetrics::default()
+            },
+        );
+    }
+
+    /// The route `a` currently selects for `prefix`.
+    pub fn loc_route(&self, a: AsId, prefix: Prefix) -> Option<&Route> {
+        self.nodes[a.index()].loc.get(&prefix)
+    }
+
+    fn push(&mut self, at: Time, ev: Event) {
+        self.seq += 1;
+        self.queue.push(Reverse(Queued {
+            at,
+            seq: self.seq,
+            ev,
+        }));
+    }
+
+    fn mrai_interval(&self, node: AsId, peer: AsId) -> u64 {
+        if !self.cfg.mrai_jitter {
+            return self.cfg.mrai_ms;
+        }
+        let mut x = ((node.0 as u64) << 32 | peer.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 29;
+        // 75%..100% of the base interval.
+        self.cfg.mrai_ms * (75 + x % 26) / 100
+    }
+
+    fn link_latency(&self, a: AsId, b: AsId) -> u64 {
+        self.net.link_delay_ms(a, b) + self.cfg.proc_delay_ms
+    }
+
+    /// Announce (or change) the origin's advertisement for a prefix. Seeds
+    /// receive the new paths; neighbors dropped from the seed list receive
+    /// withdrawals. The origin installs a local self-route.
+    pub fn announce(&mut self, spec: &AnnouncementSpec) {
+        spec.validate(self.net).expect("invalid announcement spec");
+        let old = self.specs.insert(spec.prefix, spec.clone());
+        self.metrics.entry(spec.prefix).or_default();
+
+        // Origin's own loc entry so the data plane delivers at the origin.
+        self.nodes[spec.origin.index()].loc.insert(
+            spec.prefix,
+            Route {
+                prefix: spec.prefix,
+                path: AsPath::empty(),
+                learned_from: spec.origin,
+                rel: Relationship::Customer,
+                communities: Vec::new(),
+            },
+        );
+
+        let mut sent_to: Vec<AsId> = Vec::new();
+        for (nbr, path) in &spec.seeds {
+            let at = self.now + self.link_latency(spec.origin, *nbr);
+            self.push(
+                at,
+                Event::Recv {
+                    from: spec.origin,
+                    to: *nbr,
+                    prefix: spec.prefix,
+                    path: Some(path.clone()),
+                },
+            );
+            sent_to.push(*nbr);
+        }
+        // Withdraw from neighbors no longer seeded.
+        if let Some(old_spec) = old {
+            for (nbr, _) in &old_spec.seeds {
+                if !sent_to.contains(nbr) {
+                    let at = self.now + self.link_latency(spec.origin, *nbr);
+                    self.push(
+                        at,
+                        Event::Recv {
+                            from: spec.origin,
+                            to: *nbr,
+                            prefix: spec.prefix,
+                            path: None,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Withdraw the prefix from all seeded neighbors.
+    pub fn withdraw(&mut self, prefix: Prefix) {
+        let Some(spec) = self.specs.remove(&prefix) else {
+            return;
+        };
+        self.nodes[spec.origin.index()].loc.remove(&prefix);
+        for (nbr, _) in &spec.seeds {
+            let at = self.now + self.link_latency(spec.origin, *nbr);
+            self.push(
+                at,
+                Event::Recv {
+                    from: spec.origin,
+                    to: *nbr,
+                    prefix,
+                    path: None,
+                },
+            );
+        }
+    }
+
+    /// Process events until the queue drains or `deadline` passes. Returns
+    /// the time of the last processed event.
+    pub fn run_until_quiescent(&mut self, deadline: Time) -> Time {
+        let mut last = self.now;
+        while let Some(Reverse(q)) = self.queue.peek().cloned() {
+            if q.at > deadline {
+                break;
+            }
+            self.queue.pop();
+            self.now = q.at;
+            last = q.at;
+            self.handle(q.ev);
+        }
+        last
+    }
+
+    /// Advance the clock to `t`, processing due events (later events stay
+    /// queued). Useful for interleaving data-plane probes with convergence.
+    pub fn run_until(&mut self, t: Time) {
+        while let Some(Reverse(q)) = self.queue.peek().cloned() {
+            if q.at > t {
+                break;
+            }
+            self.queue.pop();
+            self.now = q.at;
+            self.handle(q.ev);
+        }
+        self.now = t;
+    }
+
+    /// True when no events are pending.
+    pub fn quiescent(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Recv {
+                from,
+                to,
+                prefix,
+                path,
+            } => self.handle_recv(from, to, prefix, path),
+            Event::MraiFire { node, peer, prefix } => {
+                let st = self.nodes[node.index()]
+                    .out
+                    .entry((peer, prefix))
+                    .or_default();
+                st.fire_pending = false;
+                self.flush_to_peer(node, peer, prefix);
+            }
+        }
+    }
+
+    fn handle_recv(&mut self, from: AsId, to: AsId, prefix: Prefix, path: Option<AsPath>) {
+        let Some(rel) = self.net.graph().relationship(to, from) else {
+            return; // stale event across a removed adjacency
+        };
+        if !self.link_up(from, to) {
+            return; // message in flight when the session died
+        }
+        {
+            let node = &mut self.nodes[to.index()];
+            match path {
+                Some(p) => {
+                    let accepted = self
+                        .net
+                        .policy(to)
+                        .accepts(to, self.net.peers_of(to), rel, &p);
+                    if accepted {
+                        node.adj_in.insert(Route {
+                            prefix,
+                            path: p,
+                            learned_from: from,
+                            rel,
+                            // The dynamic engine is used for convergence
+                            // studies; community propagation is modeled in
+                            // the static engine only.
+                            communities: Vec::new(),
+                        });
+                    } else {
+                        // Implicit withdrawal: the rejected update replaced
+                        // whatever the neighbor previously advertised.
+                        node.adj_in.withdraw(from, prefix);
+                    }
+                }
+                None => {
+                    node.adj_in.withdraw(from, prefix);
+                }
+            }
+        }
+        self.reselect(to, prefix);
+    }
+
+    fn reselect(&mut self, at: AsId, prefix: Prefix) {
+        let best = self.nodes[at.index()].adj_in.best(prefix).cloned();
+        let cur = self.nodes[at.index()].loc.get(&prefix).cloned();
+        if best == cur {
+            return;
+        }
+        match &best {
+            Some(r) => {
+                self.nodes[at.index()].loc.insert(prefix, r.clone());
+            }
+            None => {
+                self.nodes[at.index()].loc.remove(&prefix);
+            }
+        }
+        if let Some(m) = self.metrics.get_mut(&prefix) {
+            *m.loc_changes.entry(at).or_insert(0) += 1;
+            m.first_loc_change.entry(at).or_insert(self.now);
+            m.last_loc_change.insert(at, self.now);
+        }
+        // Propagate to every neighbor.
+        let neighbors: Vec<AsId> = self
+            .net
+            .graph()
+            .neighbors(at)
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        for m in neighbors {
+            self.schedule_update(at, m, prefix);
+        }
+    }
+
+    /// What `node` would advertise to `peer` for `prefix` right now.
+    fn desired_content(&self, node: AsId, peer: AsId, prefix: Prefix) -> Option<AsPath> {
+        let best = self.nodes[node.index()].loc.get(&prefix)?;
+        if best.learned_from == peer {
+            return None; // split horizon: don't echo back
+        }
+        let rel_to_peer = self.net.graph().relationship(node, peer)?;
+        if !best.rel.exportable_to(rel_to_peer) {
+            return None;
+        }
+        Some(best.path.announced_by(node))
+    }
+
+    fn schedule_update(&mut self, node: AsId, peer: AsId, prefix: Prefix) {
+        if !self.link_up(node, peer) {
+            return;
+        }
+        let desired = self.desired_content(node, peer, prefix);
+        let st = self.nodes[node.index()]
+            .out
+            .entry((peer, prefix))
+            .or_default();
+        let already = st.last_sent.as_ref();
+        if already == Some(&desired) || (already.is_none() && desired.is_none()) {
+            return; // no change to advertise
+        }
+        if desired.is_none() {
+            // Withdrawal: bypass MRAI.
+            self.send_now(node, peer, prefix, None);
+            return;
+        }
+        let ready = st.mrai_ready_at;
+        if self.now >= ready {
+            self.send_now(node, peer, prefix, desired);
+        } else if !st.fire_pending {
+            st.fire_pending = true;
+            self.push(ready, Event::MraiFire { node, peer, prefix });
+        }
+        // If a fire is already pending it will pick up the latest content.
+    }
+
+    fn flush_to_peer(&mut self, node: AsId, peer: AsId, prefix: Prefix) {
+        let desired = self.desired_content(node, peer, prefix);
+        let st = self.nodes[node.index()]
+            .out
+            .entry((peer, prefix))
+            .or_default();
+        let already = st.last_sent.as_ref();
+        if already == Some(&desired) || (already.is_none() && desired.is_none()) {
+            return;
+        }
+        self.send_now(node, peer, prefix, desired);
+    }
+
+    fn send_now(&mut self, node: AsId, peer: AsId, prefix: Prefix, content: Option<AsPath>) {
+        let interval = self.mrai_interval(node, peer);
+        let st = self.nodes[node.index()]
+            .out
+            .entry((peer, prefix))
+            .or_default();
+        st.last_sent = Some(content.clone());
+        if content.is_some() {
+            st.mrai_ready_at = self.now + interval;
+        }
+        if let Some(m) = self.metrics.get_mut(&prefix) {
+            *m.updates_sent.entry(node).or_insert(0) += 1;
+            m.first_sent.entry(node).or_insert(self.now);
+            m.last_sent.insert(node, self.now);
+        }
+        let at = self.now + self.link_latency(node, peer);
+        self.push(
+            at,
+            Event::Recv {
+                from: node,
+                to: peer,
+                prefix,
+                path: content,
+            },
+        );
+    }
+
+    /// Data-plane walk over the *current* (possibly mid-convergence) tables.
+    pub fn walk(&self, src: AsId, dst_addr: u32) -> Walk {
+        walk_fib(self.net, self, &self.failures, self.now, src, dst_addr)
+    }
+}
+
+impl Fib for DynamicSim<'_> {
+    fn lookup(&self, at: AsId, dst_addr: u32) -> Option<FibEntry> {
+        let node = &self.nodes[at.index()];
+        let mut best: Option<(&Route, u8)> = None;
+        for (p, r) in &node.loc {
+            if p.contains(dst_addr) {
+                let len = p.len();
+                if best.is_none_or(|(_, l)| len > l) {
+                    best = Some((r, len));
+                }
+            }
+        }
+        let (r, _) = best?;
+        // The origin's self-route has an empty path.
+        if r.path.is_empty() {
+            Some(FibEntry::Deliver)
+        } else {
+            Some(FibEntry::Forward(r.learned_from))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::static_routes::compute_routes;
+    use lg_asmap::GraphBuilder;
+
+    fn pfx() -> Prefix {
+        Prefix::from_octets(10, 0, 0, 0, 16)
+    }
+
+    /// Fig 2 shape (same as the static tests).
+    fn fig2() -> Network {
+        let mut g = GraphBuilder::with_ases(7);
+        let (o, a, b, c, d, e, f) = (
+            AsId(0),
+            AsId(1),
+            AsId(2),
+            AsId(3),
+            AsId(4),
+            AsId(5),
+            AsId(6),
+        );
+        g.provider_customer(b, o);
+        g.provider_customer(c, b);
+        g.provider_customer(a, b);
+        g.provider_customer(d, c);
+        g.provider_customer(e, a);
+        g.provider_customer(e, d);
+        g.provider_customer(f, a);
+        Network::new(g.build())
+    }
+
+    fn cfg() -> DynamicSimConfig {
+        DynamicSimConfig::default()
+    }
+
+    #[test]
+    fn dynamic_converges_to_static_fixed_point() {
+        let net = fig2();
+        let spec = AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3);
+        let mut sim = DynamicSim::new(&net, cfg());
+        sim.announce(&spec);
+        sim.run_until_quiescent(Time::from_mins(30));
+        assert!(sim.quiescent());
+        let static_table = compute_routes(&net, &spec);
+        for a in net.graph().ases() {
+            if a == AsId(0) {
+                continue;
+            }
+            let dynamic_nh = sim.loc_route(a, pfx()).map(|r| r.learned_from);
+            assert_eq!(
+                dynamic_nh,
+                static_table.next_hop(a),
+                "next-hop mismatch at {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_poisoning_converges_to_static_fixed_point() {
+        let net = fig2();
+        let mut sim = DynamicSim::new(&net, cfg());
+        sim.announce(&AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3));
+        sim.run_until_quiescent(Time::from_mins(30));
+        // Poison A (=AsId(1)).
+        let poisoned = AnnouncementSpec::poisoned(&net, pfx(), AsId(0), &[AsId(1)]);
+        sim.announce(&poisoned);
+        sim.run_until_quiescent(Time::from_mins(60));
+        assert!(sim.quiescent());
+        let static_table = compute_routes(&net, &poisoned);
+        for a in net.graph().ases() {
+            if a == AsId(0) {
+                continue;
+            }
+            assert_eq!(
+                sim.loc_route(a, pfx()).map(|r| r.learned_from),
+                static_table.next_hop(a),
+                "next-hop mismatch at {a}"
+            );
+        }
+        // A itself and captive F lost the route.
+        assert!(sim.loc_route(AsId(1), pfx()).is_none());
+        assert!(sim.loc_route(AsId(6), pfx()).is_none());
+    }
+
+    #[test]
+    fn prepended_baseline_gives_instant_reconvergence_for_unaffected() {
+        let net = fig2();
+        let mut sim = DynamicSim::new(&net, cfg());
+        sim.announce(&AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3));
+        sim.run_until_quiescent(Time::from_mins(30));
+        sim.begin_epoch(pfx());
+        sim.announce(&AnnouncementSpec::poisoned(
+            &net,
+            pfx(),
+            AsId(0),
+            &[AsId(1)],
+        ));
+        sim.run_until_quiescent(Time::from_mins(60));
+        let m = sim.metrics(pfx());
+        // B, C, D were not routing via A: each should pass on exactly one
+        // update per neighbor relationship and converge instantly.
+        for unaffected in [AsId(2), AsId(3), AsId(4)] {
+            assert_eq!(
+                m.convergence_ms(unaffected),
+                Some(0),
+                "{unaffected} should converge instantly"
+            );
+        }
+        // E had to move to its D route; F ends with nothing.
+        assert!(m.loc_changes.get(&AsId(5)).copied().unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn plain_baseline_causes_more_churn_than_prepended() {
+        // Compare total updates for the poison transition under the two
+        // baselines; the prepended baseline must not be worse.
+        let net = fig2();
+        let mut total = HashMap::new();
+        for (label, baseline) in [
+            ("plain", AnnouncementSpec::plain(&net, pfx(), AsId(0))),
+            (
+                "prepended",
+                AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3),
+            ),
+        ] {
+            let mut sim = DynamicSim::new(&net, cfg());
+            sim.announce(&baseline);
+            sim.run_until_quiescent(Time::from_mins(30));
+            sim.begin_epoch(pfx());
+            sim.announce(&AnnouncementSpec::poisoned(
+                &net,
+                pfx(),
+                AsId(0),
+                &[AsId(1)],
+            ));
+            sim.run_until_quiescent(Time::from_mins(60));
+            let m = sim.metrics(pfx());
+            let sum: u32 = m.updates_sent.values().sum();
+            total.insert(label, sum);
+        }
+        assert!(
+            total["prepended"] <= total["plain"],
+            "prepending should not increase churn: {total:?}"
+        );
+    }
+
+    #[test]
+    fn withdrawal_propagates_and_clears_routes() {
+        let net = fig2();
+        let mut sim = DynamicSim::new(&net, cfg());
+        sim.announce(&AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3));
+        sim.run_until_quiescent(Time::from_mins(30));
+        assert!(sim.loc_route(AsId(4), pfx()).is_some());
+        sim.withdraw(pfx());
+        sim.run_until_quiescent(Time::from_mins(60));
+        for a in net.graph().ases() {
+            assert!(sim.loc_route(a, pfx()).is_none(), "{a} kept a route");
+        }
+    }
+
+    #[test]
+    fn selective_advertising_change_sends_withdrawal_to_dropped_seed() {
+        // Origin 3 multihomed to 1 and 2 (like the announce tests).
+        let mut g = GraphBuilder::with_ases(4);
+        g.provider_customer(AsId(0), AsId(1));
+        g.provider_customer(AsId(0), AsId(2));
+        g.provider_customer(AsId(1), AsId(3));
+        g.provider_customer(AsId(2), AsId(3));
+        let net = Network::new(g.build());
+        let mut sim = DynamicSim::new(&net, cfg());
+        sim.announce(&AnnouncementSpec::plain(&net, pfx(), AsId(3)));
+        sim.run_until_quiescent(Time::from_mins(30));
+        assert!(sim.loc_route(AsId(2), pfx()).is_some());
+        // Now advertise only via AS1: AS2 must lose its direct route and
+        // fall back via AS0.
+        sim.announce(&AnnouncementSpec::via(
+            pfx(),
+            AsId(3),
+            AsPath::origin_only(AsId(3)),
+            &[AsId(1)],
+        ));
+        sim.run_until_quiescent(Time::from_mins(60));
+        let r = sim.loc_route(AsId(2), pfx()).expect("fallback route");
+        assert_eq!(r.learned_from, AsId(0));
+    }
+
+    #[test]
+    fn data_plane_walk_over_dynamic_tables() {
+        let net = fig2();
+        let mut sim = DynamicSim::new(&net, cfg());
+        sim.announce(&AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3));
+        sim.run_until_quiescent(Time::from_mins(30));
+        let w = sim.walk(AsId(4), pfx().an_addr());
+        assert!(w.outcome.delivered());
+        assert_eq!(w.as_hops(), vec![AsId(4), AsId(3), AsId(2), AsId(0)]);
+    }
+
+    #[test]
+    fn mid_convergence_probing_is_possible() {
+        let net = fig2();
+        let mut sim = DynamicSim::new(&net, cfg());
+        sim.announce(&AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3));
+        // Step in small increments and probe; packets may be lost before
+        // routes settle — that is the measured phenomenon, not an error.
+        let mut delivered_at_some_point = false;
+        for step in 1..200u64 {
+            sim.run_until(Time(step * 100));
+            let w = sim.walk(AsId(5), pfx().an_addr());
+            if w.outcome.delivered() {
+                delivered_at_some_point = true;
+                break;
+            }
+        }
+        assert!(delivered_at_some_point);
+    }
+
+    #[test]
+    fn update_counts_are_modest_for_single_poison() {
+        // Table 2 anchors U near 1-2 updates per router per poison.
+        let net = fig2();
+        let mut sim = DynamicSim::new(&net, cfg());
+        sim.announce(&AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3));
+        sim.run_until_quiescent(Time::from_mins(30));
+        sim.begin_epoch(pfx());
+        sim.announce(&AnnouncementSpec::poisoned(
+            &net,
+            pfx(),
+            AsId(0),
+            &[AsId(1)],
+        ));
+        sim.run_until_quiescent(Time::from_mins(60));
+        let m = sim.metrics(pfx());
+        let all: Vec<AsId> = net.graph().ases().filter(|a| *a != AsId(0)).collect();
+        let mean = m.mean_updates(&all);
+        assert!(mean > 0.0 && mean < 6.0, "mean updates per AS = {mean}");
+    }
+
+    #[test]
+    fn control_plane_link_failure_reroutes_and_restores() {
+        // Fig 2 world: E (AS5) reaches the prefix via A (AS1); failing the
+        // E-A session makes E fall back to D (AS4); restoring brings it
+        // back. This is the *visible* failure BGP handles on its own —
+        // unlike the silent failures LIFEGUARD exists for.
+        let net = fig2();
+        let mut sim = DynamicSim::new(&net, cfg());
+        sim.announce(&AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3));
+        sim.run_until_quiescent(Time::from_mins(30));
+        assert_eq!(sim.loc_route(AsId(5), pfx()).unwrap().learned_from, AsId(1));
+
+        sim.fail_link(AsId(5), AsId(1));
+        sim.run_until_quiescent(Time::from_mins(90));
+        assert!(sim.quiescent());
+        assert_eq!(
+            sim.loc_route(AsId(5), pfx()).unwrap().learned_from,
+            AsId(4),
+            "E must fail over to its D route"
+        );
+        // F (captive of A) is unaffected by the E-A session loss.
+        assert_eq!(sim.loc_route(AsId(6), pfx()).unwrap().learned_from, AsId(1));
+
+        sim.restore_link(AsId(5), AsId(1));
+        sim.run_until_quiescent(Time::from_mins(180));
+        assert_eq!(
+            sim.loc_route(AsId(5), pfx()).unwrap().learned_from,
+            AsId(1),
+            "E returns to its preferred route after restore"
+        );
+    }
+
+    #[test]
+    fn origin_link_failure_withdraws_and_reseeds() {
+        // Failing the origin's only provider link withdraws the prefix
+        // everywhere; restoring re-seeds it.
+        let net = fig2();
+        let mut sim = DynamicSim::new(&net, cfg());
+        sim.announce(&AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3));
+        sim.run_until_quiescent(Time::from_mins(30));
+        sim.fail_link(AsId(0), AsId(2)); // O-B, the only egress
+        sim.run_until_quiescent(Time::from_mins(90));
+        for a in net.graph().ases() {
+            if a == AsId(0) {
+                continue;
+            }
+            assert!(sim.loc_route(a, pfx()).is_none(), "{a} kept a route");
+        }
+        sim.restore_link(AsId(0), AsId(2));
+        sim.run_until_quiescent(Time::from_mins(240));
+        for a in [AsId(2), AsId(3), AsId(5)] {
+            assert!(sim.loc_route(a, pfx()).is_some(), "{a} missing a route");
+        }
+    }
+
+    #[test]
+    fn failed_link_blocks_inflight_and_future_updates() {
+        let net = fig2();
+        let mut sim = DynamicSim::new(&net, cfg());
+        // Fail B-C before announcing: C cannot learn the route from B and
+        // instead picks the long way around through its provider D
+        // (D-E-A-B-O) — BGP routing around a *visible* failure on its own.
+        sim.fail_link(AsId(2), AsId(3));
+        sim.announce(&AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3));
+        sim.run_until_quiescent(Time::from_mins(60));
+        let c_route = sim.loc_route(AsId(3), pfx()).expect("C reroutes via D");
+        assert_eq!(c_route.learned_from, AsId(4));
+        assert_eq!(sim.loc_route(AsId(4), pfx()).unwrap().learned_from, AsId(5));
+        // And the dynamic outcome matches the static fixed point over the
+        // graph with that link removed.
+        let cut = net.graph().without_link(AsId(2), AsId(3));
+        let cut_net = Network::new(cut);
+        let static_table = compute_routes(
+            &cut_net,
+            &AnnouncementSpec::prepended(&cut_net, pfx(), AsId(0), 3),
+        );
+        for a in net.graph().ases() {
+            if a == AsId(0) {
+                continue;
+            }
+            assert_eq!(
+                sim.loc_route(a, pfx()).map(|r| r.learned_from),
+                static_table.next_hop(a),
+                "{a} disagrees with static post-cut table"
+            );
+        }
+    }
+
+    #[test]
+    fn mrai_jitter_is_deterministic() {
+        let net = fig2();
+        let sim = DynamicSim::new(&net, cfg());
+        let a = sim.mrai_interval(AsId(1), AsId(2));
+        let b = sim.mrai_interval(AsId(1), AsId(2));
+        assert_eq!(a, b);
+        assert!((22_500..=30_000).contains(&a));
+    }
+}

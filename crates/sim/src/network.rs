@@ -1,0 +1,168 @@
+//! The network model shared by both engines: topology plus per-AS
+//! configuration and link characteristics.
+
+use lg_asmap::{AsGraph, AsId};
+use lg_bgp::ImportPolicy;
+
+/// A configured network: the AS graph, each AS's import policy, and
+/// deterministic per-link propagation delays.
+#[derive(Clone, Debug)]
+pub struct Network {
+    graph: AsGraph,
+    policies: Vec<ImportPolicy>,
+    /// Cached peer lists (import filters need them on the hot path).
+    peer_lists: Vec<Vec<AsId>>,
+    /// ASes that strip community attributes on export (§2.3: "many ASes do
+    /// not propagate community values they receive" — notably Tier-1s).
+    strips_communities: Vec<bool>,
+}
+
+impl Network {
+    /// Wrap a graph with standard import policies everywhere.
+    pub fn new(graph: AsGraph) -> Self {
+        let n = graph.len();
+        let peer_lists = (0..n as u32).map(|a| graph.peers(AsId(a))).collect();
+        Network {
+            graph,
+            policies: vec![ImportPolicy::standard(); n],
+            peer_lists,
+            strips_communities: vec![false; n],
+        }
+    }
+
+    /// Mark `a` as stripping community attributes on export.
+    pub fn set_strips_communities(&mut self, a: AsId, strips: bool) {
+        self.strips_communities[a.index()] = strips;
+    }
+
+    /// Does `a` strip communities on export?
+    pub fn strips_communities(&self, a: AsId) -> bool {
+        self.strips_communities[a.index()]
+    }
+
+    /// The underlying AS graph.
+    pub fn graph(&self) -> &AsGraph {
+        &self.graph
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// True when the network has no ASes.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Import policy of `a`.
+    pub fn policy(&self, a: AsId) -> &ImportPolicy {
+        &self.policies[a.index()]
+    }
+
+    /// Replace the import policy of `a` (loop-detection quirks, Cogent-style
+    /// filters — §7.1).
+    pub fn set_policy(&mut self, a: AsId, policy: ImportPolicy) {
+        self.policies[a.index()] = policy;
+    }
+
+    /// Cached peer list of `a`.
+    pub fn peers_of(&self, a: AsId) -> &[AsId] {
+        &self.peer_lists[a.index()]
+    }
+
+    /// Deterministic one-way propagation delay for link `a`-`b`, in
+    /// milliseconds (symmetric; 10..=49 ms, keyed on the unordered pair).
+    pub fn link_delay_ms(&self, a: AsId, b: AsId) -> u64 {
+        let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        // SplitMix64-style scramble for a stable, well-spread value.
+        let mut x = ((lo as u64) << 32 | hi as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        10 + x % 40
+    }
+
+    /// Would `holder` export a route learned over `learned_rel` to `to`?
+    ///
+    /// Self-originated routes pass `None` as `learned_rel` and export
+    /// everywhere.
+    pub fn exports(
+        &self,
+        holder: AsId,
+        learned_rel: Option<lg_asmap::Relationship>,
+        to: AsId,
+    ) -> bool {
+        let Some(rel_to) = self.graph.relationship(holder, to) else {
+            return false;
+        };
+        match learned_rel {
+            None => true,
+            Some(r) => r.exportable_to(rel_to),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lg_asmap::{GraphBuilder, Relationship};
+    use lg_bgp::LoopDetection;
+
+    fn net() -> Network {
+        let mut b = GraphBuilder::with_ases(3);
+        b.provider_customer(AsId(0), AsId(1));
+        b.peer(AsId(1), AsId(2));
+        Network::new(b.build())
+    }
+
+    #[test]
+    fn default_policies_standard() {
+        let n = net();
+        assert_eq!(n.policy(AsId(0)).loop_detection, LoopDetection::standard());
+    }
+
+    #[test]
+    fn peer_lists_cached() {
+        let n = net();
+        assert_eq!(n.peers_of(AsId(1)), &[AsId(2)]);
+        assert!(n.peers_of(AsId(0)).is_empty());
+    }
+
+    #[test]
+    fn link_delay_symmetric_and_bounded() {
+        let n = net();
+        let d = n.link_delay_ms(AsId(0), AsId(1));
+        assert_eq!(d, n.link_delay_ms(AsId(1), AsId(0)));
+        assert!((10..50).contains(&d));
+        // Different links get (generally) different delays.
+        let d2 = n.link_delay_ms(AsId(1), AsId(2));
+        assert!((10..50).contains(&d2));
+    }
+
+    #[test]
+    fn export_rules() {
+        let n = net();
+        // AS1 with a route learned from provider AS0 exports to... nobody
+        // here (AS2 is a peer), unless self-originated.
+        assert!(!n.exports(AsId(1), Some(Relationship::Provider), AsId(2)));
+        assert!(n.exports(AsId(1), None, AsId(2)));
+        // Customer-learned exports everywhere.
+        assert!(n.exports(AsId(0), Some(Relationship::Customer), AsId(1)));
+        // No adjacency, no export.
+        assert!(!n.exports(AsId(0), None, AsId(2)));
+    }
+
+    #[test]
+    fn set_policy_takes_effect() {
+        let mut n = net();
+        n.set_policy(
+            AsId(2),
+            ImportPolicy {
+                loop_detection: LoopDetection::disabled(),
+                ..ImportPolicy::standard()
+            },
+        );
+        assert_eq!(n.policy(AsId(2)).loop_detection, LoopDetection::disabled());
+    }
+}

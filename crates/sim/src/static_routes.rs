@@ -1,0 +1,516 @@
+//! Static policy-routing fixed point.
+//!
+//! Computes, for one [`AnnouncementSpec`], the route every AS selects once
+//! BGP has converged: highest local preference (customer > peer > provider),
+//! then shortest AS path, then deterministic tiebreaks; Gao-Rexford export
+//! filtering; per-AS import policies including loop detection (which is what
+//! makes poisoning work).
+//!
+//! The algorithm is a policy-aware Dijkstra: candidates are popped in global
+//! preference order `(class, length, tiebreaks)`. Every export strictly
+//! worsens that key (customer-learned routes re-export at +1 length;
+//! peer/provider-learned routes only descend, arriving as provider routes),
+//! so the first candidate an AS *accepts* is its converged selection. An AS
+//! that rejects a candidate (loop detection saw the poison, a filter fired)
+//! simply waits for the next-best candidate, exactly like a router that
+//! never installed the rejected path.
+
+use crate::announce::AnnouncementSpec;
+use crate::network::Network;
+use lg_asmap::{AsId, Relationship};
+use lg_bgp::{AsPath, Prefix, Route};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The converged routing table for one prefix: each AS's selected route.
+#[derive(Clone, Debug)]
+pub struct RouteTable {
+    /// The prefix this table is for.
+    pub prefix: Prefix,
+    /// The originating AS.
+    pub origin: AsId,
+    routes: Vec<Option<Route>>,
+}
+
+impl RouteTable {
+    /// The route `a` selected, or `None` when `a` has no route (captive
+    /// behind a poisoned AS, disconnected, or filtered everywhere).
+    ///
+    /// The origin itself reports a self-route with an empty path.
+    pub fn route(&self, a: AsId) -> Option<&Route> {
+        self.routes[a.index()].as_ref()
+    }
+
+    /// Whether `a` has any route to the prefix.
+    pub fn has_route(&self, a: AsId) -> bool {
+        a == self.origin || self.routes[a.index()].is_some()
+    }
+
+    /// Next hop of `a` toward the origin, or `None` (origin or no route).
+    pub fn next_hop(&self, a: AsId) -> Option<AsId> {
+        if a == self.origin {
+            return None;
+        }
+        self.routes[a.index()].as_ref().map(|r| r.learned_from)
+    }
+
+    /// AS-level path `a` uses (selected AS path), prepends collapsed.
+    pub fn as_path(&self, a: AsId) -> Option<Vec<AsId>> {
+        self.routes[a.index()].as_ref().map(|r| r.path.distinct())
+    }
+
+    /// Number of ASes with a route (origin excluded).
+    pub fn routed_count(&self) -> usize {
+        self.routes
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| r.is_some() && AsId(*i as u32) != self.origin)
+            .count()
+    }
+
+    /// ASes whose selected path traverses `x` (origin excluded).
+    pub fn ases_via(&self, x: AsId) -> Vec<AsId> {
+        self.routes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| {
+                let a = AsId(i as u32);
+                match r {
+                    Some(route) if a != self.origin && route.traverses(x) && a != x => Some(a),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct Candidate {
+    class: u8,
+    len: usize,
+    to: AsId,
+    learned_from: AsId,
+    path: AsPath,
+    rel: Relationship,
+    communities: Vec<u32>,
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.class
+            .cmp(&other.class)
+            .then_with(|| self.len.cmp(&other.len))
+            .then_with(|| self.to.cmp(&other.to))
+            .then_with(|| self.learned_from.cmp(&other.learned_from))
+            .then_with(|| self.path.cmp(&other.path))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Compute the converged table for `spec` over `net`.
+///
+/// `spec` should pass [`AnnouncementSpec::validate`]; seeds pointing at
+/// non-neighbors are ignored defensively.
+pub fn compute_routes(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
+    let n = net.len();
+    let mut routes: Vec<Option<Route>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<Candidate>> = BinaryHeap::new();
+
+    // The origin's own entry: a self-route with an empty path so the data
+    // plane can recognize delivery.
+    routes[spec.origin.index()] = Some(Route {
+        prefix: spec.prefix,
+        path: AsPath::empty(),
+        learned_from: spec.origin,
+        rel: Relationship::Customer,
+        communities: spec.communities.clone(),
+    });
+
+    for (nbr, path) in &spec.seeds {
+        let Some(rel) = net.graph().relationship(*nbr, spec.origin) else {
+            continue;
+        };
+        heap.push(Reverse(Candidate {
+            class: rel.pref_class(),
+            len: path.len(),
+            to: *nbr,
+            learned_from: spec.origin,
+            path: path.clone(),
+            rel,
+            communities: spec.communities.clone(),
+        }));
+    }
+
+    while let Some(Reverse(cand)) = heap.pop() {
+        let to = cand.to;
+        if routes[to.index()].is_some() {
+            continue; // already selected a better (or equal-popped-first) route
+        }
+        // Import policy: loop detection and filters.
+        let accepted = net
+            .policy(to)
+            .accepts(to, net.peers_of(to), cand.rel, &cand.path);
+        if !accepted {
+            continue;
+        }
+        let route = Route {
+            prefix: spec.prefix,
+            path: cand.path,
+            learned_from: cand.learned_from,
+            rel: cand.rel,
+            communities: cand.communities,
+        };
+
+        // Export the newly selected route; communities survive unless this
+        // AS strips them.
+        let exported = route.path.announced_by(to);
+        let exported_communities = if net.strips_communities(to) {
+            Vec::new()
+        } else {
+            route.communities.clone()
+        };
+        for (m, rel_to_m) in net.graph().neighbors(to) {
+            if *m == route.learned_from {
+                continue;
+            }
+            if !route.rel.exportable_to(*rel_to_m) {
+                continue;
+            }
+            if routes[m.index()].is_some() {
+                continue; // m already finalized; candidate would lose anyway
+            }
+            let m_rel = rel_to_m.reverse(); // m's view of `to`
+            heap.push(Reverse(Candidate {
+                class: m_rel.pref_class(),
+                len: exported.len(),
+                to: *m,
+                learned_from: to,
+                path: exported.clone(),
+                rel: m_rel,
+                communities: exported_communities.clone(),
+            }));
+        }
+
+        routes[to.index()] = Some(route);
+    }
+
+    // The origin's self-route must not leak out as a normal route.
+    RouteTable {
+        prefix: spec.prefix,
+        origin: spec.origin,
+        routes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lg_asmap::GraphBuilder;
+    use lg_bgp::{ImportPolicy, LoopDetection};
+
+    fn pfx() -> Prefix {
+        Prefix::from_octets(10, 0, 0, 0, 16)
+    }
+
+    /// The paper's Fig 2 topology:
+    ///
+    /// ```text
+    ///   D --- C --- B --- O     (C,D reach O via B)
+    ///   E --- A ----/           (A is B's peer? no:)
+    /// ```
+    ///
+    /// Concretely: O's provider is B; B's providers are C and A... We build
+    /// the figure faithfully: O customer of B and A? In Fig 2, O announces to
+    /// B; B exports to C and A; C exports to D; A exports to E and F.
+    /// Relationships: B provider of O; C provider of B; A provider of B? The
+    /// figure shows E and F behind A. We use: O -> B (provider B), B -> C
+    /// (provider C), B -> A (provider A), C -> D (provider D), A -> E
+    /// (provider E), A -> F (provider F) — i.e. a pure provider chain
+    /// upward, so everything propagates.
+    fn fig2() -> (Network, AsId, Vec<AsId>) {
+        // ids: O=0, A=1, B=2, C=3, D=4, E=5, F=6
+        let mut g = GraphBuilder::with_ases(7);
+        let (o, a, b, c, d, e, f) = (
+            AsId(0),
+            AsId(1),
+            AsId(2),
+            AsId(3),
+            AsId(4),
+            AsId(5),
+            AsId(6),
+        );
+        g.provider_customer(b, o); // B provides O
+        g.provider_customer(c, b); // C provides B
+        g.provider_customer(a, b); // A provides B
+        g.provider_customer(d, c); // D provides C
+        g.provider_customer(e, a); // E provides A
+        g.provider_customer(e, d); // E also provides D (E's alternate)
+        g.provider_customer(f, a); // F provides A: F is captive behind A
+        let net = Network::new(g.build());
+        (net, o, vec![a, b, c, d, e, f])
+    }
+
+    #[test]
+    fn baseline_routes_match_fig2a() {
+        let (net, o, ids) = fig2();
+        let (a, b, c, d, e, f) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        let spec = AnnouncementSpec::prepended(&net, pfx(), o, 3);
+        let t = compute_routes(&net, &spec);
+        // Everyone has a route.
+        for x in [a, b, c, d, e, f] {
+            assert!(t.has_route(x), "{x} should have a route");
+        }
+        assert_eq!(t.next_hop(b), Some(o));
+        assert_eq!(t.next_hop(a), Some(b));
+        assert_eq!(t.next_hop(c), Some(b));
+        assert_eq!(t.next_hop(d), Some(c));
+        // E prefers A (shorter: E-A-B-O vs E-D-C-B-O).
+        assert_eq!(t.next_hop(e), Some(a));
+        assert_eq!(t.next_hop(f), Some(a));
+        // Paths carry the prepending.
+        assert_eq!(t.route(b).unwrap().path.to_string(), "0-0-0");
+        assert_eq!(t.route(a).unwrap().path.to_string(), "2-0-0-0");
+    }
+
+    #[test]
+    fn poisoning_a_matches_fig2b() {
+        let (net, o, ids) = fig2();
+        let (a, b, c, d, e, f) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        let spec = AnnouncementSpec::poisoned(&net, pfx(), o, &[a]);
+        let t = compute_routes(&net, &spec);
+        // A rejects the poisoned path: no route.
+        assert!(!t.has_route(a), "poisoned AS must drop the route");
+        // E falls back to its route via D.
+        assert_eq!(t.next_hop(e), Some(d));
+        // D-C-B-O-A-O collapsed: the poison is part of the path content.
+        assert_eq!(t.as_path(e).unwrap(), vec![d, c, b, o, a]);
+        // F is captive behind A: no route at all to the production prefix.
+        assert!(!t.has_route(f), "captive AS should lose the route");
+        // Working routes that avoided A keep their next hops.
+        assert_eq!(t.next_hop(b), Some(o));
+        assert_eq!(t.next_hop(c), Some(b));
+        assert_eq!(t.next_hop(d), Some(c));
+    }
+
+    #[test]
+    fn sentinel_prefix_keeps_captives_reachable() {
+        let (net, o, ids) = fig2();
+        let (a, f) = (ids[0], ids[5]);
+        // Sentinel: unpoisoned less-specific.
+        let sentinel = Prefix::from_octets(10, 0, 0, 0, 15);
+        let spec = AnnouncementSpec::prepended(&net, sentinel, o, 3);
+        let t = compute_routes(&net, &spec);
+        assert!(t.has_route(a));
+        assert!(t.has_route(f));
+    }
+
+    #[test]
+    fn customer_route_preferred_over_shorter_peer() {
+        // dst 0; AS3 is a provider of 0 (customer route 3->0, len 1 from
+        // seed), and also peers with 0? Build: 3 provides 0; 4 peers with 3
+        // and provides nothing... simpler: AS2 can reach 0 via customer 1
+        // (2 hops) or via peer 3 (1 hop); customer must win.
+        let mut g = GraphBuilder::with_ases(4);
+        // 2 provides 1, 1 provides 0  => 2 has customer route via 1
+        g.provider_customer(AsId(2), AsId(1));
+        g.provider_customer(AsId(1), AsId(0));
+        // 3 provides 0, 2 peers 3 => 2 could reach via peer 3 (shorter).
+        g.provider_customer(AsId(3), AsId(0));
+        g.peer(AsId(2), AsId(3));
+        let net = Network::new(g.build());
+        let spec = AnnouncementSpec::plain(&net, pfx(), AsId(0));
+        let t = compute_routes(&net, &spec);
+        assert_eq!(t.next_hop(AsId(2)), Some(AsId(1)), "customer beats peer");
+    }
+
+    #[test]
+    fn valley_free_export_blocks_peer_to_peer_transit() {
+        // 0 -- peer -- 1 -- peer -- 2: 2 must NOT reach 0 through 1.
+        let mut g = GraphBuilder::with_ases(3);
+        g.peer(AsId(0), AsId(1));
+        g.peer(AsId(1), AsId(2));
+        let net = Network::new(g.build());
+        let spec = AnnouncementSpec::plain(&net, pfx(), AsId(0));
+        let t = compute_routes(&net, &spec);
+        assert!(t.has_route(AsId(1)));
+        assert!(
+            !t.has_route(AsId(2)),
+            "peer route must not re-export to a peer"
+        );
+    }
+
+    #[test]
+    fn provider_route_propagates_down_only() {
+        // chain: 0 provides 1 provides 2. Origin 0: routes flow down.
+        let mut g = GraphBuilder::with_ases(3);
+        g.provider_customer(AsId(0), AsId(1));
+        g.provider_customer(AsId(1), AsId(2));
+        let net = Network::new(g.build());
+        let spec = AnnouncementSpec::plain(&net, pfx(), AsId(0));
+        let t = compute_routes(&net, &spec);
+        assert_eq!(t.next_hop(AsId(1)), Some(AsId(0)));
+        assert_eq!(t.next_hop(AsId(2)), Some(AsId(1)));
+    }
+
+    #[test]
+    fn selective_poisoning_steers_target_only() {
+        // Fig 3 shape: origin O has providers D1 and D2; both reach A via
+        // disjoint paths (D1-B1-A, D2-B2-A). Poisoning A via D2 only leaves A
+        // routing via B1/D1; B2 keeps its own (clean) route via D2.
+        let mut g = GraphBuilder::with_ases(6);
+        let (o, d1, d2, b1, b2, a) = (AsId(0), AsId(1), AsId(2), AsId(3), AsId(4), AsId(5));
+        g.provider_customer(d1, o);
+        g.provider_customer(d2, o);
+        g.provider_customer(b1, d1);
+        g.provider_customer(b2, d2);
+        g.provider_customer(a, b1);
+        g.provider_customer(a, b2);
+        let net = Network::new(g.build());
+
+        let spec = AnnouncementSpec::selective_poison(&net, pfx(), o, &[a], &[d2]);
+        let t = compute_routes(&net, &spec);
+        // A only accepts the clean variant, which lives on the D1 side.
+        assert!(t.has_route(a));
+        assert_eq!(t.as_path(a).unwrap().first(), Some(&b1));
+        // B2 still routes via D2 (its clean customer-side path).
+        assert_eq!(t.next_hop(b2), Some(d2));
+        // B1 unaffected.
+        assert_eq!(t.next_hop(b1), Some(d1));
+    }
+
+    #[test]
+    fn poisoned_as_with_lenient_loop_detection_keeps_route() {
+        // §7.1: AS with max-occurrences=1 ignores a single poison; the origin
+        // must poison it twice.
+        let mut g = GraphBuilder::with_ases(3);
+        let (o, mid, top) = (AsId(0), AsId(1), AsId(2));
+        g.provider_customer(mid, o);
+        g.provider_customer(top, mid);
+        let mut net = Network::new(g.build());
+        net.set_policy(
+            mid,
+            ImportPolicy {
+                loop_detection: LoopDetection::max_occurrences(1),
+                ..ImportPolicy::standard()
+            },
+        );
+
+        let single = AnnouncementSpec::poisoned(&net, pfx(), o, &[mid]);
+        let t1 = compute_routes(&net, &single);
+        assert!(t1.has_route(mid), "single poison ignored by lenient AS");
+        assert!(t1.has_route(top));
+
+        let double = AnnouncementSpec::poisoned(&net, pfx(), o, &[mid, mid]);
+        let t2 = compute_routes(&net, &double);
+        assert!(!t2.has_route(mid), "double poison sticks");
+        assert!(!t2.has_route(top), "top is captive behind mid");
+    }
+
+    #[test]
+    fn cogent_style_filter_blocks_poison_propagation() {
+        // Provider chain top(2) -> cogent(1) -> origin(0); cogent peers with
+        // tier1(3). Poisoning 3 via cogent: cogent rejects customer updates
+        // containing its peer, so not even cogent gets the route.
+        let mut g = GraphBuilder::with_ases(4);
+        let (o, cogent, top, tier1) = (AsId(0), AsId(1), AsId(2), AsId(3));
+        g.provider_customer(cogent, o);
+        g.provider_customer(top, cogent);
+        g.peer(cogent, tier1);
+        let mut net = Network::new(g.build());
+        net.set_policy(
+            cogent,
+            ImportPolicy {
+                reject_peers_in_customer_path: true,
+                ..ImportPolicy::standard()
+            },
+        );
+        let spec = AnnouncementSpec::poisoned(&net, pfx(), o, &[tier1]);
+        let t = compute_routes(&net, &spec);
+        assert!(!t.has_route(cogent), "Cogent-style filter drops the update");
+        assert!(!t.has_route(top));
+        // An unpoisoned announcement is fine.
+        let clean = AnnouncementSpec::prepended(&net, pfx(), o, 3);
+        let t2 = compute_routes(&net, &clean);
+        assert!(t2.has_route(cogent));
+        assert!(t2.has_route(top));
+    }
+
+    #[test]
+    fn communities_ride_along_until_stripped() {
+        // §2.3: "We announced experimental prefixes with communities
+        // attached and found that any AS that used a Tier-1 to reach our
+        // prefixes did not have the communities on our announcements."
+        // Chain: origin 0 <- 1 <- tier1 2 <- 3; parallel: 0 <- 4 <- 5.
+        let mut g = GraphBuilder::with_ases(6);
+        g.provider_customer(AsId(1), AsId(0));
+        g.provider_customer(AsId(2), AsId(1)); // "tier-1" that strips
+        g.provider_customer(AsId(3), AsId(2));
+        g.provider_customer(AsId(4), AsId(0));
+        g.provider_customer(AsId(5), AsId(4));
+        let mut net = Network::new(g.build());
+        net.set_strips_communities(AsId(2), true);
+
+        let community = (65_000u32 << 16) | 666;
+        let spec =
+            AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3).with_communities(vec![community]);
+        let t = compute_routes(&net, &spec);
+
+        // Directly-attached and pre-tier-1 ASes see the community.
+        assert_eq!(t.route(AsId(1)).unwrap().communities, vec![community]);
+        assert_eq!(t.route(AsId(2)).unwrap().communities, vec![community]);
+        // Beyond the stripping tier-1: gone.
+        assert!(t.route(AsId(3)).unwrap().communities.is_empty());
+        // The parallel path without a stripper keeps it end to end.
+        assert_eq!(t.route(AsId(5)).unwrap().communities, vec![community]);
+    }
+
+    #[test]
+    fn communities_absent_by_default() {
+        let (net, o, ids) = fig2();
+        let spec = AnnouncementSpec::prepended(&net, pfx(), o, 3);
+        let t = compute_routes(&net, &spec);
+        for a in ids {
+            if let Some(r) = t.route(a) {
+                assert!(r.communities.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn ases_via_reports_traversers() {
+        let (net, o, ids) = fig2();
+        let a = ids[0];
+        let spec = AnnouncementSpec::prepended(&net, pfx(), o, 3);
+        let t = compute_routes(&net, &spec);
+        let via_a = t.ases_via(a);
+        // E and F route via A in the baseline.
+        assert!(via_a.contains(&ids[4]));
+        assert!(via_a.contains(&ids[5]));
+        assert!(!via_a.contains(&ids[1]));
+    }
+
+    #[test]
+    fn routed_count_excludes_origin() {
+        let (net, o, _) = fig2();
+        let spec = AnnouncementSpec::prepended(&net, pfx(), o, 3);
+        let t = compute_routes(&net, &spec);
+        assert_eq!(t.routed_count(), 6);
+    }
+
+    #[test]
+    fn disconnected_as_has_no_route() {
+        let mut g = GraphBuilder::with_ases(3);
+        g.provider_customer(AsId(1), AsId(0));
+        // AS2 is isolated.
+        let net = Network::new(g.build());
+        let spec = AnnouncementSpec::plain(&net, pfx(), AsId(0));
+        let t = compute_routes(&net, &spec);
+        assert!(!t.has_route(AsId(2)));
+        assert!(t.next_hop(AsId(2)).is_none());
+    }
+}

@@ -1,0 +1,112 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in milliseconds since the scenario epoch.
+///
+/// All engines and the LIFEGUARD control loop share this clock; nothing in
+/// the workspace reads wall-clock time, so every run is reproducible.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The scenario epoch.
+    pub const ZERO: Time = Time(0);
+
+    /// Construct from seconds.
+    pub fn from_secs(s: u64) -> Time {
+        Time(s * 1000)
+    }
+
+    /// Construct from minutes.
+    pub fn from_mins(m: u64) -> Time {
+        Time(m * 60_000)
+    }
+
+    /// Milliseconds since epoch.
+    pub fn millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since epoch (truncating).
+    pub fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Fractional seconds since epoch.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Saturating difference in milliseconds.
+    pub fn since(self, earlier: Time) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+    fn add(self, ms: u64) -> Time {
+        Time(self.0 + ms)
+    }
+}
+
+impl AddAssign<u64> for Time {
+    fn add_assign(&mut self, ms: u64) {
+        self.0 += ms;
+    }
+}
+
+impl Sub for Time {
+    type Output = u64;
+    fn sub(self, rhs: Time) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ms", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_s = self.0 / 1000;
+        write!(
+            f,
+            "{:02}:{:02}:{:02}",
+            total_s / 3600,
+            (total_s / 60) % 60,
+            total_s % 60
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Time::from_secs(90).millis(), 90_000);
+        assert_eq!(Time::from_mins(2), Time::from_secs(120));
+        assert_eq!(Time::from_secs(90).as_secs(), 90);
+        assert_eq!(Time(1500).as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_secs(10) + 500;
+        assert_eq!(t.millis(), 10_500);
+        assert_eq!(t - Time::from_secs(10), 500);
+        assert_eq!(Time::ZERO - t, 0, "saturating");
+        assert_eq!(t.since(Time::from_secs(10)), 500);
+    }
+
+    #[test]
+    fn display_hms() {
+        assert_eq!(Time::from_secs(3723).to_string(), "01:02:03");
+    }
+}

@@ -1,0 +1,87 @@
+//! Poison-target harvesting (§5's experimental methodology).
+//!
+//! "To obtain ASes to poison, we announced a prefix and harvested all ASes
+//! on BGP paths towards the prefix from route collectors. We excluded all
+//! Tier-1 networks, as well as Cogent, as it is Georgia Tech's main
+//! provider."
+
+use lg_asmap::{AsGraph, AsId};
+use lg_sim::RouteTable;
+
+/// Harvest candidate poison targets from a converged route table: every
+/// transit AS appearing on the selected paths of `observers` (route
+/// collector peers), excluding
+///
+/// * the origin itself,
+/// * tier-1 networks (`graph.tier() == 1`),
+/// * the explicit `excluded` list (e.g. the origin's main provider),
+/// * stub ASes (poisoning is for transit networks; the paper never needs to
+///   poison stubs).
+pub fn harvest_poison_targets(
+    graph: &AsGraph,
+    table: &RouteTable,
+    observers: &[AsId],
+    excluded: &[AsId],
+) -> Vec<AsId> {
+    let mut out: Vec<AsId> = Vec::new();
+    for &obs in observers {
+        let Some(path) = table.as_path(obs) else {
+            continue;
+        };
+        for a in path {
+            if a == table.origin
+                || graph.tier(a) == 1
+                || excluded.contains(&a)
+                || graph.is_stub(a)
+                || out.contains(&a)
+            {
+                continue;
+            }
+            out.push(a);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lg_asmap::GraphBuilder;
+    use lg_bgp::Prefix;
+    use lg_sim::{compute_routes, AnnouncementSpec, Network};
+
+    #[test]
+    fn harvest_excludes_tier1_stubs_and_origin() {
+        // tier1(0) over transit 1 and 2; origin 3 under 1; observer stub 4
+        // under 2. Observer path: 4-2-0-1-3.
+        let mut g = GraphBuilder::with_ases(5);
+        g.provider_customer(AsId(0), AsId(1));
+        g.provider_customer(AsId(0), AsId(2));
+        g.provider_customer(AsId(1), AsId(3));
+        g.provider_customer(AsId(2), AsId(4));
+        g.set_tier(AsId(0), 1);
+        let net = Network::new(g.build());
+        let spec = AnnouncementSpec::plain(&net, Prefix::from_octets(10, 0, 0, 0, 16), AsId(3));
+        let table = compute_routes(&net, &spec);
+        let targets = harvest_poison_targets(net.graph(), &table, &[AsId(4)], &[]);
+        // Path 4 ← 2 ← 0 ← 1 ← 3: transit ASes are 2, 0 (tier-1,
+        // excluded), 1. Stub 4 and origin 3 excluded.
+        assert_eq!(targets, vec![AsId(1), AsId(2)]);
+        // Explicit exclusion works (the "Cogent rule").
+        let targets2 = harvest_poison_targets(net.graph(), &table, &[AsId(4)], &[AsId(1)]);
+        assert_eq!(targets2, vec![AsId(2)]);
+    }
+
+    #[test]
+    fn observers_without_routes_are_skipped() {
+        let mut g = GraphBuilder::with_ases(3);
+        g.provider_customer(AsId(0), AsId(1));
+        // AS2 disconnected.
+        let net = Network::new(g.build());
+        let spec = AnnouncementSpec::plain(&net, Prefix::from_octets(10, 0, 0, 0, 16), AsId(1));
+        let table = compute_routes(&net, &spec);
+        let targets = harvest_poison_targets(net.graph(), &table, &[AsId(2)], &[]);
+        assert!(targets.is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! Workload generation for the LIFEGUARD reproduction.
+//!
+//! The paper's distributional inputs come from two measurement campaigns we
+//! cannot re-run: the EC2 outage study (§2.1, Figs 1 and 5) and the Hubble
+//! outage dataset used to extrapolate poisoning load (§5.4, Table 2). This
+//! crate substitutes calibrated synthetic equivalents:
+//!
+//! * [`outages`] — a heavy-tailed outage-duration generator (lognormal
+//!   body + truncated-Pareto tail, floored at the study's 90 s detection
+//!   minimum) whose statistics match the paper's published anchors: median
+//!   90 s, >90% of outages at most 10 min, ~84% of total unavailability
+//!   from outages over 10 min, 51% of over-5-min outages persisting 5 more
+//!   minutes.
+//! * [`harvest`] — poisoning-target harvesting: the transit ASes appearing
+//!   on observed paths toward a prefix, minus the untouchables (tier-1s,
+//!   the origin's sole upstream), as in §5's BGP-Mux experiments.
+//! * [`scenarios`] — ground-truth failure scenario generation for the
+//!   isolation-accuracy and alternate-path studies (failure element, kind,
+//!   and direction drawn to match the paper's cited breakdowns).
+
+pub mod arrivals;
+pub mod harvest;
+pub mod outages;
+pub mod scenarios;
+
+pub use arrivals::{ArrivalsConfig, OutageArrival};
+pub use harvest::harvest_poison_targets;
+pub use outages::{OutageStats, OutageTrace, OutageTraceConfig};
+pub use scenarios::{FailureScenario, ScenarioGen, ScenarioKind};

@@ -1,0 +1,248 @@
+//! Ground-truth failure scenario generation.
+//!
+//! The accuracy (§5.3) and alternate-path (§2.2) studies need many outages
+//! with *known* culprits. A [`ScenarioGen`] draws failures over the transit
+//! portion of a path, matching the breakdowns the paper cites: most
+//! failures confined to a single AS with 38% on inter-AS links (Feamster et
+//! al.), and a large share unidirectional (Hubble).
+
+use lg_asmap::AsId;
+use lg_bgp::Prefix;
+use lg_sim::failures::{Direction, Failure, NetElement};
+use lg_sim::{Network, RouteTable};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Directionality of a generated failure, relative to a (src, dst) pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Drops traffic toward the destination.
+    Forward,
+    /// Drops traffic toward the source.
+    Reverse,
+    /// Drops both directions.
+    Bidirectional,
+}
+
+/// One generated failure with its ground truth.
+#[derive(Clone, Debug)]
+pub struct FailureScenario {
+    /// The failed element (ground truth the isolator must rediscover).
+    pub element: NetElement,
+    /// Directionality.
+    pub kind: ScenarioKind,
+    /// The concrete failures to inject.
+    pub failures: Vec<Failure>,
+}
+
+impl FailureScenario {
+    /// The AS ground truth blames (for links: the far/first element).
+    pub fn culprit(&self) -> AsId {
+        match self.element {
+            NetElement::As(a) => a,
+            NetElement::Link(a, _) => a,
+        }
+    }
+}
+
+/// Draws failure scenarios along converged paths.
+pub struct ScenarioGen {
+    rng: SmallRng,
+    /// Probability the failure is an inter-AS link rather than inside an AS
+    /// (the paper cites 38% link failures).
+    pub link_fraction: f64,
+    /// Probability a failure is unidirectional (split between forward and
+    /// reverse).
+    pub unidirectional_fraction: f64,
+}
+
+impl ScenarioGen {
+    /// Generator with the paper's cited mix.
+    pub fn new(seed: u64) -> Self {
+        ScenarioGen {
+            rng: SmallRng::seed_from_u64(seed),
+            link_fraction: 0.38,
+            unidirectional_fraction: 0.7,
+        }
+    }
+
+    /// Draw a failure affecting the converged path from `src` toward the
+    /// origin of `fwd_table` (the destination), scoped so that:
+    ///
+    /// * forward failures drop traffic toward `dst_prefix`,
+    /// * reverse failures drop traffic toward `src_prefix`,
+    /// * bidirectional failures drop both.
+    ///
+    /// The failed element is drawn uniformly from the *transit* ASes (or
+    /// links) strictly between the source's first hop and the destination,
+    /// so the failure is outside both edge networks, as in the studies the
+    /// paper builds on. Returns `None` when the path is too short to host a
+    /// transit failure.
+    pub fn draw(
+        &mut self,
+        net: &Network,
+        fwd_table: &RouteTable,
+        src: AsId,
+        src_prefix: Prefix,
+        dst_prefix: Prefix,
+    ) -> Option<FailureScenario> {
+        // Path src -> dst at AS granularity: walk next hops.
+        let mut path = vec![src];
+        let mut cur = src;
+        while let Some(nh) = fwd_table.next_hop(cur) {
+            path.push(nh);
+            cur = nh;
+            if path.len() > 64 {
+                return None;
+            }
+        }
+        // Transit portion: exclude the endpoints themselves; interior =
+        // path[1..len-1]. At least one transit AS must exist.
+        if path.len() < 3 {
+            return None;
+        }
+        let interior = &path[1..path.len() - 1];
+
+        let kind = if self.rng.gen_bool(self.unidirectional_fraction) {
+            if self.rng.gen_bool(0.5) {
+                ScenarioKind::Forward
+            } else {
+                ScenarioKind::Reverse
+            }
+        } else {
+            ScenarioKind::Bidirectional
+        };
+
+        let element = if self.rng.gen_bool(self.link_fraction) && interior.len() >= 2 {
+            let i = self.rng.gen_range(0..interior.len() - 1);
+            NetElement::Link(interior[i], interior[i + 1])
+        } else {
+            let i = self.rng.gen_range(0..interior.len());
+            NetElement::As(interior[i])
+        };
+
+        let toward: Vec<Prefix> = match kind {
+            ScenarioKind::Forward => vec![dst_prefix],
+            ScenarioKind::Reverse => vec![src_prefix],
+            ScenarioKind::Bidirectional => vec![dst_prefix, src_prefix],
+        };
+        let mut failures = Vec::new();
+        for t in toward {
+            let f = match element {
+                NetElement::As(a) => Failure::silent_as_toward(a, t),
+                NetElement::Link(a, b) => Failure {
+                    element: NetElement::Link(a, b),
+                    direction: Direction::Both,
+                    toward: Some(t),
+                    ingress: None,
+                    from: lg_sim::Time::ZERO,
+                    until: None,
+                },
+            };
+            failures.push(f);
+        }
+        let _ = net;
+        Some(FailureScenario {
+            element,
+            kind,
+            failures,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lg_asmap::GraphBuilder;
+    use lg_sim::{compute_routes, AnnouncementSpec};
+
+    fn chain(n: usize) -> Network {
+        let mut g = GraphBuilder::with_ases(n);
+        for i in 1..n {
+            g.provider_customer(AsId(i as u32 - 1), AsId(i as u32));
+        }
+        Network::new(g.build())
+    }
+
+    #[test]
+    fn draw_produces_interior_failures() {
+        let net = chain(6);
+        let dst_prefix = Prefix::from_octets(10, 0, 0, 0, 16);
+        let src_prefix = Prefix::from_octets(20, 0, 0, 0, 16);
+        let spec = AnnouncementSpec::plain(&net, dst_prefix, AsId(0));
+        let table = compute_routes(&net, &spec);
+        let mut gen = ScenarioGen::new(7);
+        for _ in 0..50 {
+            let sc = gen
+                .draw(&net, &table, AsId(5), src_prefix, dst_prefix)
+                .expect("path long enough");
+            let culprit = sc.culprit();
+            assert!(
+                (1..=4).contains(&culprit.0),
+                "culprit {culprit} must be interior"
+            );
+            assert!(!sc.failures.is_empty());
+            match sc.kind {
+                ScenarioKind::Bidirectional => assert_eq!(sc.failures.len(), 2),
+                _ => assert_eq!(sc.failures.len(), 1),
+            }
+        }
+    }
+
+    #[test]
+    fn short_paths_yield_none() {
+        let net = chain(2);
+        let dst_prefix = Prefix::from_octets(10, 0, 0, 0, 16);
+        let spec = AnnouncementSpec::plain(&net, dst_prefix, AsId(0));
+        let table = compute_routes(&net, &spec);
+        let mut gen = ScenarioGen::new(7);
+        assert!(gen
+            .draw(
+                &net,
+                &table,
+                AsId(1),
+                Prefix::from_octets(20, 0, 0, 0, 16),
+                dst_prefix
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn mix_roughly_matches_configuration() {
+        let net = chain(8);
+        let dst_prefix = Prefix::from_octets(10, 0, 0, 0, 16);
+        let spec = AnnouncementSpec::plain(&net, dst_prefix, AsId(0));
+        let table = compute_routes(&net, &spec);
+        let mut gen = ScenarioGen::new(42);
+        let mut links = 0;
+        let mut unidir = 0;
+        let n = 400;
+        for _ in 0..n {
+            let sc = gen
+                .draw(
+                    &net,
+                    &table,
+                    AsId(7),
+                    Prefix::from_octets(20, 0, 0, 0, 16),
+                    dst_prefix,
+                )
+                .unwrap();
+            if matches!(sc.element, NetElement::Link(..)) {
+                links += 1;
+            }
+            if sc.kind != ScenarioKind::Bidirectional {
+                unidir += 1;
+            }
+        }
+        let link_frac = links as f64 / n as f64;
+        let uni_frac = unidir as f64 / n as f64;
+        assert!(
+            (0.30..=0.46).contains(&link_frac),
+            "link fraction {link_frac}"
+        );
+        assert!(
+            (0.62..=0.78).contains(&uni_frac),
+            "unidirectional {uni_frac}"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! §6 case study reproduction: the Taiwan ↔ Wisconsin outage of
+//! October 3-4, 2011.
+//!
+//! LIFEGUARD announces its production and sentinel prefixes from
+//! Wisconsin and has monitored a PlanetLab node at National Tsing Hua
+//! University for a month. At 8:15 pm the node's commercial reverse path
+//! through UUNET silently stops delivering packets toward Wisconsin.
+//! LIFEGUARD isolates a reverse-path failure with UUNET behind the
+//! reachability horizon (the academic path's hops all still reach
+//! Wisconsin), poisons UUNET, and connectivity returns over academic
+//! networks. Sentinel probes keep failing through UUNET until just after
+//! 4 am, when the underlying fault heals and LIFEGUARD restores the
+//! baseline announcement.
+//!
+//! ```sh
+//! cargo run --example case_study
+//! ```
+
+use lifeguard_repro::asmap::{AsId, GraphBuilder};
+use lifeguard_repro::bgp::Prefix;
+use lifeguard_repro::lifeguard::{EventKind, Lifeguard, LifeguardConfig, TargetState, World};
+use lifeguard_repro::sim::dataplane::infra_prefix;
+use lifeguard_repro::sim::failures::Failure;
+use lifeguard_repro::sim::{Network, Time};
+
+const NAMES: [&str; 9] = [
+    "UWisc",   // 0 - LIFEGUARD origin
+    "WiscNet", // 1 - academic provider
+    "I2",      // 2 - Internet2
+    "TANet",   // 3 - Taiwan academic
+    "NTHU",    // 4 - the monitored PlanetLab node's AS
+    "UUNET",   // 5 - the commercial transit that fails
+    "TWGate",  // 6 - Taiwan commercial
+    "GT-VP",   // 7 - vantage point (academic side)
+    "TW-VP",   // 8 - vantage point (commercial side)
+];
+
+fn name(a: AsId) -> &'static str {
+    NAMES[a.index()]
+}
+
+/// Scenario epoch: noon, October 3. `hm(h, m)` is wall-clock time that day
+/// (h may exceed 24 into October 4).
+fn hm(h: u64, m: u64) -> Time {
+    Time::from_mins((h - 12) * 60 + m)
+}
+
+fn clock(t: Time) -> String {
+    let mins = t.millis() / 60_000 + 12 * 60;
+    let (d, rem) = (mins / (24 * 60), mins % (24 * 60));
+    format!("Oct {} {:02}:{:02}", 3 + d, rem / 60, rem % 60)
+}
+
+fn main() {
+    let (uwisc, wiscnet, i2, tanet, nthu, uunet, twgate, gt_vp, tw_vp) = (
+        AsId(0),
+        AsId(1),
+        AsId(2),
+        AsId(3),
+        AsId(4),
+        AsId(5),
+        AsId(6),
+        AsId(7),
+        AsId(8),
+    );
+    let mut g = GraphBuilder::with_ases(9);
+    // Academic chain: UWisc - WiscNet - I2 - TANet - NTHU.
+    g.provider_customer(wiscnet, uwisc);
+    g.provider_customer(i2, wiscnet);
+    g.provider_customer(tanet, i2);
+    g.provider_customer(tanet, nthu);
+    // Commercial chain: UWisc - UUNET - TWGate - NTHU (shorter, so the
+    // PlanetLab node's reverse path prefers it).
+    g.provider_customer(uunet, uwisc);
+    g.provider_customer(uunet, twgate);
+    g.provider_customer(twgate, nthu);
+    // Vantage points.
+    g.provider_customer(i2, gt_vp);
+    g.provider_customer(twgate, tw_vp);
+    let net = Network::new(g.build());
+
+    let production = Prefix::from_octets(184, 164, 224, 0, 20);
+    let sentinel = Prefix::from_octets(184, 164, 224, 0, 19);
+    let mut cfg = LifeguardConfig::paper_defaults(uwisc, production, sentinel);
+    cfg.targets = vec![nthu];
+    cfg.vantage_points = vec![gt_vp, tw_vp];
+
+    let mut world = World::new(&net);
+    let mut lifeguard = Lifeguard::new(cfg);
+    lifeguard.install(&mut world, Time::ZERO);
+
+    // A healthy afternoon of monitoring (noon - 8:15 pm).
+    let mut now = Time::from_secs(60);
+    while now < hm(20, 15) {
+        lifeguard.tick(&mut world, now);
+        now += 30_000;
+    }
+    let rev = world.dp.walk(now, nthu, production.nth_addr(1));
+    let rev_names: Vec<&str> = rev.as_hops().iter().map(|a| name(*a)).collect();
+    println!("steady state reverse path: {}", rev_names.join(" -> "));
+    assert!(rev_names.contains(&"UUNET"));
+
+    // 8:15 pm: UUNET silently stops delivering traffic toward Wisconsin.
+    let fail_at = hm(20, 15);
+    let heal_at = hm(24 + 4, 5); // just after 4 am, October 4
+    println!(
+        "\n{}: UUNET begins silently dropping traffic toward Wisconsin",
+        clock(fail_at)
+    );
+    for p in [production, sentinel, infra_prefix(uwisc)] {
+        world
+            .dp
+            .failures_mut()
+            .add(Failure::silent_as_toward(uunet, p).window(fail_at, Some(heal_at)));
+    }
+
+    // Run the night.
+    while now < heal_at + 3_600_000 {
+        lifeguard.tick(&mut world, now);
+        now += 30_000;
+    }
+
+    println!("\nLIFEGUARD event log:");
+    for e in lifeguard.events() {
+        let what = match &e.kind {
+            EventKind::OutageDetected { target } => {
+                format!("outage detected to {}", name(*target))
+            }
+            EventKind::IsolationCompleted {
+                direction, blame, ..
+            } => format!(
+                "isolation: {:?} failure, blame {}",
+                direction,
+                blame
+                    .map(|b| name(b.poison_target()).to_string())
+                    .unwrap_or_else(|| "?".into())
+            ),
+            EventKind::Poisoned { poisoned, .. } => {
+                format!("announced poisoned path UWisc-{}-UWisc", name(*poisoned))
+            }
+            EventKind::PoisonSkipped { reason, .. } => format!("poison skipped: {reason}"),
+            EventKind::Repaired { downtime_ms, .. } => format!(
+                "test traffic reaches NTHU again via academic networks ({}s downtime)",
+                downtime_ms / 1000
+            ),
+            EventKind::FailureHealed { .. } => {
+                "sentinel probes through UUNET succeed: fault healed".to_string()
+            }
+            EventKind::Unpoisoned { .. } => "baseline announcement restored".to_string(),
+        };
+        println!("  {}: {}", clock(e.at), what);
+    }
+
+    // The paper's claims, verified.
+    let events = lifeguard.events();
+    let poisoned_at = events
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::Poisoned { poisoned, .. } if poisoned == uunet))
+        .expect("UUNET must be poisoned")
+        .at;
+    assert!(poisoned_at > fail_at && poisoned_at < fail_at + 600_000);
+    let repaired = events
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::Repaired { .. }))
+        .expect("traffic must be restored");
+    assert!(repaired.at < fail_at + 900_000, "repair within minutes");
+    let unpoisoned = events
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::Unpoisoned { .. }))
+        .expect("poison must be withdrawn after the heal");
+    assert!(unpoisoned.at >= heal_at);
+    assert!(matches!(
+        lifeguard.state(nthu),
+        Some(TargetState::Monitoring { .. })
+    ));
+    println!(
+        "\n=> outage repaired {} minutes after onset; poison held {:.1} hours until UUNET healed.",
+        (repaired.at - fail_at) / 60_000,
+        (unpoisoned.at - poisoned_at) as f64 / 3_600_000.0
+    );
+}

@@ -1,0 +1,96 @@
+//! Figure 2 reproduction: routing tables before and after poisoning, with a
+//! sentinel prefix keeping captive ASes covered.
+//!
+//! Reconstructs the paper's seven-AS example — origin O, problem AS A,
+//! transits B, C, D, multihomed E, captive F — and prints each AS's routes
+//! to the production and sentinel prefixes before and after O poisons A.
+//!
+//! ```sh
+//! cargo run --example fig2_poisoning
+//! ```
+
+use lifeguard_repro::asmap::{AsId, GraphBuilder};
+use lifeguard_repro::bgp::Prefix;
+use lifeguard_repro::sim::{compute_routes, AnnouncementSpec, Network, RouteTable};
+
+fn name(a: AsId) -> &'static str {
+    ["O", "A", "B", "C", "D", "E", "F"][a.index()]
+}
+
+fn print_tables(label: &str, production: &RouteTable, sentinel: &RouteTable) {
+    println!("\n=== {label} ===");
+    println!(
+        "{:>3} | {:<28} | {:<28}",
+        "AS", "production route", "sentinel route"
+    );
+    println!("{}", "-".repeat(66));
+    for i in 1..7u32 {
+        let a = AsId(i);
+        let fmt = |t: &RouteTable| match t.route(a) {
+            Some(r) => {
+                let hops: Vec<String> = r.path.hops().iter().map(|h| name(*h).into()).collect();
+                format!("{} (via {})", hops.join("-"), name(r.learned_from))
+            }
+            None => "--- no route ---".to_string(),
+        };
+        println!(
+            "{:>3} | {:<28} | {:<28}",
+            name(a),
+            fmt(production),
+            fmt(sentinel)
+        );
+    }
+}
+
+fn main() {
+    // Fig 2 shape: O announces via B; B reaches C and A; C reaches D; E sits
+    // above A and D (two paths down to O); F is captive behind A.
+    let mut g = GraphBuilder::with_ases(7);
+    let (o, a, b, c, d, e, f) = (
+        AsId(0),
+        AsId(1),
+        AsId(2),
+        AsId(3),
+        AsId(4),
+        AsId(5),
+        AsId(6),
+    );
+    g.provider_customer(b, o);
+    g.provider_customer(c, b);
+    g.provider_customer(a, b);
+    g.provider_customer(d, c);
+    g.provider_customer(e, a);
+    g.provider_customer(e, d);
+    g.provider_customer(f, a);
+    let net = Network::new(g.build());
+
+    let production = Prefix::from_octets(184, 164, 224, 0, 20);
+    let sentinel = Prefix::from_octets(184, 164, 224, 0, 19);
+
+    // (a) Steady state: prepended baseline O-O-O on both prefixes.
+    let sent_table = compute_routes(&net, &AnnouncementSpec::prepended(&net, sentinel, o, 3));
+    let base_table = compute_routes(&net, &AnnouncementSpec::prepended(&net, production, o, 3));
+    print_tables("Fig 2(a): baseline O-O-O", &base_table, &sent_table);
+
+    // (b) O poisons A on the production prefix; the sentinel stays clean.
+    let poisoned = compute_routes(&net, &AnnouncementSpec::poisoned(&net, production, o, &[a]));
+    print_tables(
+        "Fig 2(b): production poisoned O-A-O",
+        &poisoned,
+        &sent_table,
+    );
+
+    println!();
+    println!("A rejects O-A-O (loop prevention) and withdraws from E and F:");
+    println!(
+        "  E switched to its less-preferred route via D: {:?}",
+        poisoned
+            .as_path(e)
+            .map(|p| p.iter().map(|x| name(*x)).collect::<Vec<_>>())
+    );
+    println!("  F is captive behind A and keeps only the sentinel route.");
+    assert!(!poisoned.has_route(a));
+    assert!(!poisoned.has_route(f));
+    assert_eq!(poisoned.next_hop(e), Some(d));
+    assert!(sent_table.has_route(f));
+}

@@ -1,0 +1,101 @@
+//! Figure 3 reproduction: selective poisoning shifts traffic off one AS
+//! link without disturbing anyone else.
+//!
+//! O has two providers D1 and D2 with disjoint paths (via B1 / B2) up to A.
+//! The link A-B2 fails silently. Poisoning A only on the announcement via
+//! D2 makes A reject the D2-side path and route via B1 — avoiding the
+//! failing link — while C3 (behind A), C2, C4, and B2 keep working routes.
+//!
+//! ```sh
+//! cargo run --example fig3_selective
+//! ```
+
+use lifeguard_repro::asmap::{AsId, GraphBuilder};
+use lifeguard_repro::bgp::Prefix;
+use lifeguard_repro::lifeguard::{plan_repair, LifeguardConfig};
+use lifeguard_repro::locate::Blame;
+use lifeguard_repro::sim::{compute_routes, AnnouncementSpec, Network, RouteTable};
+
+fn name(a: AsId) -> &'static str {
+    ["O", "D1", "D2", "B2", "B1", "A", "C2", "C3", "C4"][a.index()]
+}
+
+fn show(t: &RouteTable, net: &Network) {
+    for a in net.graph().ases() {
+        if a == AsId(0) {
+            continue;
+        }
+        match t.as_path(a) {
+            Some(p) => {
+                let hops: Vec<&str> = p.iter().map(|x| name(*x)).collect();
+                println!("  {:>3} -> {}", name(a), hops.join("-"));
+            }
+            None => println!("  {:>3} -> (no route)", name(a)),
+        }
+    }
+}
+
+fn main() {
+    // Fig 3: O under D1 and D2; B1 over D1, B2 over D2; A over both B1
+    // and B2 (ids chosen so A's tiebreak initially picks the B2 side, as
+    // in the figure); C2 and C3 behind A, C4 behind B2.
+    let mut g = GraphBuilder::with_ases(9);
+    let (o, d1, d2, b2, b1, a, c2, c3, c4) = (
+        AsId(0),
+        AsId(1),
+        AsId(2),
+        AsId(3),
+        AsId(4),
+        AsId(5),
+        AsId(6),
+        AsId(7),
+        AsId(8),
+    );
+    g.provider_customer(d1, o);
+    g.provider_customer(d2, o);
+    g.provider_customer(b1, d1);
+    g.provider_customer(b2, d2);
+    g.provider_customer(a, b1);
+    g.provider_customer(a, b2);
+    g.provider_customer(c2, a);
+    g.provider_customer(c3, a);
+    g.provider_customer(c4, b2);
+    let net = Network::new(g.build());
+
+    let production = Prefix::from_octets(184, 164, 224, 0, 20);
+
+    println!("Before poisoning (baseline O-O-O):");
+    let before = compute_routes(&net, &AnnouncementSpec::prepended(&net, production, o, 3));
+    show(&before, &net);
+
+    // The A-B2 link fails; LIFEGUARD plans a repair for target C3.
+    let mut cfg =
+        LifeguardConfig::paper_defaults(o, production, Prefix::from_octets(184, 164, 224, 0, 19));
+    cfg.providers = vec![d1, d2];
+    let plan = plan_repair(&net, &cfg, Blame::Link(a, b2), c3).expect("selective plan");
+    assert!(plan.selective, "expected a selective poison");
+    println!(
+        "\nPlanned repair: selectively poison {} (announce {} via the {} side only)",
+        name(plan.poisoned),
+        plan.spec
+            .path_for(d2)
+            .map(|p| p.to_string())
+            .unwrap_or_default(),
+        name(d2),
+    );
+
+    println!("\nAfter selective poisoning of A via D2:");
+    let after = compute_routes(&net, &plan.spec);
+    show(&after, &net);
+
+    // The paper's claims, verified:
+    let a_path = after.as_path(a).unwrap();
+    assert!(!a_path.contains(&b2), "A now avoids the A-B2 link");
+    assert!(a_path.contains(&b1), "A routes via B1");
+    assert!(after.has_route(c3), "C3 keeps a working route through A");
+    assert_eq!(after.next_hop(b2), Some(d2), "B2's own route is untouched");
+    assert_eq!(after.next_hop(c4), Some(b2), "C4 undisturbed");
+    assert_eq!(after.next_hop(b1), Some(d1), "B1 undisturbed");
+    println!("\nOnly A (and its customers' transit through A) changed paths;");
+    println!("B2, C4, B1 kept their routes — AVOID_PROBLEM(A-B2, P) approximated.");
+}

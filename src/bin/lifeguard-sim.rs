@@ -1,0 +1,76 @@
+//! `lifeguard-sim` — run a declarative LIFEGUARD scenario.
+//!
+//! ```sh
+//! cargo run --bin lifeguard-sim -- scenarios/reverse_outage.json
+//! cargo run --bin lifeguard-sim -- scenarios/reverse_outage.json --json
+//! ```
+//!
+//! Scenario format: see `src/scenario.rs` and the `scenarios/` directory.
+
+use lifeguard_repro::scenario;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (path, as_json) = match args.as_slice() {
+        [p] => (p.clone(), false),
+        [p, flag] if flag == "--json" => (p.clone(), true),
+        _ => {
+            eprintln!("usage: lifeguard-sim <scenario.json> [--json]");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let sc = match scenario::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(1);
+        }
+    };
+    let out = match scenario::run(&sc) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    if as_json {
+        // Event log as structured JSON lines.
+        for e in &out.events {
+            println!(
+                "{}",
+                serde_json::json!({
+                    "at_ms": e.at.millis(),
+                    "event": format!("{:?}", e.kind),
+                })
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "origin {} monitoring {:?}",
+        out.origin,
+        out.targets
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+    );
+    println!("\nevent log:");
+    for line in out.log_lines() {
+        println!("  {line}");
+    }
+    println!("\nground-truth downtime (30 s resolution):");
+    for (t, d) in &out.downtime_ms {
+        println!("  {t}: {:.1} min", *d as f64 / 60_000.0);
+    }
+    ExitCode::SUCCESS
+}
