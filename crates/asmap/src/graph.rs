@@ -2,6 +2,21 @@
 
 use crate::ids::AsId;
 use crate::relationship::Relationship;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide topology generation counter; see [`next_generation`].
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh, process-unique generation number.
+///
+/// Generations order "versions" of network state: every [`GraphBuilder::build`],
+/// [`AsGraph::without_link`], and [`AsGraph::without_as`] stamps its result
+/// with a fresh generation, and higher layers (e.g. `lg-sim`'s `Network`)
+/// re-stamp on their own mutations. Caches key on the generation to know
+/// when memoized results are stale.
+pub fn next_generation() -> u64 {
+    GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// An immutable AS-level topology with per-edge business relationships.
 ///
@@ -15,6 +30,9 @@ pub struct AsGraph {
     /// Tier annotation from the generator (1 = tier-1 clique); 0 when unknown.
     tiers: Vec<u8>,
     edge_count: usize,
+    /// Topology version stamp; see [`next_generation`]. Clones share the
+    /// stamp (same topology); derived graphs get a fresh one.
+    generation: u64,
 }
 
 impl AsGraph {
@@ -31,6 +49,11 @@ impl AsGraph {
     /// Number of undirected AS-level links.
     pub fn edge_count(&self) -> usize {
         self.edge_count
+    }
+
+    /// This graph's generation stamp (see [`next_generation`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// All AS ids, in index order.
@@ -112,6 +135,7 @@ impl AsGraph {
         if g.adj[a.index()].len() != before {
             g.edge_count -= 1;
         }
+        g.generation = next_generation();
         g
     }
 
@@ -126,6 +150,7 @@ impl AsGraph {
             g.adj[n.index()].retain(|(x, _)| *x != a);
         }
         g.edge_count -= removed;
+        g.generation = next_generation();
         g
     }
 }
@@ -220,6 +245,7 @@ impl GraphBuilder {
             adj: self.adj,
             tiers: self.tiers,
             edge_count: self.edge_count,
+            generation: next_generation(),
         }
     }
 }

@@ -23,7 +23,7 @@ pub mod relationship;
 pub mod splice;
 
 pub use gen::{TopologyConfig, TopologyKind};
-pub use graph::{AsGraph, GraphBuilder};
+pub use graph::{next_generation, AsGraph, GraphBuilder};
 pub use ids::{AsId, RouterId};
 pub use io::{parse_relationships, to_relationships, ParsedGraph};
 pub use policy::{is_valley_free, TripleSet};

@@ -11,7 +11,7 @@ use lg_locate::Isolator;
 use lg_probe::Prober;
 use lg_sim::dataplane::{infra_addr, infra_prefix, DataPlane};
 use lg_sim::failures::Failure;
-use lg_sim::{compute_routes, AnnouncementSpec, Network, Time};
+use lg_sim::{compute_routes, AnnouncementSpec, Network, RouteComputer, RouteTableCache, Time};
 
 fn bench_route_computation(c: &mut Criterion) {
     let mut group = c.benchmark_group("static_route_computation");
@@ -32,6 +32,54 @@ fn bench_route_computation(c: &mut Criterion) {
             b.iter(|| compute_routes(&net, &spec));
         });
     }
+    group.finish();
+}
+
+fn bench_compute_layer(c: &mut Criterion) {
+    let net = Network::new(TopologyConfig::medium(1).generate());
+    let origin = net
+        .graph()
+        .ases()
+        .find(|a| net.graph().is_stub(*a))
+        .unwrap();
+    let prefix = Prefix::from_octets(184, 164, 224, 0, 20);
+    let spec = AnnouncementSpec::prepended(&net, prefix, origin, 3);
+
+    let mut group = c.benchmark_group("compute_layer");
+    // The retained pre-arena engine: the baseline the allocation-lean inner
+    // loop is measured against.
+    group.bench_function("reference_engine_medium", |b| {
+        b.iter(|| lg_sim::static_routes::compute_routes_reference(&net, &spec));
+    });
+    group.bench_function("scratch_medium", |b| {
+        b.iter(|| compute_routes(&net, &spec));
+    });
+    group.bench_function("cache_hit_medium", |b| {
+        let mut cache = RouteTableCache::new();
+        let _ = cache.compute(&net, &spec);
+        b.iter(|| cache.compute(&net, &spec));
+    });
+
+    // A repair-planner-shaped batch: one poisoned what-if per transit AS.
+    let base = compute_routes(&net, &spec);
+    let targets: Vec<AsId> = net
+        .graph()
+        .ases()
+        .filter(|a| !net.graph().is_stub(*a) && base.has_route(*a))
+        .take(16)
+        .collect();
+    let specs: Vec<AnnouncementSpec> = targets
+        .iter()
+        .map(|t| AnnouncementSpec::poisoned(&net, prefix, origin, &[*t]))
+        .collect();
+    group.bench_function("batch16_poisoned_1thread", |b| {
+        let computer = RouteComputer::with_threads(1);
+        b.iter(|| computer.compute_batch(&net, &specs));
+    });
+    group.bench_function("batch16_poisoned_parallel", |b| {
+        let computer = RouteComputer::new();
+        b.iter(|| computer.compute_batch(&net, &specs));
+    });
     group.finish();
 }
 
@@ -118,6 +166,7 @@ fn bench_isolation(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_route_computation,
+    bench_compute_layer,
     bench_dataplane_walk,
     bench_wire_codec,
     bench_isolation

@@ -153,8 +153,12 @@ pub fn run_convergence(cfg: &ConvergenceConfig) -> ConvergenceResult {
     let prefix = production_prefix();
     let net = &world.net;
 
+    // Static what-if tables are memoized: each poison target's table is
+    // needed for both the prepended and plain baseline passes below.
+    let mut cache = lg_sim::RouteTableCache::new();
+
     // Harvest poison targets from the static baseline.
-    let base_table = lg_sim::compute_routes(
+    let base_table = cache.compute(
         net,
         &AnnouncementSpec::prepended(net, prefix, world.origin, 3),
     );
@@ -193,7 +197,7 @@ pub fn run_convergence(cfg: &ConvergenceConfig) -> ConvergenceResult {
                 .collect();
             // Loss probers: peers with pre-poison routes that survive the
             // poison (the paper excludes completely cut-off sites).
-            let post_static = lg_sim::compute_routes(net, &poisoned);
+            let post_static = cache.compute(net, &poisoned);
             let probers: Vec<AsId> = pre_routes
                 .iter()
                 .map(|(p, _)| *p)

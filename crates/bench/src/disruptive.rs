@@ -12,7 +12,7 @@ use crate::report::{pct, Table};
 use crate::worlds::{production_prefix, MuxWorld};
 use lg_asmap::AsId;
 use lg_sim::dataplane::infra_prefix;
-use lg_sim::{compute_routes, AnnouncementSpec};
+use lg_sim::{compute_routes, AnnouncementSpec, RouteComputer};
 
 /// Outcome of both diversity studies.
 #[derive(Clone, Copy, Debug, Default)]
@@ -52,11 +52,18 @@ impl DiversityResult {
 /// `world.collector_peers`.
 pub fn run_diversity(world: &MuxWorld) -> DiversityResult {
     let net = &world.net;
+    let computer = RouteComputer::new();
     let mut out = DiversityResult::default();
 
     // --- Forward study (§2.3): last-AS-link avoidance via provider choice.
-    for &peer in &world.collector_peers {
-        let table = compute_routes(net, &AnnouncementSpec::plain(net, infra_prefix(peer), peer));
+    // One infra table per collector peer, computed as a parallel batch.
+    let fwd_specs: Vec<AnnouncementSpec> = world
+        .collector_peers
+        .iter()
+        .map(|&peer| AnnouncementSpec::plain(net, infra_prefix(peer), peer))
+        .collect();
+    let fwd_tables = computer.compute_batch(net, &fwd_specs);
+    for table in &fwd_tables {
         // The origin's current route is the best among its providers'.
         let Some(cur) = table.as_path(world.origin) else {
             continue;
@@ -100,26 +107,26 @@ pub fn run_diversity(world: &MuxWorld) -> DiversityResult {
             continue; // directly attached: no transit first hop to avoid
         }
         out.rev_cases += 1;
-        // Poison `peer` via all providers except M, for each M in turn.
-        let mut ok = false;
-        for keep_clean in &world.providers {
-            let poison_via: Vec<AsId> = world
-                .providers
-                .iter()
-                .copied()
-                .filter(|p| p != keep_clean)
-                .collect();
-            let spec =
-                AnnouncementSpec::selective_poison(net, prefix, world.origin, &[peer], &poison_via);
-            let table = compute_routes(net, &spec);
-            match table.next_hop(peer) {
-                Some(nh) if nh != first_hop => {
-                    ok = true;
-                    break;
-                }
-                _ => {}
-            }
-        }
+        // Poison `peer` via all providers except M, for each M in turn —
+        // the per-M what-ifs are independent, so compute them as one batch
+        // and succeed when any of them steers the peer.
+        let rev_specs: Vec<AnnouncementSpec> = world
+            .providers
+            .iter()
+            .map(|keep_clean| {
+                let poison_via: Vec<AsId> = world
+                    .providers
+                    .iter()
+                    .copied()
+                    .filter(|p| p != keep_clean)
+                    .collect();
+                AnnouncementSpec::selective_poison(net, prefix, world.origin, &[peer], &poison_via)
+            })
+            .collect();
+        let ok = computer
+            .compute_batch(net, &rev_specs)
+            .iter()
+            .any(|table| matches!(table.next_hop(peer), Some(nh) if nh != first_hop));
         if ok {
             out.rev_avoidable += 1;
         }
@@ -244,6 +251,7 @@ fn count_disturbed(
 /// world (each peer plays the role of the AS whose first-hop link fails).
 pub fn run_footprint(world: &MuxWorld, max_cases: usize) -> FootprintComparison {
     let net = &world.net;
+    let computer = RouteComputer::new();
     let prefix = production_prefix();
     let baseline_spec = AnnouncementSpec::prepended(net, prefix, world.origin, 3);
     let base = compute_routes(net, &baseline_spec);
@@ -277,8 +285,39 @@ pub fn run_footprint(world: &MuxWorld, max_cases: usize) -> FootprintComparison 
             .filter(|p| *p != via_provider)
             .collect();
 
-        let score = |spec: &AnnouncementSpec, stats: &mut FootprintStats| {
-            let t = compute_routes(net, spec);
+        // The four strategies' what-if tables, computed as one batch:
+        // (a) selective advertising: drop the failing-side provider;
+        // (b) prepend via the failing side (6 copies) vs 3 elsewhere;
+        // (c) global poison of the peer;
+        // (d) selective poison via the failing side only (the paper's).
+        let mut seeds = Vec::new();
+        for p in &world.providers {
+            let copies = if *p == via_provider { 6 } else { 3 };
+            seeds.push((*p, lg_bgp::AsPath::prepended_baseline(world.origin, copies)));
+        }
+        let specs = [
+            AnnouncementSpec::via(
+                prefix,
+                world.origin,
+                lg_bgp::AsPath::prepended_baseline(world.origin, 3),
+                &others,
+            ),
+            AnnouncementSpec {
+                prefix,
+                origin: world.origin,
+                seeds,
+                communities: Vec::new(),
+            },
+            AnnouncementSpec::poisoned(net, prefix, world.origin, &[peer]),
+            AnnouncementSpec::selective_poison(net, prefix, world.origin, &[peer], &[via_provider]),
+        ];
+        let tables = computer.compute_batch(net, &specs);
+        for (t, stats) in tables.iter().zip([
+            &mut out.selective_advertising,
+            &mut out.prepending,
+            &mut out.global_poison,
+            &mut out.selective_poison,
+        ]) {
             stats.cases += 1;
             let ok = match t.next_hop(peer) {
                 Some(nh) => nh != first_hop,
@@ -287,50 +326,8 @@ pub fn run_footprint(world: &MuxWorld, max_cases: usize) -> FootprintComparison 
             if ok {
                 stats.avoided += 1;
             }
-            stats.disturbed += count_disturbed(net, &base, &t, peer);
-        };
-
-        // (a) selective advertising: drop the failing-side provider.
-        score(
-            &AnnouncementSpec::via(
-                prefix,
-                world.origin,
-                lg_bgp::AsPath::prepended_baseline(world.origin, 3),
-                &others,
-            ),
-            &mut out.selective_advertising,
-        );
-        // (b) prepend via the failing side (6 copies) vs 3 elsewhere.
-        let mut seeds = Vec::new();
-        for p in &world.providers {
-            let copies = if *p == via_provider { 6 } else { 3 };
-            seeds.push((*p, lg_bgp::AsPath::prepended_baseline(world.origin, copies)));
+            stats.disturbed += count_disturbed(net, &base, t, peer);
         }
-        score(
-            &AnnouncementSpec {
-                prefix,
-                origin: world.origin,
-                seeds,
-                communities: Vec::new(),
-            },
-            &mut out.prepending,
-        );
-        // (c) global poison of the peer.
-        score(
-            &AnnouncementSpec::poisoned(net, prefix, world.origin, &[peer]),
-            &mut out.global_poison,
-        );
-        // (d) selective poison via the failing side only.
-        score(
-            &AnnouncementSpec::selective_poison(
-                net,
-                prefix,
-                world.origin,
-                &[peer],
-                &[via_provider],
-            ),
-            &mut out.selective_poison,
-        );
     }
     out
 }

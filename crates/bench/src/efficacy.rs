@@ -4,7 +4,7 @@ use crate::report::{pct, Table};
 use crate::worlds::{production_prefix, MuxWorld};
 use lg_asmap::{AsId, TopologyConfig};
 use lg_bgp::Prefix;
-use lg_sim::{compute_routes, AnnouncementSpec};
+use lg_sim::{compute_routes, AnnouncementSpec, RouteComputer};
 use lg_workloads::harvest_poison_targets;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -49,23 +49,32 @@ pub fn run_mux_efficacy(world: &MuxWorld, max_targets: usize) -> MuxEfficacy {
         &world.collector_peers,
         &world.providers,
     );
+    // One poisoned what-if table per target — independent computations,
+    // fanned out as a single parallel batch.
+    let cases: Vec<(AsId, Vec<AsId>)> = targets
+        .into_iter()
+        .take(max_targets)
+        .filter_map(|a| {
+            let affected: Vec<AsId> = world
+                .collector_peers
+                .iter()
+                .copied()
+                .filter(|p| {
+                    base_table
+                        .route(*p)
+                        .is_some_and(|r| r.traverses(a) && *p != a)
+                })
+                .collect();
+            (!affected.is_empty()).then_some((a, affected))
+        })
+        .collect();
+    let specs: Vec<AnnouncementSpec> = cases
+        .iter()
+        .map(|(a, _)| AnnouncementSpec::poisoned(&world.net, prefix, world.origin, &[*a]))
+        .collect();
+    let tables = RouteComputer::new().compute_batch(&world.net, &specs);
     let mut out = MuxEfficacy::default();
-    for a in targets.into_iter().take(max_targets) {
-        let affected: Vec<AsId> = world
-            .collector_peers
-            .iter()
-            .copied()
-            .filter(|p| {
-                base_table
-                    .route(*p)
-                    .is_some_and(|r| r.traverses(a) && *p != a)
-            })
-            .collect();
-        if affected.is_empty() {
-            continue;
-        }
-        let poisoned = AnnouncementSpec::poisoned(&world.net, prefix, world.origin, &[a]);
-        let table = compute_routes(&world.net, &poisoned);
+    for ((a, affected), table) in cases.into_iter().zip(tables) {
         for p in affected {
             out.cases += 1;
             if table.has_route(p) {
@@ -115,6 +124,7 @@ pub fn run_largescale(cfg: &TopologyConfig, n_origins: usize, n_sources: usize) 
     let origins: Vec<AsId> = stubs.iter().copied().take(n_origins).collect();
     let prefix = Prefix::from_octets(184, 164, 224, 0, 20);
 
+    let computer = RouteComputer::new();
     let mut out = SimEfficacy::default();
     for origin in origins {
         let base = compute_routes(&net, &AnnouncementSpec::plain(&net, prefix, origin));
@@ -144,11 +154,13 @@ pub fn run_largescale(cfg: &TopologyConfig, n_origins: usize, n_sources: usize) 
                 }
             }
         }
-        for (a, srcs) in candidates {
-            let table = compute_routes(
-                &net,
-                &AnnouncementSpec::poisoned(&net, prefix, origin, &[a]),
-            );
+        // Poisoned what-ifs for this origin are independent: batch them.
+        let specs: Vec<AnnouncementSpec> = candidates
+            .iter()
+            .map(|(a, _)| AnnouncementSpec::poisoned(&net, prefix, origin, &[*a]))
+            .collect();
+        let tables = computer.compute_batch(&net, &specs);
+        for ((_, srcs), table) in candidates.into_iter().zip(tables) {
             for s in srcs {
                 out.cases += 1;
                 if table.has_route(s) {

@@ -80,21 +80,48 @@ impl ImportPolicy {
         rel_to_sender: Relationship,
         path: &AsPath,
     ) -> bool {
-        if !self.loop_detection.accepts(own, path) {
-            return false;
-        }
-        if self.reject_peers_in_customer_path
-            && rel_to_sender == Relationship::Customer
-            && path.hops().iter().any(|h| peers.contains(h))
-        {
-            return false;
-        }
-        // Only the final hop is the origin; a denied AS anywhere earlier is
-        // a transit appearance.
         let hops = path.hops();
-        let transit = &hops[..hops.len().saturating_sub(1)];
-        if transit.iter().any(|h| self.deny_transit.contains(h)) {
-            return false;
+        self.accepts_hops(own, peers, rel_to_sender, hops.iter().copied(), hops.len())
+    }
+
+    /// [`Self::accepts`] over a hop iterator (nearest-first, `hops_len`
+    /// total hops), for callers that represent paths without materializing
+    /// a `Vec` — the static route engine's hot loop checks candidates
+    /// straight out of its path arena through this.
+    ///
+    /// All three filters run in a single pass: loop detection counts
+    /// occurrences of `own`, the Cogent-style filter scans for peers on
+    /// customer-learned paths, and the transit deny list checks every hop
+    /// except the last (the origin — we refuse to route *through* a denied
+    /// AS, not *to* it).
+    pub fn accepts_hops<I>(
+        &self,
+        own: AsId,
+        peers: &[AsId],
+        rel_to_sender: Relationship,
+        hops: I,
+        hops_len: usize,
+    ) -> bool
+    where
+        I: IntoIterator<Item = AsId>,
+    {
+        let check_peers =
+            self.reject_peers_in_customer_path && rel_to_sender == Relationship::Customer;
+        let reject_at = self.loop_detection.reject_at as u64;
+        let mut own_count: u64 = 0;
+        for (idx, h) in hops.into_iter().enumerate() {
+            if h == own {
+                own_count += 1;
+                if own_count >= reject_at {
+                    return false;
+                }
+            }
+            if check_peers && peers.contains(&h) {
+                return false;
+            }
+            if idx + 1 < hops_len && self.deny_transit.contains(&h) {
+                return false;
+            }
         }
         true
     }

@@ -19,7 +19,7 @@
 use crate::config::LifeguardConfig;
 use lg_asmap::AsId;
 use lg_locate::Blame;
-use lg_sim::{compute_routes, AnnouncementSpec, Network};
+use lg_sim::{AnnouncementSpec, Network, RouteTableCache};
 
 /// A concrete repair: the announcement to make and what it should achieve.
 #[derive(Clone, Debug)]
@@ -54,6 +54,19 @@ pub fn plan_repair(
     blame: Blame,
     target: AsId,
 ) -> Result<RepairPlan, String> {
+    plan_repair_cached(net, cfg, blame, target, &mut RouteTableCache::new())
+}
+
+/// [`plan_repair`] against a shared table cache: the running system plans
+/// repeatedly over one (unchanging) network, so the predicted fixed points
+/// — often the same specs across outages and ticks — memoize well.
+pub fn plan_repair_cached(
+    net: &Network,
+    cfg: &LifeguardConfig,
+    blame: Blame,
+    target: AsId,
+    cache: &mut RouteTableCache,
+) -> Result<RepairPlan, String> {
     let culprit = blame.poison_target();
     if culprit == cfg.origin {
         return Err("failure is in our own network; fix locally".into());
@@ -70,7 +83,7 @@ pub fn plan_repair(
     // provider diversity for it.
     if let Blame::Link(a, b) = blame {
         if providers.len() >= 2 {
-            if let Some(plan) = try_selective(net, cfg, &providers, a, b, target) {
+            if let Some(plan) = try_selective(net, cfg, &providers, a, b, target, cache) {
                 return Ok(plan);
             }
         }
@@ -86,7 +99,7 @@ pub fn plan_repair(
             lg_bgp::AsPath::poisoned(cfg.origin, &poisons),
             &providers,
         );
-        let table = compute_routes(net, &spec);
+        let table = cache.compute(net, &spec);
         if table.has_route(culprit) {
             continue; // poison did not stick (lenient loop detection)
         }
@@ -118,6 +131,7 @@ fn try_selective(
     a: AsId,
     b: AsId,
     target: AsId,
+    cache: &mut RouteTableCache,
 ) -> Option<RepairPlan> {
     // Candidate poison_via sets: each single provider, then each
     // complement-of-one (poison everywhere except one provider).
@@ -136,7 +150,7 @@ fn try_selective(
     for poison_via in candidates {
         let spec =
             AnnouncementSpec::selective_poison(net, cfg.production, cfg.origin, &[a], &poison_via);
-        let table = compute_routes(net, &spec);
+        let table = cache.compute(net, &spec);
         let Some(a_path) = table.as_path(a) else {
             continue; // a lost its route entirely: not selective enough
         };
@@ -164,6 +178,7 @@ mod tests {
     use crate::config::SentinelStrategy;
     use lg_asmap::GraphBuilder;
     use lg_bgp::{ImportPolicy, LoopDetection, Prefix};
+    use lg_sim::compute_routes;
 
     fn pfx() -> Prefix {
         Prefix::from_octets(184, 164, 224, 0, 20)

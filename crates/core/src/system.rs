@@ -1,7 +1,7 @@
 //! The LIFEGUARD control loop.
 
 use crate::config::LifeguardConfig;
-use crate::decide::plan_repair;
+use crate::decide::plan_repair_cached;
 use crate::events::{Event, EventKind};
 use crate::world::World;
 use lg_asmap::AsId;
@@ -51,6 +51,10 @@ pub struct Lifeguard {
     states: HashMap<AsId, TargetState>,
     events: Vec<Event>,
     outage_started: HashMap<AsId, Time>,
+    /// Predicted-fixed-point tables memoized across repair planning and
+    /// union-conflict checks; invalidates itself on network generation
+    /// changes.
+    route_cache: lg_sim::RouteTableCache,
 }
 
 impl Lifeguard {
@@ -77,6 +81,7 @@ impl Lifeguard {
             states,
             events: Vec::new(),
             outage_started: HashMap::new(),
+            route_cache: lg_sim::RouteTableCache::new(),
         }
     }
 
@@ -364,14 +369,20 @@ impl Lifeguard {
             return;
         };
 
-        let plan_result =
-            plan_repair(world.dp.network(), &self.cfg, blame, target).and_then(|plan| {
-                // The production prefix is shared: verify the new poison is
-                // compatible with every repair already in place (the union
-                // announcement must keep all poisoned targets routable).
-                self.union_conflict(world, &plan, target)
-                    .map_or(Ok(plan), Err)
-            });
+        let plan_result = plan_repair_cached(
+            world.dp.network(),
+            &self.cfg,
+            blame,
+            target,
+            &mut self.route_cache,
+        )
+        .and_then(|plan| {
+            // The production prefix is shared: verify the new poison is
+            // compatible with every repair already in place (the union
+            // announcement must keep all poisoned targets routable).
+            self.union_conflict(world, &plan, target)
+                .map_or(Ok(plan), Err)
+        });
         match plan_result {
             Ok(plan) => {
                 let outage_started = *self.outage_started.get(&target).unwrap_or(&now);
@@ -431,7 +442,7 @@ impl Lifeguard {
     /// Would adding `plan` to the active repairs strand any poisoned
     /// target (including the new one)? Returns the reason when it would.
     fn union_conflict(
-        &self,
+        &mut self,
         world: &World<'_>,
         plan: &crate::decide::RepairPlan,
         new_target: AsId,
@@ -477,7 +488,7 @@ impl Lifeguard {
                 &self.cfg.providers,
             )
         };
-        let table = lg_sim::compute_routes(world.dp.network(), &spec);
+        let table = self.route_cache.compute(world.dp.network(), &spec);
         for t in watched {
             if !table.has_route(t) {
                 return Some(format!(

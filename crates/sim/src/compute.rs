@@ -1,0 +1,374 @@
+//! Batched, parallel, memoized route computation.
+//!
+//! Every evaluation artifact in this repo bottoms out in
+//! [`compute_routes`], and most of them compute many tables over the same
+//! network: per-peer infrastructure tables, per-target poisoned variants,
+//! repeated baseline/poison what-ifs. This module adds the two layers those
+//! workloads want:
+//!
+//! * [`RouteComputer`] — fans a batch of [`AnnouncementSpec`]s across OS
+//!   threads (scoped, no runtime dependency) and returns tables in input
+//!   order. Route computations are independent per spec, so this is
+//!   embarrassingly parallel.
+//! * [`RouteTableCache`] — memoizes tables by `(network generation,
+//!   canonical spec key)`. The generation ([`Network::generation`]) is
+//!   re-stamped by every routing-relevant mutation (`set_policy`,
+//!   `set_strips_communities`, and graph surgery like
+//!   `AsGraph::without_link`), so a stale entry can never be served: the
+//!   first computation against a differently-stamped network clears the
+//!   cache.
+
+use crate::announce::AnnouncementSpec;
+use crate::network::Network;
+use crate::static_routes::{compute_routes, RouteTable};
+use lg_asmap::AsId;
+use lg_bgp::{AsPath, Prefix};
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Fans route computations for a batch of specs across threads.
+///
+/// Holds no state besides the thread budget; cheap to construct and
+/// freely shareable by reference.
+#[derive(Clone, Debug)]
+pub struct RouteComputer {
+    threads: usize,
+}
+
+impl Default for RouteComputer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RouteComputer {
+    /// A computer sized to the machine's available parallelism.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        RouteComputer { threads }
+    }
+
+    /// A computer with an explicit thread budget (`threads >= 1`;
+    /// `1` degrades to sequential computation on the caller's thread).
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads >= 1, "RouteComputer needs at least one thread");
+        RouteComputer { threads }
+    }
+
+    /// The thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Compute the converged table for every spec, returned in input order.
+    ///
+    /// Work is distributed dynamically (an atomic work index), so a batch
+    /// mixing small sentinel computations with large poisoned ones stays
+    /// balanced.
+    pub fn compute_batch(&self, net: &Network, specs: &[AnnouncementSpec]) -> Vec<RouteTable> {
+        let workers = self.threads.min(specs.len());
+        if workers <= 1 {
+            return specs.iter().map(|s| compute_routes(net, s)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RouteTable>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= specs.len() {
+                        break;
+                    }
+                    let table = compute_routes(net, &specs[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(table);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every slot filled by a worker")
+            })
+            .collect()
+    }
+}
+
+/// Canonical identity of an announcement: what the fixed point actually
+/// depends on. Seeds are sorted so two specs differing only in seed order
+/// share a cache entry (seed order cannot affect the converged table — the
+/// candidate heap orders by content, not arrival).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct SpecKey {
+    prefix: Prefix,
+    origin: AsId,
+    seeds: Vec<(AsId, AsPath)>,
+    communities: Vec<u32>,
+}
+
+impl SpecKey {
+    fn of(spec: &AnnouncementSpec) -> Self {
+        let mut seeds = spec.seeds.clone();
+        seeds.sort_unstable();
+        SpecKey {
+            prefix: spec.prefix,
+            origin: spec.origin,
+            seeds,
+            communities: spec.communities.clone(),
+        }
+    }
+}
+
+/// Memoizes converged route tables per network generation.
+///
+/// Tables are handed out as `Arc<RouteTable>` so hits are a clone of a
+/// pointer, not of a table. The cache belongs to one logical network: it
+/// tracks the [`Network::generation`] it last computed against and clears
+/// itself whenever a computation arrives with a different stamp (mutation
+/// or a different network entirely).
+#[derive(Debug, Default)]
+pub struct RouteTableCache {
+    /// Generation of the network the cached tables were computed over.
+    generation: Option<u64>,
+    tables: HashMap<SpecKey, Arc<RouteTable>>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl RouteTableCache {
+    /// An empty cache bound to no generation yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lookups served from cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to compute since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Times a generation change flushed a non-empty cache.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Number of cached tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no tables are cached.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Drop all cached tables (counters survive).
+    pub fn clear(&mut self) {
+        self.tables.clear();
+        self.generation = None;
+    }
+
+    /// Flush if `net` carries a different generation than the cached tables.
+    fn sync(&mut self, net: &Network) {
+        let current = net.generation();
+        if self.generation != Some(current) {
+            if !self.tables.is_empty() {
+                self.invalidations += 1;
+                self.tables.clear();
+            }
+            self.generation = Some(current);
+        }
+    }
+
+    /// The converged table for `spec`, computed at most once per
+    /// generation.
+    pub fn compute(&mut self, net: &Network, spec: &AnnouncementSpec) -> Arc<RouteTable> {
+        self.sync(net);
+        let key = SpecKey::of(spec);
+        if let Some(table) = self.tables.get(&key) {
+            self.hits += 1;
+            return Arc::clone(table);
+        }
+        self.misses += 1;
+        let table = Arc::new(compute_routes(net, spec));
+        self.tables.insert(key, Arc::clone(&table));
+        table
+    }
+
+    /// Batch variant: resolve hits, deduplicate the misses, compute them in
+    /// parallel on `computer`, and return tables in input order.
+    pub fn compute_batch(
+        &mut self,
+        computer: &RouteComputer,
+        net: &Network,
+        specs: &[AnnouncementSpec],
+    ) -> Vec<Arc<RouteTable>> {
+        self.sync(net);
+        let keys: Vec<SpecKey> = specs.iter().map(SpecKey::of).collect();
+        // First-appearance index of every key missing from the cache.
+        let mut queued: HashMap<&SpecKey, usize> = HashMap::new();
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            if self.tables.contains_key(key) || queued.contains_key(key) {
+                self.hits += 1;
+                continue;
+            }
+            queued.insert(key, i);
+            missing.push(i);
+        }
+        self.misses += missing.len() as u64;
+        if !missing.is_empty() {
+            let miss_specs: Vec<AnnouncementSpec> =
+                missing.iter().map(|&i| specs[i].clone()).collect();
+            let tables = computer.compute_batch(net, &miss_specs);
+            for (&i, table) in missing.iter().zip(tables) {
+                self.tables.insert(keys[i].clone(), Arc::new(table));
+            }
+        }
+        keys.iter()
+            .map(|key| Arc::clone(self.tables.get(key).expect("all misses just filled")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::static_routes::compute_routes_reference;
+    use lg_asmap::GraphBuilder;
+    use lg_bgp::ImportPolicy;
+
+    fn pfx() -> Prefix {
+        Prefix::from_octets(10, 0, 0, 0, 16)
+    }
+
+    /// Provider chain with a side branch; enough shape for distinct tables.
+    fn net() -> Network {
+        let mut g = GraphBuilder::with_ases(6);
+        g.provider_customer(AsId(1), AsId(0));
+        g.provider_customer(AsId(2), AsId(1));
+        g.provider_customer(AsId(3), AsId(2));
+        g.provider_customer(AsId(4), AsId(0));
+        g.provider_customer(AsId(5), AsId(4));
+        Network::new(g.build())
+    }
+
+    fn specs(net: &Network) -> Vec<AnnouncementSpec> {
+        vec![
+            AnnouncementSpec::plain(net, pfx(), AsId(0)),
+            AnnouncementSpec::prepended(net, pfx(), AsId(0), 3),
+            AnnouncementSpec::poisoned(net, pfx(), AsId(0), &[AsId(2)]),
+            AnnouncementSpec::poisoned(net, pfx(), AsId(0), &[AsId(4)]),
+        ]
+    }
+
+    fn same_table(a: &RouteTable, b: &RouteTable, n: usize) -> bool {
+        (0..n).all(|i| a.route(AsId(i as u32)) == b.route(AsId(i as u32)))
+    }
+
+    #[test]
+    fn batch_matches_scratch_in_input_order() {
+        let net = net();
+        let batch = specs(&net);
+        for threads in [1, 2, 8] {
+            let computer = RouteComputer::with_threads(threads);
+            let tables = computer.compute_batch(&net, &batch);
+            assert_eq!(tables.len(), batch.len());
+            for (spec, table) in batch.iter().zip(&tables) {
+                let scratch = compute_routes(&net, spec);
+                assert!(same_table(table, &scratch, net.len()));
+                let reference = compute_routes_reference(&net, spec);
+                assert!(same_table(table, &reference, net.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_empty_and_single() {
+        let net = net();
+        let computer = RouteComputer::new();
+        assert!(computer.compute_batch(&net, &[]).is_empty());
+        let one = [AnnouncementSpec::plain(&net, pfx(), AsId(0))];
+        assert_eq!(computer.compute_batch(&net, &one).len(), 1);
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_and_on_seed_order() {
+        let net = net();
+        let mut cache = RouteTableCache::new();
+        let spec = AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3);
+        let t1 = cache.compute(&net, &spec);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let t2 = cache.compute(&net, &spec);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(&t1, &t2));
+
+        // Same announcement, seeds listed in reverse: still one entry.
+        let mut reordered = spec.clone();
+        reordered.seeds.reverse();
+        cache.compute(&net, &reordered);
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_invalidates_on_generation_bump() {
+        let mut net = net();
+        let mut cache = RouteTableCache::new();
+        let spec = AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3);
+        cache.compute(&net, &spec);
+        assert_eq!(cache.len(), 1);
+
+        net.set_policy(AsId(1), ImportPolicy::standard());
+        let t = cache.compute(&net, &spec);
+        assert_eq!(cache.invalidations(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        assert!(same_table(&t, &compute_routes(&net, &spec), net.len()));
+    }
+
+    #[test]
+    fn cache_batch_deduplicates_misses() {
+        let net = net();
+        let mut cache = RouteTableCache::new();
+        let computer = RouteComputer::with_threads(2);
+        let spec = AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3);
+        let other = AnnouncementSpec::poisoned(&net, pfx(), AsId(0), &[AsId(2)]);
+        let batch = [spec.clone(), other.clone(), spec.clone(), spec.clone()];
+        let tables = cache.compute_batch(&computer, &net, &batch);
+        assert_eq!(tables.len(), 4);
+        // Two unique specs -> two misses; the repeats hit in-batch.
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+        assert!(Arc::ptr_eq(&tables[0], &tables[2]));
+        assert!(Arc::ptr_eq(&tables[0], &tables[3]));
+        for (s, t) in batch.iter().zip(&tables) {
+            assert!(same_table(t, &compute_routes(&net, s), net.len()));
+        }
+        // A second identical batch is all hits.
+        cache.compute_batch(&computer, &net, &batch);
+        assert_eq!((cache.hits(), cache.misses()), (6, 2));
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let net = net();
+        let mut cache = RouteTableCache::new();
+        let spec = AnnouncementSpec::plain(&net, pfx(), AsId(0));
+        cache.compute(&net, &spec);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 1);
+        cache.compute(&net, &spec);
+        assert_eq!(cache.misses(), 2);
+    }
+}

@@ -15,6 +15,16 @@ use crate::time::Time;
 use lg_asmap::{AsId, RouterId};
 use lg_bgp::{Prefix, PrefixTrie};
 
+/// Preference key for deterministic longest-prefix match: longer masks win;
+/// equal-length covering prefixes break toward the numerically smallest
+/// prefix rather than map-iteration order. ([`Prefix::new`] masks host
+/// bits, so two *distinct* equal-length prefixes cannot both cover one
+/// address — the tiebreak is a guard against that invariant ever loosening,
+/// keeping every FIB lookup reproducible across runs.)
+pub(crate) fn lpm_preference(p: Prefix) -> (u8, std::cmp::Reverse<Prefix>) {
+    (p.len(), std::cmp::Reverse(p))
+}
+
 /// Forwarding decision of one AS for one destination address.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FibEntry {
@@ -189,19 +199,33 @@ impl<'n> DataPlane<'n> {
     /// converged table, replacing any previous table for the same prefix.
     pub fn announce(&mut self, spec: &AnnouncementSpec) -> &RouteTable {
         let table = compute_routes(self.net, spec);
-        let idx = match self.lpm.get(spec.prefix) {
+        let idx = self.install(table);
+        &self.tables[idx]
+    }
+
+    /// Install an already-computed table (from a [`crate::RouteComputer`]
+    /// batch or a [`crate::RouteTableCache`] hit), replacing any previous
+    /// table for the same prefix. The table must have been computed over
+    /// this plane's network.
+    pub fn install_table(&mut self, table: RouteTable) -> &RouteTable {
+        let idx = self.install(table);
+        &self.tables[idx]
+    }
+
+    fn install(&mut self, table: RouteTable) -> usize {
+        match self.lpm.get(table.prefix) {
             Some(&i) => {
                 self.tables[i] = table;
                 i
             }
             None => {
+                let prefix = table.prefix;
                 self.tables.push(table);
                 let i = self.tables.len() - 1;
-                self.lpm.insert(spec.prefix, i);
+                self.lpm.insert(prefix, i);
                 i
             }
-        };
-        &self.tables[idx]
+        }
     }
 
     /// Announce the infra prefix of `a` (plain, unprepended) unless already
@@ -216,9 +240,20 @@ impl<'n> DataPlane<'n> {
     }
 
     /// Announce infra prefixes for every AS in the network.
+    ///
+    /// The tables are independent, so they are computed as one parallel
+    /// batch — this is the single hottest setup step of the large-scale
+    /// scenarios (one fixed point per AS).
     pub fn ensure_infra_all(&mut self) {
-        for a in self.net.graph().ases() {
-            self.ensure_infra(a);
+        let specs: Vec<AnnouncementSpec> = self
+            .net
+            .graph()
+            .ases()
+            .filter(|a| self.table(infra_prefix(*a)).is_none())
+            .map(|a| AnnouncementSpec::plain(self.net, infra_prefix(a), a))
+            .collect();
+        for table in crate::RouteComputer::new().compute_batch(self.net, &specs) {
+            self.install(table);
         }
     }
 
@@ -294,17 +329,13 @@ impl<'n> DataPlane<'n> {
 
 impl Fib for DataPlane<'_> {
     fn lookup(&self, at: AsId, dst_addr: u32) -> Option<FibEntry> {
-        // Most specific prefix covering dst_addr for which `at` has a route.
-        let mut best: Option<(&RouteTable, u8)> = None;
-        for t in &self.tables {
-            if t.prefix.contains(dst_addr) && t.has_route(at) {
-                let len = t.prefix.len();
-                if best.is_none_or(|(_, l)| len > l) {
-                    best = Some((t, len));
-                }
-            }
-        }
-        let (t, _) = best?;
+        // Most specific prefix covering dst_addr for which `at` has a route;
+        // ties (see lpm_preference) resolve identically every run.
+        let t = self
+            .tables
+            .iter()
+            .filter(|t| t.prefix.contains(dst_addr) && t.has_route(at))
+            .max_by_key(|t| lpm_preference(t.prefix))?;
         Some(match t.next_hop(at) {
             None => FibEntry::Deliver,
             Some(n) => FibEntry::Forward(n),
@@ -546,6 +577,21 @@ mod tests {
         dp.announce(&AnnouncementSpec::plain(&net, pfx(), AsId(0)));
         assert_eq!(dp.prefix_of(AsId(0)), Some(pfx()));
         assert_eq!(dp.prefix_of(AsId(3)), None);
+    }
+
+    #[test]
+    fn lpm_preference_breaks_equal_length_ties_by_prefix_value() {
+        // Two equal-length prefixes: the numerically smaller one wins
+        // (max_by_key picks the larger key; Reverse flips the value order).
+        let a = Prefix::from_octets(10, 0, 0, 0, 24);
+        let b = Prefix::from_octets(10, 0, 1, 0, 24);
+        assert!(lpm_preference(a) > lpm_preference(b));
+        // A longer mask always beats, regardless of prefix value.
+        let shorter = Prefix::from_octets(10, 0, 0, 0, 16);
+        assert!(lpm_preference(a) > lpm_preference(shorter));
+        assert!(lpm_preference(b) > lpm_preference(shorter));
+        // Total: equal keys only for equal prefixes.
+        assert_eq!(lpm_preference(a), lpm_preference(a));
     }
 
     #[test]

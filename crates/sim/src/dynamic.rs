@@ -48,11 +48,16 @@ impl Default for DynamicSimConfig {
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Event {
     /// A BGP UPDATE arriving at `to` from `from`; `path = None` withdraws.
+    /// `epoch` is the sending session's epoch (see
+    /// [`DynamicSim::link_epoch`]): a message from a session incarnation
+    /// that has since died is dropped at delivery, even if a *new* session
+    /// over the same link is up by then.
     Recv {
         from: AsId,
         to: AsId,
         prefix: Prefix,
         path: Option<AsPath>,
+        epoch: u64,
     },
     /// The MRAI timer for (node, peer, prefix) fired.
     MraiFire {
@@ -174,6 +179,10 @@ pub struct DynamicSim<'n> {
     /// BGP sessions currently torn down (control-plane-visible link
     /// failures), as unordered pairs.
     down_links: Vec<(AsId, AsId)>,
+    /// Session incarnation per unordered link pair; bumped on both
+    /// [`Self::fail_link`] and [`Self::restore_link`] so updates in flight
+    /// across a fail/restore cycle cannot install stale pre-failure routes.
+    link_epochs: HashMap<(AsId, AsId), u64>,
     /// Failures consulted by [`DynamicSim::walk`].
     pub failures: FailureSet,
 }
@@ -191,6 +200,7 @@ impl<'n> DynamicSim<'n> {
             specs: HashMap::new(),
             metrics: HashMap::new(),
             down_links: Vec::new(),
+            link_epochs: HashMap::new(),
             failures: FailureSet::none(),
         }
     }
@@ -202,6 +212,17 @@ impl<'n> DynamicSim<'n> {
             .any(|(x, y)| (*x == a && *y == b) || (*x == b && *y == a))
     }
 
+    /// Current session epoch of link `a`-`b` (unordered).
+    fn link_epoch(&self, a: AsId, b: AsId) -> u64 {
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        self.link_epochs.get(&key).copied().unwrap_or(0)
+    }
+
+    fn bump_link_epoch(&mut self, a: AsId, b: AsId) {
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        *self.link_epochs.entry(key).or_insert(0) += 1;
+    }
+
     /// Tear down the BGP session over link `a`-`b` (a *control-plane
     /// visible* failure, unlike the silent ones in [`Self::failures`]):
     /// both ends drop everything learned from the other and propagate
@@ -211,6 +232,7 @@ impl<'n> DynamicSim<'n> {
             return;
         }
         self.down_links.push((a, b));
+        self.bump_link_epoch(a, b);
         for (node, peer) in [(a, b), (b, a)] {
             let affected = self.nodes[node.index()].adj_in.withdraw_neighbor(peer);
             for prefix in affected {
@@ -225,6 +247,9 @@ impl<'n> DynamicSim<'n> {
     pub fn restore_link(&mut self, a: AsId, b: AsId) {
         self.down_links
             .retain(|(x, y)| !((*x == a && *y == b) || (*x == b && *y == a)));
+        // A fresh session incarnation: anything still in flight from before
+        // the failure must not be delivered into the revived session.
+        self.bump_link_epoch(a, b);
         // Clear duplicate-suppression state for the revived sessions so the
         // current routes get re-sent, then push them out.
         let prefixes: Vec<Prefix> = self.specs.keys().copied().collect();
@@ -241,6 +266,7 @@ impl<'n> DynamicSim<'n> {
             for (nbr, path) in &spec.seeds {
                 if (spec.origin == a && *nbr == b) || (spec.origin == b && *nbr == a) {
                     let at = self.now + self.link_latency(spec.origin, *nbr);
+                    let epoch = self.link_epoch(spec.origin, *nbr);
                     self.push(
                         at,
                         Event::Recv {
@@ -248,6 +274,7 @@ impl<'n> DynamicSim<'n> {
                             to: *nbr,
                             prefix: spec.prefix,
                             path: Some(path.clone()),
+                            epoch,
                         },
                     );
                 }
@@ -310,7 +337,16 @@ impl<'n> DynamicSim<'n> {
     pub fn announce(&mut self, spec: &AnnouncementSpec) {
         spec.validate(self.net).expect("invalid announcement spec");
         let old = self.specs.insert(spec.prefix, spec.clone());
-        self.metrics.entry(spec.prefix).or_default();
+        // First announcement of this prefix starts its measurement epoch
+        // *now* — `or_default()` would leave `epoch_start` at `Time::ZERO`
+        // and silently inflate `global_convergence_ms` for t>0 announces.
+        let now = self.now;
+        self.metrics
+            .entry(spec.prefix)
+            .or_insert_with(|| PrefixMetrics {
+                epoch_start: now,
+                ..PrefixMetrics::default()
+            });
 
         // Origin's own loc entry so the data plane delivers at the origin.
         self.nodes[spec.origin.index()].loc.insert(
@@ -327,6 +363,7 @@ impl<'n> DynamicSim<'n> {
         let mut sent_to: Vec<AsId> = Vec::new();
         for (nbr, path) in &spec.seeds {
             let at = self.now + self.link_latency(spec.origin, *nbr);
+            let epoch = self.link_epoch(spec.origin, *nbr);
             self.push(
                 at,
                 Event::Recv {
@@ -334,6 +371,7 @@ impl<'n> DynamicSim<'n> {
                     to: *nbr,
                     prefix: spec.prefix,
                     path: Some(path.clone()),
+                    epoch,
                 },
             );
             sent_to.push(*nbr);
@@ -343,6 +381,7 @@ impl<'n> DynamicSim<'n> {
             for (nbr, _) in &old_spec.seeds {
                 if !sent_to.contains(nbr) {
                     let at = self.now + self.link_latency(spec.origin, *nbr);
+                    let epoch = self.link_epoch(spec.origin, *nbr);
                     self.push(
                         at,
                         Event::Recv {
@@ -350,6 +389,7 @@ impl<'n> DynamicSim<'n> {
                             to: *nbr,
                             prefix: spec.prefix,
                             path: None,
+                            epoch,
                         },
                     );
                 }
@@ -365,6 +405,7 @@ impl<'n> DynamicSim<'n> {
         self.nodes[spec.origin.index()].loc.remove(&prefix);
         for (nbr, _) in &spec.seeds {
             let at = self.now + self.link_latency(spec.origin, *nbr);
+            let epoch = self.link_epoch(spec.origin, *nbr);
             self.push(
                 at,
                 Event::Recv {
@@ -372,6 +413,7 @@ impl<'n> DynamicSim<'n> {
                     to: *nbr,
                     prefix,
                     path: None,
+                    epoch,
                 },
             );
         }
@@ -419,7 +461,8 @@ impl<'n> DynamicSim<'n> {
                 to,
                 prefix,
                 path,
-            } => self.handle_recv(from, to, prefix, path),
+                epoch,
+            } => self.handle_recv(from, to, prefix, path, epoch),
             Event::MraiFire { node, peer, prefix } => {
                 let st = self.nodes[node.index()]
                     .out
@@ -431,12 +474,25 @@ impl<'n> DynamicSim<'n> {
         }
     }
 
-    fn handle_recv(&mut self, from: AsId, to: AsId, prefix: Prefix, path: Option<AsPath>) {
+    fn handle_recv(
+        &mut self,
+        from: AsId,
+        to: AsId,
+        prefix: Prefix,
+        path: Option<AsPath>,
+        epoch: u64,
+    ) {
         let Some(rel) = self.net.graph().relationship(to, from) else {
             return; // stale event across a removed adjacency
         };
         if !self.link_up(from, to) {
             return; // message in flight when the session died
+        }
+        if epoch != self.link_epoch(from, to) {
+            // Sent by a dead session incarnation: the link failed (and
+            // possibly revived) while this update was in flight. A real
+            // TCP session would have lost it with the connection.
+            return;
         }
         {
             let node = &mut self.nodes[to.index()];
@@ -573,6 +629,7 @@ impl<'n> DynamicSim<'n> {
             m.last_sent.insert(node, self.now);
         }
         let at = self.now + self.link_latency(node, peer);
+        let epoch = self.link_epoch(node, peer);
         self.push(
             at,
             Event::Recv {
@@ -580,6 +637,7 @@ impl<'n> DynamicSim<'n> {
                 to: peer,
                 prefix,
                 path: content,
+                epoch,
             },
         );
     }
@@ -592,17 +650,16 @@ impl<'n> DynamicSim<'n> {
 
 impl Fib for DynamicSim<'_> {
     fn lookup(&self, at: AsId, dst_addr: u32) -> Option<FibEntry> {
-        let node = &self.nodes[at.index()];
-        let mut best: Option<(&Route, u8)> = None;
-        for (p, r) in &node.loc {
-            if p.contains(dst_addr) {
-                let len = p.len();
-                if best.is_none_or(|(_, l)| len > l) {
-                    best = Some((r, len));
-                }
-            }
-        }
-        let (r, _) = best?;
+        // Longest prefix match over the Loc-RIB. `loc` is a HashMap, so
+        // without an explicit tiebreak equal-length matches would resolve
+        // by iteration order — nondeterministic across runs. The preference
+        // key breaks ties by prefix value; `loc` holds one route per
+        // prefix, so the winner (and thus the route) is unique.
+        let (_, r) = self.nodes[at.index()]
+            .loc
+            .iter()
+            .filter(|(p, _)| p.contains(dst_addr))
+            .max_by_key(|(p, _)| crate::dataplane::lpm_preference(**p))?;
         // The origin's self-route has an empty path.
         if r.path.is_empty() {
             Some(FibEntry::Deliver)
@@ -935,6 +992,84 @@ mod tests {
                 static_table.next_hop(a),
                 "{a} disagrees with static post-cut table"
             );
+        }
+    }
+
+    #[test]
+    fn announce_at_nonzero_time_stamps_epoch_start() {
+        let net = fig2();
+        let mut sim = DynamicSim::new(&net, cfg());
+        sim.run_until(Time(5_000));
+        sim.announce(&AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3));
+        assert_eq!(sim.metrics(pfx()).epoch_start, Time(5_000));
+        sim.run_until_quiescent(Time::from_mins(30));
+        let g = sim.metrics(pfx()).global_convergence_ms().unwrap();
+        assert!(
+            g < 5_000,
+            "convergence must be measured from the announce, not t=0: {g}ms"
+        );
+    }
+
+    #[test]
+    fn stale_inflight_update_dropped_across_fail_restore_cycle() {
+        // Chain O(0) -> B(1) -> C(2): B's first update to C is in flight
+        // when the B-C session dies and revives. The pre-failure update
+        // must not install into the revived session; C converges later via
+        // the session's own (MRAI-paced) re-advertisement.
+        let mut g = GraphBuilder::with_ases(3);
+        g.provider_customer(AsId(1), AsId(0));
+        g.provider_customer(AsId(2), AsId(1));
+        let net = Network::new(g.build());
+        let mut sim = DynamicSim::new(&net, cfg());
+        sim.announce(&AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3));
+        let t1 = sim.link_latency(AsId(0), AsId(1));
+        let t2 = t1 + sim.link_latency(AsId(1), AsId(2));
+        // Process O->B; B selects and its update to C departs (arrives t2).
+        sim.run_until(Time(t1));
+        assert!(sim.loc_route(AsId(1), pfx()).is_some());
+        assert!(sim.loc_route(AsId(2), pfx()).is_none());
+
+        sim.fail_link(AsId(1), AsId(2));
+        sim.restore_link(AsId(1), AsId(2));
+
+        sim.run_until(Time(t2 + 1));
+        assert!(
+            sim.loc_route(AsId(2), pfx()).is_none(),
+            "update from the dead session incarnation leaked through"
+        );
+        // Liveness: the revived session re-advertises and C converges.
+        sim.run_until_quiescent(Time::from_mins(30));
+        assert!(sim.quiescent());
+        assert_eq!(sim.loc_route(AsId(2), pfx()).unwrap().learned_from, AsId(1));
+    }
+
+    #[test]
+    fn fib_lookup_deterministic_across_rebuilds() {
+        // Three nested prefixes covering one address live in each node's
+        // Loc-RIB HashMap; rebuilding the sim reshuffles hash iteration
+        // order, but every lookup must resolve identically (to the most
+        // specific prefix) on every run.
+        let net = fig2();
+        let sentinel = Prefix::from_octets(10, 0, 0, 0, 15);
+        let production = pfx(); // /16
+        let specific = Prefix::from_octets(10, 0, 0, 0, 18);
+        let addr = specific.an_addr();
+        let mut decisions: HashMap<AsId, Option<FibEntry>> = HashMap::new();
+        for round in 0..10 {
+            let mut sim = DynamicSim::new(&net, cfg());
+            for p in [sentinel, production, specific] {
+                sim.announce(&AnnouncementSpec::prepended(&net, p, AsId(0), 3));
+            }
+            sim.run_until_quiescent(Time::from_mins(60));
+            for a in net.graph().ases() {
+                let d = sim.lookup(a, addr);
+                match decisions.get(&a) {
+                    None => {
+                        decisions.insert(a, d);
+                    }
+                    Some(prev) => assert_eq!(*prev, d, "round {round}, AS {a}"),
+                }
+            }
         }
     }
 

@@ -15,6 +15,11 @@ pub struct Network {
     /// ASes that strip community attributes on export (§2.3: "many ASes do
     /// not propagate community values they receive" — notably Tier-1s).
     strips_communities: Vec<bool>,
+    /// Configuration version: starts at the graph's generation and is
+    /// re-stamped by every routing-relevant mutation ([`Self::set_policy`],
+    /// [`Self::set_strips_communities`]). Route caches key on this to
+    /// detect staleness.
+    generation: u64,
 }
 
 impl Network {
@@ -22,17 +27,26 @@ impl Network {
     pub fn new(graph: AsGraph) -> Self {
         let n = graph.len();
         let peer_lists = (0..n as u32).map(|a| graph.peers(AsId(a))).collect();
+        let generation = graph.generation();
         Network {
             graph,
             policies: vec![ImportPolicy::standard(); n],
             peer_lists,
             strips_communities: vec![false; n],
+            generation,
         }
+    }
+
+    /// The configuration generation; changes whenever a mutation could
+    /// change computed routes. See [`lg_asmap::next_generation`].
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Mark `a` as stripping community attributes on export.
     pub fn set_strips_communities(&mut self, a: AsId, strips: bool) {
         self.strips_communities[a.index()] = strips;
+        self.generation = lg_asmap::next_generation();
     }
 
     /// Does `a` strip communities on export?
@@ -64,6 +78,7 @@ impl Network {
     /// filters — §7.1).
     pub fn set_policy(&mut self, a: AsId, policy: ImportPolicy) {
         self.policies[a.index()] = policy;
+        self.generation = lg_asmap::next_generation();
     }
 
     /// Cached peer list of `a`.
@@ -151,6 +166,22 @@ mod tests {
         assert!(n.exports(AsId(0), Some(Relationship::Customer), AsId(1)));
         // No adjacency, no export.
         assert!(!n.exports(AsId(0), None, AsId(2)));
+    }
+
+    #[test]
+    fn generation_bumps_on_mutation() {
+        let mut n = net();
+        let g0 = n.generation();
+        n.set_strips_communities(AsId(1), true);
+        let g1 = n.generation();
+        assert!(g1 > g0, "strips_communities must bump the generation");
+        n.set_policy(AsId(0), ImportPolicy::standard());
+        assert!(n.generation() > g1, "set_policy must bump the generation");
+        // An untouched clone keeps its stamp; distinct networks differ.
+        let other = net();
+        assert_ne!(other.generation(), n.generation());
+        let clone = n.clone();
+        assert_eq!(clone.generation(), n.generation());
     }
 
     #[test]

@@ -22,6 +22,79 @@ use lg_bgp::{AsPath, Prefix, Route};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Sentinel parent id terminating a [`PathArena`] chain.
+const NO_PARENT: u32 = u32::MAX;
+
+/// Shared-structure storage for candidate AS paths.
+///
+/// Every candidate in the fixed-point loop used to carry its own cloned
+/// `AsPath` (and exporting a selected route to `k` neighbors cloned the
+/// exported path `k` times). The arena stores each path as a parent-pointer
+/// chain — `(nearest hop, rest-of-path)` — so an export is one arena push
+/// and candidates carry a `u32` node id. Paths materialize into an `AsPath`
+/// only when an AS actually accepts the route.
+struct PathArena {
+    /// `(hop, parent)`; a node's path reads nearest-first by chasing
+    /// parents until [`NO_PARENT`].
+    nodes: Vec<(AsId, u32)>,
+}
+
+impl PathArena {
+    fn with_capacity(n: usize) -> Self {
+        PathArena {
+            nodes: Vec::with_capacity(n),
+        }
+    }
+
+    fn push(&mut self, hop: AsId, parent: u32) -> u32 {
+        let id = u32::try_from(self.nodes.len()).expect("path arena overflow");
+        self.nodes.push((hop, parent));
+        id
+    }
+
+    /// Store `hops` (nearest-first) as a chain; returns the head node.
+    fn intern(&mut self, hops: &[AsId]) -> u32 {
+        let mut parent = NO_PARENT;
+        for h in hops.iter().rev() {
+            parent = self.push(*h, parent);
+        }
+        parent
+    }
+
+    /// The hops of `node`, nearest-first.
+    fn hops(&self, node: u32) -> PathHops<'_> {
+        PathHops {
+            arena: self,
+            cur: node,
+        }
+    }
+
+    /// Copy the chain out into an owned `AsPath` (only done on acceptance).
+    fn materialize(&self, node: u32, len: usize) -> AsPath {
+        let mut v = Vec::with_capacity(len);
+        v.extend(self.hops(node));
+        AsPath::from_hops(v)
+    }
+}
+
+struct PathHops<'a> {
+    arena: &'a PathArena,
+    cur: u32,
+}
+
+impl Iterator for PathHops<'_> {
+    type Item = AsId;
+
+    fn next(&mut self) -> Option<AsId> {
+        if self.cur == NO_PARENT {
+            return None;
+        }
+        let (hop, parent) = self.arena.nodes[self.cur as usize];
+        self.cur = parent;
+        Some(hop)
+    }
+}
+
 /// The converged routing table for one prefix: each AS's selected route.
 #[derive(Clone, Debug)]
 pub struct RouteTable {
@@ -84,15 +157,28 @@ impl RouteTable {
     }
 }
 
+/// A candidate route awaiting selection, path stored as an arena node id.
+///
+/// The ordering key must reproduce [`compute_routes_reference`]'s, which
+/// ends in a comparison of path *content*. Arena node ids stand in for that
+/// final tiebreak: they are assigned in content-sorted order for seeds (see
+/// the sort in [`compute_routes`]) and in pop order for exports — and two
+/// distinct exported candidates can never tie on `(class, len, to,
+/// learned_from)`, because each AS exports at most once and the origin
+/// (whose duplicate seeds are the only same-`(to, learned_from)` pairs)
+/// never re-exports. So the id comparison either never fires or agrees
+/// with the content comparison.
 #[derive(PartialEq, Eq)]
 struct Candidate {
     class: u8,
-    len: usize,
+    len: u32,
     to: AsId,
     learned_from: AsId,
-    path: AsPath,
+    path: u32,
     rel: Relationship,
-    communities: Vec<u32>,
+    /// Whether the spec's communities are still attached (they are only
+    /// ever the spec's full list or stripped to nothing).
+    with_communities: bool,
 }
 
 impl Ord for Candidate {
@@ -116,9 +202,15 @@ impl PartialOrd for Candidate {
 ///
 /// `spec` should pass [`AnnouncementSpec::validate`]; seeds pointing at
 /// non-neighbors are ignored defensively.
+///
+/// This is the allocation-lean engine: candidate paths live in a shared
+/// [`PathArena`] and communities ride as a flag, so the inner loop pushes
+/// plain `Copy` data. It is differentially tested against
+/// [`compute_routes_reference`] (tests/compute_equivalence.rs).
 pub fn compute_routes(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
     let n = net.len();
     let mut routes: Vec<Option<Route>> = vec![None; n];
+    let mut arena = PathArena::with_capacity(n + spec.seeds.len() * 4);
     let mut heap: BinaryHeap<Reverse<Candidate>> = BinaryHeap::new();
 
     // The origin's own entry: a self-route with an empty path so the data
@@ -131,11 +223,152 @@ pub fn compute_routes(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
         communities: spec.communities.clone(),
     });
 
+    // Seed candidates, sorted by the reference ordering key (content
+    // comparison last) before interning so arena-id order — the heap's
+    // final tiebreak — matches the reference even for duplicate seeds to
+    // the same neighbor.
+    let mut seeds: Vec<(AsId, &AsPath, Relationship)> = spec
+        .seeds
+        .iter()
+        .filter_map(|(nbr, path)| {
+            net.graph()
+                .relationship(*nbr, spec.origin)
+                .map(|rel| (*nbr, path, rel))
+        })
+        .collect();
+    seeds.sort_by(|a, b| {
+        (a.2.pref_class(), a.1.len(), a.0, a.1).cmp(&(b.2.pref_class(), b.1.len(), b.0, b.1))
+    });
+    for (nbr, path, rel) in seeds {
+        let node = arena.intern(path.hops());
+        heap.push(Reverse(Candidate {
+            class: rel.pref_class(),
+            len: path.len() as u32,
+            to: nbr,
+            learned_from: spec.origin,
+            path: node,
+            rel,
+            with_communities: true,
+        }));
+    }
+
+    while let Some(Reverse(cand)) = heap.pop() {
+        let to = cand.to;
+        if routes[to.index()].is_some() {
+            continue; // already selected a better (or equal-popped-first) route
+        }
+        // Import policy: loop detection and filters, straight off the arena.
+        let accepted = net.policy(to).accepts_hops(
+            to,
+            net.peers_of(to),
+            cand.rel,
+            arena.hops(cand.path),
+            cand.len as usize,
+        );
+        if !accepted {
+            continue;
+        }
+        let route = Route {
+            prefix: spec.prefix,
+            path: arena.materialize(cand.path, cand.len as usize),
+            learned_from: cand.learned_from,
+            rel: cand.rel,
+            communities: if cand.with_communities {
+                spec.communities.clone()
+            } else {
+                Vec::new()
+            },
+        };
+
+        // Export the newly selected route: one arena push covers every
+        // neighbor. Communities survive unless this AS strips them.
+        let exported = arena.push(to, cand.path);
+        let exported_len = cand.len + 1;
+        let exported_communities = cand.with_communities && !net.strips_communities(to);
+        for (m, rel_to_m) in net.graph().neighbors(to) {
+            if *m == route.learned_from {
+                continue;
+            }
+            if !route.rel.exportable_to(*rel_to_m) {
+                continue;
+            }
+            if routes[m.index()].is_some() {
+                continue; // m already finalized; candidate would lose anyway
+            }
+            let m_rel = rel_to_m.reverse(); // m's view of `to`
+            heap.push(Reverse(Candidate {
+                class: m_rel.pref_class(),
+                len: exported_len,
+                to: *m,
+                learned_from: to,
+                path: exported,
+                rel: m_rel,
+                with_communities: exported_communities,
+            }));
+        }
+
+        routes[to.index()] = Some(route);
+    }
+
+    // The origin's self-route must not leak out as a normal route.
+    RouteTable {
+        prefix: spec.prefix,
+        origin: spec.origin,
+        routes,
+    }
+}
+
+/// Reference candidate for [`compute_routes_reference`]: owns its path and
+/// communities, ordering key identical to the original engine.
+#[derive(PartialEq, Eq)]
+struct RefCandidate {
+    class: u8,
+    len: usize,
+    to: AsId,
+    learned_from: AsId,
+    path: AsPath,
+    rel: Relationship,
+    communities: Vec<u32>,
+}
+
+impl Ord for RefCandidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.class
+            .cmp(&other.class)
+            .then_with(|| self.len.cmp(&other.len))
+            .then_with(|| self.to.cmp(&other.to))
+            .then_with(|| self.learned_from.cmp(&other.learned_from))
+            .then_with(|| self.path.cmp(&other.path))
+    }
+}
+
+impl PartialOrd for RefCandidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The original clone-heavy fixed point, kept verbatim as a differential
+/// oracle for [`compute_routes`]. Not part of the public API.
+#[doc(hidden)]
+pub fn compute_routes_reference(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
+    let n = net.len();
+    let mut routes: Vec<Option<Route>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<RefCandidate>> = BinaryHeap::new();
+
+    routes[spec.origin.index()] = Some(Route {
+        prefix: spec.prefix,
+        path: AsPath::empty(),
+        learned_from: spec.origin,
+        rel: Relationship::Customer,
+        communities: spec.communities.clone(),
+    });
+
     for (nbr, path) in &spec.seeds {
         let Some(rel) = net.graph().relationship(*nbr, spec.origin) else {
             continue;
         };
-        heap.push(Reverse(Candidate {
+        heap.push(Reverse(RefCandidate {
             class: rel.pref_class(),
             len: path.len(),
             to: *nbr,
@@ -149,9 +382,8 @@ pub fn compute_routes(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
     while let Some(Reverse(cand)) = heap.pop() {
         let to = cand.to;
         if routes[to.index()].is_some() {
-            continue; // already selected a better (or equal-popped-first) route
+            continue;
         }
-        // Import policy: loop detection and filters.
         let accepted = net
             .policy(to)
             .accepts(to, net.peers_of(to), cand.rel, &cand.path);
@@ -166,8 +398,6 @@ pub fn compute_routes(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
             communities: cand.communities,
         };
 
-        // Export the newly selected route; communities survive unless this
-        // AS strips them.
         let exported = route.path.announced_by(to);
         let exported_communities = if net.strips_communities(to) {
             Vec::new()
@@ -182,10 +412,10 @@ pub fn compute_routes(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
                 continue;
             }
             if routes[m.index()].is_some() {
-                continue; // m already finalized; candidate would lose anyway
+                continue;
             }
-            let m_rel = rel_to_m.reverse(); // m's view of `to`
-            heap.push(Reverse(Candidate {
+            let m_rel = rel_to_m.reverse();
+            heap.push(Reverse(RefCandidate {
                 class: m_rel.pref_class(),
                 len: exported.len(),
                 to: *m,
@@ -199,7 +429,6 @@ pub fn compute_routes(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
         routes[to.index()] = Some(route);
     }
 
-    // The origin's self-route must not leak out as a normal route.
     RouteTable {
         prefix: spec.prefix,
         origin: spec.origin,

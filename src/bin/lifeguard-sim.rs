@@ -44,14 +44,13 @@ fn main() -> ExitCode {
 
     if as_json {
         // Event log as structured JSON lines.
+        use lifeguard_repro::json::Value;
         for e in &out.events {
-            println!(
-                "{}",
-                serde_json::json!({
-                    "at_ms": e.at.millis(),
-                    "event": format!("{:?}", e.kind),
-                })
-            );
+            let line = Value::Obj(vec![
+                ("at_ms".into(), Value::Num(e.at.millis() as f64)),
+                ("event".into(), Value::Str(format!("{:?}", e.kind))),
+            ]);
+            println!("{line}");
         }
         return ExitCode::SUCCESS;
     }

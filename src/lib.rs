@@ -4,6 +4,7 @@
 //! one coherent namespace. See `README.md` for the tour and `DESIGN.md` for
 //! the paper-to-module mapping.
 
+pub mod json;
 pub mod scenario;
 
 pub use lg_asmap as asmap;

@@ -6,17 +6,16 @@
 //! `scenarios/*.json` for examples) so downstream users can script
 //! experiments without writing Rust.
 
+use crate::json::{self, Value};
 use lg_asmap::{AsId, TopologyConfig, TopologyKind};
 use lg_bgp::Prefix;
 use lg_sim::dataplane::infra_prefix;
 use lg_sim::failures::{Failure, NetElement};
 use lg_sim::{Network, Time};
 use lifeguard_core::{Event, Lifeguard, LifeguardConfig, World};
-use serde::{Deserialize, Serialize};
 
 /// Topology selection.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Debug)]
 pub enum TopologySpec {
     /// ~50 ASes.
     Small {
@@ -74,8 +73,7 @@ impl TopologySpec {
 }
 
 /// An AS id or "pick one automatically".
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-#[serde(untagged)]
+#[derive(Clone, Copy, Debug)]
 pub enum AsPick {
     /// Explicit AS number.
     Explicit(u32),
@@ -84,16 +82,14 @@ pub enum AsPick {
 }
 
 /// The literal string `"auto"`.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Copy, Debug)]
 pub enum AutoTag {
     /// Pick automatically.
     Auto,
 }
 
 /// Which destination prefix a failure affects.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq, Eq)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TowardSpec {
     /// The production prefix, the sentinel, and the origin's infra prefix —
     /// a full reverse-path failure toward the deployment.
@@ -105,39 +101,34 @@ pub enum TowardSpec {
 }
 
 /// One failure in the timeline.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FailureSpec {
     /// The failed AS (`{"as": 7}`) or link (`{"link": [2, 4]}`).
-    #[serde(flatten)]
     pub element: ElementSpec,
     /// Scope of affected destinations.
     pub toward: TowardSpec,
     /// Start minute.
     pub start_min: u64,
     /// End minute (omit for "until the end").
-    #[serde(default)]
     pub end_min: Option<u64>,
 }
 
-/// Serialized failure element.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+/// Serialized failure element (flattened into the failure object as
+/// `"as"`, `"link"`, or `"auto"`).
+#[derive(Clone, Debug)]
 pub enum ElementSpec {
     /// A whole AS.
-    #[serde(rename = "as")]
     As(u32),
     /// An AS-AS link.
-    #[serde(rename = "link")]
     Link(u32, u32),
     /// Resolved at run time: `{"auto": "reverse_transit"}` fails the first
     /// transit AS on the reverse path from the first target back to the
     /// origin — guaranteed to hit the monitored path.
-    #[serde(rename = "auto")]
     Auto(AutoElement),
 }
 
 /// Auto-resolved failure elements.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Copy, Debug)]
 pub enum AutoElement {
     /// First transit AS on the reverse path target → origin.
     ReverseTransit,
@@ -146,7 +137,7 @@ pub enum AutoElement {
 }
 
 /// A complete scenario.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Scenario {
     /// Topology to generate.
     pub topology: TopologySpec,
@@ -350,9 +341,216 @@ pub fn run(scenario: &Scenario) -> Result<RunOutcome, ScenarioError> {
     })
 }
 
+fn err(msg: impl Into<String>) -> ScenarioError {
+    ScenarioError(msg.into())
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, ScenarioError> {
+    v.get(key)
+        .ok_or_else(|| err(format!("missing field {key:?}")))
+}
+
+fn as_u64(v: &Value, what: &str) -> Result<u64, ScenarioError> {
+    v.as_u64()
+        .ok_or_else(|| err(format!("{what} must be a non-negative integer")))
+}
+
+fn as_u32(v: &Value, what: &str) -> Result<u32, ScenarioError> {
+    let n = as_u64(v, what)?;
+    u32::try_from(n).map_err(|_| err(format!("{what} does not fit in 32 bits")))
+}
+
+fn as_usize(v: &Value, what: &str) -> Result<usize, ScenarioError> {
+    Ok(as_u64(v, what)? as usize)
+}
+
+fn parse_topology(v: &Value) -> Result<TopologySpec, ScenarioError> {
+    let fields = v
+        .as_obj()
+        .ok_or_else(|| err("topology must be an object"))?;
+    let (tag, body) = match fields {
+        [(tag, body)] => (tag.as_str(), body),
+        _ => return Err(err("topology must have exactly one variant key")),
+    };
+    match tag {
+        "small" => Ok(TopologySpec::Small {
+            seed: as_u64(field(body, "seed")?, "seed")?,
+        }),
+        "medium" => Ok(TopologySpec::Medium {
+            seed: as_u64(field(body, "seed")?, "seed")?,
+        }),
+        "large" => Ok(TopologySpec::Large {
+            seed: as_u64(field(body, "seed")?, "seed")?,
+        }),
+        "custom" => Ok(TopologySpec::Custom {
+            tier1: as_usize(field(body, "tier1")?, "tier1")?,
+            tier2: as_usize(field(body, "tier2")?, "tier2")?,
+            tier3: as_usize(field(body, "tier3")?, "tier3")?,
+            stubs: as_usize(field(body, "stubs")?, "stubs")?,
+            seed: as_u64(field(body, "seed")?, "seed")?,
+        }),
+        other => Err(err(format!("unknown topology {other:?}"))),
+    }
+}
+
+fn parse_pick(v: &Value, what: &str) -> Result<AsPick, ScenarioError> {
+    match v {
+        Value::Str(s) if s == "auto" => Ok(AsPick::Auto(AutoTag::Auto)),
+        Value::Num(_) => Ok(AsPick::Explicit(as_u32(v, what)?)),
+        _ => Err(err(format!("{what} must be an AS number or \"auto\""))),
+    }
+}
+
+fn parse_picks(v: &Value, what: &str) -> Result<Vec<AsPick>, ScenarioError> {
+    v.as_arr()
+        .ok_or_else(|| err(format!("{what} must be an array")))?
+        .iter()
+        .map(|p| parse_pick(p, what))
+        .collect()
+}
+
+fn parse_failure(v: &Value) -> Result<FailureSpec, ScenarioError> {
+    let element = if let Some(a) = v.get("as") {
+        ElementSpec::As(as_u32(a, "as")?)
+    } else if let Some(l) = v.get("link") {
+        match l.as_arr() {
+            Some([a, b]) => ElementSpec::Link(as_u32(a, "link")?, as_u32(b, "link")?),
+            _ => return Err(err("link must be a two-element array")),
+        }
+    } else if let Some(a) = v.get("auto") {
+        match a.as_str() {
+            Some("reverse_transit") => ElementSpec::Auto(AutoElement::ReverseTransit),
+            Some("reverse_link") => ElementSpec::Auto(AutoElement::ReverseLink),
+            _ => return Err(err("auto element must be reverse_transit or reverse_link")),
+        }
+    } else {
+        return Err(err("failure needs an \"as\", \"link\", or \"auto\" key"));
+    };
+    let toward = match field(v, "toward")?.as_str() {
+        Some("origin_prefixes") => TowardSpec::OriginPrefixes,
+        Some("target") => TowardSpec::Target,
+        Some("all") => TowardSpec::All,
+        _ => return Err(err("toward must be origin_prefixes, target, or all")),
+    };
+    let end_min = match v.get("end_min") {
+        None | Some(Value::Null) => None,
+        Some(e) => Some(as_u64(e, "end_min")?),
+    };
+    Ok(FailureSpec {
+        element,
+        toward,
+        start_min: as_u64(field(v, "start_min")?, "start_min")?,
+        end_min,
+    })
+}
+
 /// Parse a scenario from JSON.
 pub fn parse(json: &str) -> Result<Scenario, ScenarioError> {
-    serde_json::from_str(json).map_err(|e| ScenarioError(e.to_string()))
+    let v = json::parse(json).map_err(err)?;
+    let failures = field(&v, "failures")?
+        .as_arr()
+        .ok_or_else(|| err("failures must be an array"))?
+        .iter()
+        .map(parse_failure)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Scenario {
+        topology: parse_topology(field(&v, "topology")?)?,
+        origin: parse_pick(field(&v, "origin")?, "origin")?,
+        targets: parse_picks(field(&v, "targets")?, "targets")?,
+        vantage_points: parse_picks(field(&v, "vantage_points")?, "vantage_points")?,
+        failures,
+        duration_min: as_u64(field(&v, "duration_min")?, "duration_min")?,
+    })
+}
+
+fn num(n: u64) -> Value {
+    Value::Num(n as f64)
+}
+
+fn pick_value(p: AsPick) -> Value {
+    match p {
+        AsPick::Explicit(v) => num(v as u64),
+        AsPick::Auto(_) => Value::Str("auto".into()),
+    }
+}
+
+/// Serialize a scenario back to the JSON format [`parse`] accepts.
+pub fn to_json(sc: &Scenario) -> String {
+    let topology = match sc.topology {
+        TopologySpec::Small { seed } => Value::Obj(vec![(
+            "small".into(),
+            Value::Obj(vec![("seed".into(), num(seed))]),
+        )]),
+        TopologySpec::Medium { seed } => Value::Obj(vec![(
+            "medium".into(),
+            Value::Obj(vec![("seed".into(), num(seed))]),
+        )]),
+        TopologySpec::Large { seed } => Value::Obj(vec![(
+            "large".into(),
+            Value::Obj(vec![("seed".into(), num(seed))]),
+        )]),
+        TopologySpec::Custom {
+            tier1,
+            tier2,
+            tier3,
+            stubs,
+            seed,
+        } => Value::Obj(vec![(
+            "custom".into(),
+            Value::Obj(vec![
+                ("tier1".into(), num(tier1 as u64)),
+                ("tier2".into(), num(tier2 as u64)),
+                ("tier3".into(), num(tier3 as u64)),
+                ("stubs".into(), num(stubs as u64)),
+                ("seed".into(), num(seed)),
+            ]),
+        )]),
+    };
+    let failures: Vec<Value> = sc
+        .failures
+        .iter()
+        .map(|f| {
+            let mut fields = vec![match f.element {
+                ElementSpec::As(a) => ("as".into(), num(a as u64)),
+                ElementSpec::Link(a, b) => (
+                    "link".into(),
+                    Value::Arr(vec![num(a as u64), num(b as u64)]),
+                ),
+                ElementSpec::Auto(AutoElement::ReverseTransit) => {
+                    ("auto".into(), Value::Str("reverse_transit".into()))
+                }
+                ElementSpec::Auto(AutoElement::ReverseLink) => {
+                    ("auto".into(), Value::Str("reverse_link".into()))
+                }
+            }];
+            let toward = match f.toward {
+                TowardSpec::OriginPrefixes => "origin_prefixes",
+                TowardSpec::Target => "target",
+                TowardSpec::All => "all",
+            };
+            fields.push(("toward".into(), Value::Str(toward.into())));
+            fields.push(("start_min".into(), num(f.start_min)));
+            if let Some(e) = f.end_min {
+                fields.push(("end_min".into(), num(e)));
+            }
+            Value::Obj(fields)
+        })
+        .collect();
+    Value::Obj(vec![
+        ("topology".into(), topology),
+        ("origin".into(), pick_value(sc.origin)),
+        (
+            "targets".into(),
+            Value::Arr(sc.targets.iter().copied().map(pick_value).collect()),
+        ),
+        (
+            "vantage_points".into(),
+            Value::Arr(sc.vantage_points.iter().copied().map(pick_value).collect()),
+        ),
+        ("failures".into(), Value::Arr(failures)),
+        ("duration_min".into(), num(sc.duration_min)),
+    ])
+    .to_string()
 }
 
 #[cfg(test)]
@@ -378,9 +576,11 @@ mod tests {
         assert!(matches!(sc.failures[0].element, ElementSpec::As(15)));
         assert_eq!(sc.failures[0].toward, TowardSpec::OriginPrefixes);
         // Serialize back and reparse.
-        let json = serde_json::to_string(&sc).unwrap();
+        let json = to_json(&sc);
         let again = parse(&json).unwrap();
         assert_eq!(again.duration_min, 90);
+        assert!(matches!(again.failures[0].element, ElementSpec::As(15)));
+        assert_eq!(again.failures[0].end_min, Some(70));
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Integration: the parallel, memoized compute layer must be observationally
+//! identical to a scratch `compute_routes` call — for every announcement
+//! shape the system issues (plain, prepended, globally poisoned, selectively
+//! poisoned), for any thread count, across cache hits, and across
+//! generation-bump invalidations. `compute_routes` itself is additionally
+//! pinned against the retained pre-arena reference engine.
+
+use std::sync::Arc;
+
+use lifeguard_repro::asmap::{AsId, TopologyConfig};
+use lifeguard_repro::bgp::{ImportPolicy, LoopDetection, Prefix};
+use lifeguard_repro::sim::static_routes::{compute_routes_reference, RouteTable};
+use lifeguard_repro::sim::{
+    compute_routes, AnnouncementSpec, Network, RouteComputer, RouteTableCache,
+};
+use proptest::prelude::*;
+
+fn pfx() -> Prefix {
+    Prefix::from_octets(184, 164, 224, 0, 20)
+}
+
+/// A multi-homed stub to originate from (the LIFEGUARD deployment shape).
+/// Falls back to any stub when the generated topology has no multi-homed
+/// one.
+fn pick_origin(net: &Network) -> AsId {
+    net.graph()
+        .ases()
+        .find(|a| net.graph().is_stub(*a) && net.graph().providers(*a).len() >= 2)
+        .or_else(|| net.graph().ases().find(|a| net.graph().is_stub(*a)))
+        .expect("generated topology has stubs")
+}
+
+/// Every announcement shape the repair planner and benches issue. The
+/// poison target sits two levels above the origin when the topology is deep
+/// enough (the interesting case: reroutes rather than disconnects).
+fn spec_menu(net: &Network, origin: AsId) -> Vec<AnnouncementSpec> {
+    let providers = net.graph().providers(origin);
+    let above = net.graph().providers(providers[0]);
+    let target = if above.is_empty() {
+        providers[0]
+    } else {
+        above[0]
+    };
+    let mut specs = vec![
+        AnnouncementSpec::plain(net, pfx(), origin),
+        AnnouncementSpec::prepended(net, pfx(), origin, 3),
+        AnnouncementSpec::poisoned(net, pfx(), origin, &[target]),
+    ];
+    if providers.len() >= 2 {
+        specs.push(AnnouncementSpec::selective_poison(
+            net,
+            pfx(),
+            origin,
+            &[target],
+            &providers[..1],
+        ));
+    }
+    specs
+}
+
+/// Full observational equality: same prefix, origin, and per-AS selected
+/// route (path, neighbor, relationship, communities).
+fn assert_same_table(
+    label: &str,
+    got: &RouteTable,
+    want: &RouteTable,
+    net: &Network,
+) -> Result<(), proptest::TestCaseError> {
+    prop_assert_eq!(got.prefix, want.prefix, "{}: prefix", label);
+    prop_assert_eq!(got.origin, want.origin, "{}: origin", label);
+    for a in net.graph().ases() {
+        prop_assert_eq!(got.route(a), want.route(a), "{}: route at {}", label, a);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary small topologies and any thread count, the batch
+    /// engine, the cache (miss and hit paths), the scratch engine, and the
+    /// reference engine all agree route-for-route.
+    #[test]
+    fn compute_layer_matches_scratch_engine(seed in 1u64..10_000, threads in 1usize..5) {
+        let net = Network::new(TopologyConfig::small(seed).generate());
+        let origin = pick_origin(&net);
+        let specs = spec_menu(&net, origin);
+
+        let computer = RouteComputer::with_threads(threads);
+        let mut cache = RouteTableCache::new();
+        let tables = cache.compute_batch(&computer, &net, &specs);
+        prop_assert_eq!(tables.len(), specs.len());
+
+        for (spec, table) in specs.iter().zip(&tables) {
+            let scratch = compute_routes(&net, spec);
+            let reference = compute_routes_reference(&net, spec);
+            assert_same_table("batch vs scratch", table, &scratch, &net)?;
+            assert_same_table("scratch vs reference", &scratch, &reference, &net)?;
+        }
+
+        // A second pass over the same specs must be pure cache hits: the
+        // very same tables, not recomputations.
+        let misses_after_first = cache.misses();
+        let again = cache.compute_batch(&computer, &net, &specs);
+        prop_assert_eq!(cache.misses(), misses_after_first, "second batch recomputed");
+        for (first, second) in tables.iter().zip(&again) {
+            prop_assert!(Arc::ptr_eq(first, second), "hit returned a different table");
+        }
+    }
+
+    /// Mutating the network bumps its generation; the cache must drop its
+    /// tables and recompute against the new policies, never serving a
+    /// stale fixed point.
+    #[test]
+    fn cache_recomputes_after_network_mutation(seed in 1u64..10_000) {
+        let mut net = Network::new(TopologyConfig::small(seed).generate());
+        let origin = pick_origin(&net);
+        let providers = net.graph().providers(origin);
+        let above = net.graph().providers(providers[0]);
+        let target = if above.is_empty() { providers[0] } else { above[0] };
+        let spec = AnnouncementSpec::poisoned(&net, pfx(), origin, &[target]);
+
+        let mut cache = RouteTableCache::new();
+        let before = cache.compute(&net, &spec);
+        assert_same_table("pre-mutation", &before, &compute_routes(&net, &spec), &net)?;
+
+        // Lenient loop detection at the poison target (§7.1): the single
+        // poison no longer sticks, so the fixed point genuinely changes.
+        net.set_policy(
+            target,
+            ImportPolicy {
+                loop_detection: LoopDetection::max_occurrences(1),
+                ..ImportPolicy::standard()
+            },
+        );
+        let after = cache.compute(&net, &spec);
+        prop_assert!(cache.invalidations() >= 1, "mutation did not invalidate");
+        assert_same_table("post-mutation", &after, &compute_routes(&net, &spec), &net)?;
+        prop_assert!(after.has_route(target), "lenient target must ignore one poison");
+        prop_assert!(!before.has_route(target), "strict target must drop the poison");
+    }
+}

@@ -1,0 +1,269 @@
+//! Vendored offline stand-in for the slice of the `criterion` API this
+//! workspace uses.
+//!
+//! The build environment has no crates.io access, so the benches run on this
+//! minimal harness: `Criterion::{bench_function, benchmark_group}`,
+//! `Bencher::{iter, iter_batched}`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: after a short warm-up, each benchmark runs enough
+//! iterations to fill a fixed measurement window (default 300 ms, or
+//! `CRITERION_MEASURE_MS`), split into samples so the report can show
+//! median and spread rather than a single mean. No plotting, no statistical
+//! regression — the numbers print to stdout in a stable, diffable format.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many iterations `iter_batched` runs per setup batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch.
+    SmallInput,
+    /// Large inputs: one iteration per batch.
+    LargeInput,
+    /// Exactly one iteration per batch.
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure_ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            warm_up: Duration::from_millis(measure_ms / 3),
+            measurement: Duration::from_millis(measure_ms),
+            samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: self.samples,
+            result: None,
+        };
+        f(&mut b);
+        report(id, b.result);
+        self
+    }
+
+    /// Start a named group; member benchmarks print as `group/label`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Clone, Copy, Debug)]
+struct Stats {
+    min: f64,
+    median: f64,
+    max: f64,
+}
+
+/// Runs the measured routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: u32,
+    result: Option<Stats>,
+}
+
+impl Bencher {
+    /// Measure `routine` called in a loop.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: also estimates iterations/second for sample sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let per_sample = self.measurement.as_secs_f64() / self.samples as f64;
+        let iters = ((per_sample / per_iter).ceil() as u64).max(1);
+
+        let mut sample_ns = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            sample_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.result = Some(stats_of(&mut sample_ns));
+    }
+
+    /// Measure `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up and per-iteration estimate.
+        let mut warm_iters = 0u64;
+        let mut warm_spent = Duration::ZERO;
+        while warm_spent < self.warm_up || warm_iters == 0 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            warm_spent += start.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = warm_spent.as_secs_f64() / warm_iters as f64;
+        let per_sample = self.measurement.as_secs_f64() / self.samples as f64;
+        let iters = ((per_sample / per_iter).ceil() as u64).max(1);
+
+        let mut sample_ns = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let mut spent = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                spent += start.elapsed();
+            }
+            sample_ns.push(spent.as_nanos() as f64 / iters as f64);
+        }
+        self.result = Some(stats_of(&mut sample_ns));
+    }
+}
+
+fn stats_of(samples: &mut [f64]) -> Stats {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Stats {
+        min: samples[0],
+        median: samples[samples.len() / 2],
+        max: samples[samples.len() - 1],
+    }
+}
+
+fn report(id: &str, stats: Option<Stats>) {
+    match stats {
+        Some(s) => println!(
+            "{id:<44} time: [{} {} {}]",
+            fmt_ns(s.min),
+            fmt_ns(s.median),
+            fmt_ns(s.max)
+        ),
+        None => println!("{id:<44} (no measurement)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_a_measurement() {
+        std::env::set_var("CRITERION_MEASURE_MS", "10");
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+        std::env::remove_var("CRITERION_MEASURE_MS");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        std::env::set_var("CRITERION_MEASURE_MS", "10");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        std::env::remove_var("CRITERION_MEASURE_MS");
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.3456), "12.35 ns");
+        assert!(fmt_ns(12_345.6).contains("µs"));
+        assert!(fmt_ns(12_345_678.0).contains("ms"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Vendored offline stand-in for the slice of the `proptest` API this
+//! workspace uses.
+//!
+//! The build environment has no crates.io access, so property tests run on
+//! this minimal re-implementation: the [`proptest!`] macro (supporting both
+//! `name: Type` and `name in strategy` parameters plus
+//! `#![proptest_config(...)]`), integer-range / `any::<T>()` / tuple /
+//! [`collection::vec`] / [`option::of`] strategies, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * no shrinking — a failing case reports its case index and seed so it can
+//!   be replayed deterministically, but is not minimized;
+//! * case generation is seeded from the test's module path, so runs are
+//!   reproducible across processes without a persistence file.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Any, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Deterministic per-case RNG: seed derives from the fully qualified test
+/// name and the case index, so failures replay without a persistence file.
+pub fn rng_for_case(test_name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng {
+        inner: SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9e37)),
+    }
+}
+
+/// Defines property tests.
+///
+/// Each `fn` inside the block becomes a `#[test]` running
+/// [`ProptestConfig::cases`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each test fn in a `proptest!` block.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident ($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let test_name = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let mut rng = $crate::rng_for_case(test_name, case);
+                $crate::__proptest_bind!(rng, $($params)*);
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                if let Err(e) = outcome {
+                    panic!(
+                        "proptest {test_name} failed at case {case}/{}: {e}",
+                        config.cases
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: binds one generated value per parameter.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident : $ty:ty) => {
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+    };
+    ($rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test; failure aborts the case with
+/// a formatted message instead of unwinding mid-generation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let s = 0u32..100;
+        let mut a = crate::rng_for_case("t", 3);
+        let mut b = crate::rng_for_case("t", 3);
+        assert_eq!(s.generate(&mut a), (0u32..100).generate(&mut b));
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_in_range(x in 10u32..20, y: u8) {
+            prop_assert!((10..20).contains(&x));
+            let _ = y;
+        }
+
+        #[test]
+        fn tuples_and_collections(
+            pairs in proptest::collection::vec((any::<u32>(), 0u8..=32), 1..10),
+            maybe in proptest::option::of(any::<u32>()),
+        ) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 10);
+            for (_, len) in &pairs {
+                prop_assert!(*len <= 32);
+            }
+            let _ = maybe;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        /// Doc comments and explicit configs parse.
+        #[test]
+        fn configured_case_count(v in proptest::collection::vec(any::<u64>(), 0..4)) {
+            prop_assert!(v.len() < 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_info() {
+        proptest! {
+            fn always_fails(x: u32) {
+                let unlucky = x / 2 <= x;
+                prop_assert!(!unlucky, "forced failure");
+            }
+        }
+        always_fails();
+    }
+}

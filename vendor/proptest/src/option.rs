@@ -1,0 +1,24 @@
+//! Option strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy for `Option<T>` — see [`of`].
+pub struct OptionStrategy<S>(S);
+
+/// `Some` (75% of cases, matching upstream's default weighting) or `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.gen_bool(0.75) {
+            Some(self.0.generate(rng))
+        } else {
+            None
+        }
+    }
+}

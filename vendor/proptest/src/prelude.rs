@@ -1,0 +1,5 @@
+//! The usual imports: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};

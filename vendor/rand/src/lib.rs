@@ -1,0 +1,290 @@
+//! Vendored offline stand-in for the slice of the `rand` 0.8 API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! the handful of primitives it needs under the same names and module paths:
+//! `SmallRng::seed_from_u64`, `Rng::{gen_range, gen_bool}` over integer and
+//! float ranges, and `SliceRandom::{shuffle, choose}`.
+//!
+//! `SmallRng` here is xoshiro256++ seeded via SplitMix64 — the same
+//! construction rand 0.8 uses on 64-bit targets — so the statistical
+//! properties the topology generator and workload samplers rely on
+//! (uniformity, long period, cheap jumps) hold. Streams are deterministic
+//! per seed but are **not** guaranteed to be bit-identical to upstream rand;
+//! everything in-tree treats seeded streams as an implementation detail and
+//! only requires determinism.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Next uniform `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[low, high)`; panics when the range is empty.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform sample from `[low, high]`; panics when the range is empty.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as u128).wrapping_sub(low as u128) as u64;
+                low.wrapping_add(uniform_u64_below(rng, span) as Self)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as u128).wrapping_sub(low as u128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as Self;
+                }
+                low.wrapping_add(uniform_u64_below(rng, span + 1) as Self)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        low + unit_f64(rng) * (high - low)
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low <= high, "gen_range: empty range");
+        low + unit_f64(rng) * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        f64::sample_half_open(rng, low as f64, high as f64) as f32
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        f64::sample_inclusive(rng, low as f64, high as f64) as f32
+    }
+}
+
+/// Ranges a value can be drawn from (mirrors `rand::distributions::uniform`).
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Unbiased uniform integer in `[0, span)` (`span == 0` means the full
+/// 64-bit range) via Lemire-style rejection.
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    // Rejection zone keeps the multiply-shift reduction unbiased.
+    let zone = span.wrapping_neg() % span;
+    loop {
+        let v = rng.next_u64();
+        let (hi, lo) = {
+            let wide = (v as u128) * (span as u128);
+            ((wide >> 64) as u64, wide as u64)
+        };
+        if lo >= zone {
+            return hi;
+        }
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        T: SampleUniform,
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of [0,1]");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// SplitMix64 — used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Named RNGs.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic RNG (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            let s = [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related random operations.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000u32), b.gen_range(0..1000u32));
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        let same = (0..100).all(|_| {
+            let mut a2 = SmallRng::seed_from_u64(7);
+            a2.gen_range(0..u64::MAX) == c.gen_range(0..u64::MAX)
+        });
+        assert!(!same);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20usize);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(0u8..=32);
+            assert!(w <= 32);
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency_tracks_p() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
