@@ -80,6 +80,43 @@ fn bench_compute_layer(c: &mut Criterion) {
         let computer = RouteComputer::new();
         b.iter(|| computer.compute_batch(&net, &specs));
     });
+
+    // The sharded shared cache on its hit path — must stay within 2x of the
+    // single-owner cache_hit_medium above (the cost of the shard lock).
+    group.bench_function("shared_cache_hit_medium", |b| {
+        let cache = lg_sim::SharedRouteCache::new();
+        let _ = cache.compute(&net, &spec);
+        b.iter(|| cache.compute(&net, &spec));
+    });
+
+    // Incremental invalidation: warm the poisoned what-if batch, then each
+    // iteration toggles loop detection at one transit AS and recomputes a
+    // spec whose footprint names it. Only footprint-hitting entries may be
+    // evicted, so the rest of the batch stays warm across iterations.
+    group.bench_function("dirty_invalidation_single_as", |b| {
+        let mut dirty_net = Network::new(TopologyConfig::medium(1).generate());
+        let mut cache = RouteTableCache::new();
+        for s in &specs {
+            let _ = cache.compute(&dirty_net, s);
+        }
+        let victim = targets[0];
+        let mut lenient = false;
+        b.iter(|| {
+            lenient = !lenient;
+            dirty_net.set_policy(
+                victim,
+                lg_bgp::ImportPolicy {
+                    loop_detection: if lenient {
+                        lg_bgp::LoopDetection::max_occurrences(1)
+                    } else {
+                        lg_bgp::LoopDetection::standard()
+                    },
+                    ..lg_bgp::ImportPolicy::standard()
+                },
+            );
+            cache.compute(&dirty_net, &specs[0])
+        });
+    });
     group.finish();
 }
 

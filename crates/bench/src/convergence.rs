@@ -240,7 +240,7 @@ pub fn run_convergence(cfg: &ConvergenceConfig) -> ConvergenceResult {
                 };
                 arm.samples.push(conv);
                 if prepend {
-                    let changes = metrics.loc_changes.get(p).copied().unwrap_or(0) as u64;
+                    let changes = metrics.loc_changes.get(p).copied().unwrap_or(0);
                     if *was_via_a {
                         affected_changes.push(changes);
                     } else {

@@ -24,10 +24,10 @@ pub mod trie;
 pub mod wire;
 
 pub use decision::{compare_routes, select_best};
-pub use path::AsPath;
+pub use path::{AsPath, PathId, PathInterner};
 pub use policy::{ImportPolicy, LoopDetection};
 pub use prefix::Prefix;
-pub use rib::AdjRibIn;
+pub use rib::{AdjRibIn, ArenaRibIn, ArenaRoute};
 pub use route::Route;
 pub use session::{Session, SessionConfig, SessionEvent};
 pub use trie::PrefixTrie;

@@ -1,6 +1,8 @@
-//! AS paths, prepending, and poison insertion.
+//! AS paths, prepending, and poison insertion, plus a hash-consed
+//! parent-pointer interner for engines that handle many overlapping paths.
 
 use lg_asmap::AsId;
+use std::collections::HashMap;
 use std::fmt;
 
 /// A BGP AS path, stored nearest-AS first (the AS that announced the route to
@@ -133,6 +135,161 @@ impl From<Vec<AsId>> for AsPath {
     }
 }
 
+/// Sentinel parent marking the empty path in a [`PathInterner`].
+const NO_NODE: u32 = u32::MAX;
+
+/// Handle to a path interned in a [`PathInterner`].
+///
+/// The interner hash-conses: two interned paths with equal hop sequences
+/// always get the same id, so `PathId` equality *is* content equality —
+/// provided both ids come from the same interner. Ids are meaningless
+/// across interners.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PathId(u32);
+
+impl PathId {
+    /// The empty path (every interner resolves this to zero hops).
+    pub const EMPTY: PathId = PathId(NO_NODE);
+
+    /// True for the empty path.
+    pub fn is_empty(self) -> bool {
+        self.0 == NO_NODE
+    }
+}
+
+/// A parent-pointer arena of AS paths with hash-consing.
+///
+/// BGP workloads hold huge families of paths that differ only in their
+/// first hop: every neighbor's announcement of a route is `neighbor` glued
+/// onto a shared tail. Storing each node as `(hop, parent)` makes
+/// prepending O(1) and deduplicates all shared tails; hash-consing the
+/// `(hop, parent)` pairs means re-announcements and re-convergence loops
+/// re-use nodes instead of growing the arena, and path comparison for
+/// equality is a single id compare.
+///
+/// Lifetime rule: nodes are never freed — an interner lives as long as the
+/// engine run that owns it (a `DynamicSim`, one static computation) and its
+/// memory is bounded by the number of *distinct* paths ever seen, which
+/// convergence bounds far below the number of UPDATE messages processed.
+#[derive(Default, Debug, Clone)]
+pub struct PathInterner {
+    /// `(hop, parent, hop count)` per node; a path is a node id, read
+    /// nearest-hop-first by following parents.
+    nodes: Vec<(AsId, u32, u32)>,
+    /// Hash-consing table: `(hop, parent)` → existing node.
+    dedup: HashMap<(AsId, u32), u32>,
+}
+
+impl PathInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of arena nodes (distinct non-empty path prefixes seen).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The path `hop` prepended to `tail` (the announced-by operation),
+    /// re-using an existing node when this exact path was seen before.
+    pub fn prepend(&mut self, tail: PathId, hop: AsId) -> PathId {
+        if let Some(&node) = self.dedup.get(&(hop, tail.0)) {
+            return PathId(node);
+        }
+        let len = self.len(tail) as u32 + 1;
+        let node = u32::try_from(self.nodes.len()).expect("path interner overflow");
+        assert!(node != NO_NODE, "path interner exhausted");
+        self.nodes.push((hop, tail.0, len));
+        self.dedup.insert((hop, tail.0), node);
+        PathId(node)
+    }
+
+    /// Intern an owned path.
+    pub fn intern(&mut self, path: &AsPath) -> PathId {
+        let mut id = PathId::EMPTY;
+        for &hop in path.hops().iter().rev() {
+            id = self.prepend(id, hop);
+        }
+        id
+    }
+
+    /// Number of hops (prepended copies count, as in BGP path-length
+    /// comparison).
+    pub fn len(&self, id: PathId) -> usize {
+        if id.is_empty() {
+            0
+        } else {
+            self.nodes[id.0 as usize].2 as usize
+        }
+    }
+
+    /// Hops nearest-first.
+    pub fn hops(&self, id: PathId) -> PathHops<'_> {
+        PathHops {
+            interner: self,
+            node: id.0,
+        }
+    }
+
+    /// The AS that announced this path (the first hop).
+    pub fn first(&self, id: PathId) -> Option<AsId> {
+        if id.is_empty() {
+            None
+        } else {
+            Some(self.nodes[id.0 as usize].0)
+        }
+    }
+
+    /// Number of times `a` occurs in the path.
+    pub fn count(&self, id: PathId, a: AsId) -> usize {
+        self.hops(id).filter(|&h| h == a).count()
+    }
+
+    /// Copy the interned path out as an owned [`AsPath`].
+    pub fn materialize(&self, id: PathId) -> AsPath {
+        AsPath::from_hops(self.hops(id).collect())
+    }
+
+    /// Content ordering of two interned paths, identical to the derived
+    /// lexicographic `Ord` on [`AsPath`] (so engines tie-breaking on path
+    /// content agree whether paths are owned or interned).
+    pub fn cmp_content(&self, a: PathId, b: PathId) -> std::cmp::Ordering {
+        self.hops(a).cmp(self.hops(b))
+    }
+}
+
+/// Iterator over an interned path's hops, nearest-first.
+#[derive(Clone)]
+pub struct PathHops<'a> {
+    interner: &'a PathInterner,
+    node: u32,
+}
+
+impl Iterator for PathHops<'_> {
+    type Item = AsId;
+
+    fn next(&mut self) -> Option<AsId> {
+        if self.node == NO_NODE {
+            return None;
+        }
+        let (hop, parent, _) = self.interner.nodes[self.node as usize];
+        self.node = parent;
+        Some(hop)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let len = if self.node == NO_NODE {
+            0
+        } else {
+            self.interner.nodes[self.node as usize].2 as usize
+        };
+        (len, Some(len))
+    }
+}
+
+impl ExactSizeIterator for PathHops<'_> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +349,60 @@ mod tests {
         assert_eq!(p.origin(), None);
         assert_eq!(p.to_string(), "<empty>");
         assert_eq!(p.count(O), 0);
+    }
+
+    #[test]
+    fn interner_round_trips_and_hash_conses() {
+        let mut it = PathInterner::new();
+        let poisoned = AsPath::poisoned(O, &[A]);
+        let id = it.intern(&poisoned);
+        assert_eq!(it.materialize(id), poisoned);
+        assert_eq!(it.len(id), 3);
+        assert_eq!(it.first(id), Some(O));
+        assert_eq!(it.count(id, O), 2);
+        assert_eq!(it.count(id, A), 1);
+
+        // Re-interning the same content returns the same id; arena doesn't
+        // grow.
+        let nodes = it.node_count();
+        assert_eq!(it.intern(&AsPath::poisoned(O, &[A])), id);
+        assert_eq!(it.node_count(), nodes);
+
+        // announced_by == prepend, and shares the tail.
+        let announced = it.prepend(id, AsId(55));
+        assert_eq!(it.materialize(announced), poisoned.announced_by(AsId(55)));
+        assert_eq!(it.node_count(), nodes + 1);
+        assert_eq!(it.intern(&poisoned.announced_by(AsId(55))), announced);
+    }
+
+    #[test]
+    fn interner_empty_path() {
+        let mut it = PathInterner::new();
+        assert!(PathId::EMPTY.is_empty());
+        assert_eq!(it.len(PathId::EMPTY), 0);
+        assert_eq!(it.first(PathId::EMPTY), None);
+        assert_eq!(it.materialize(PathId::EMPTY), AsPath::empty());
+        assert_eq!(it.intern(&AsPath::empty()), PathId::EMPTY);
+        assert_eq!(it.hops(PathId::EMPTY).len(), 0);
+    }
+
+    #[test]
+    fn interner_content_ordering_matches_owned_ord() {
+        let mut it = PathInterner::new();
+        let paths = [
+            AsPath::empty(),
+            AsPath::origin_only(O),
+            AsPath::prepended_baseline(O, 3),
+            AsPath::poisoned(O, &[A]),
+            AsPath::from_hops(vec![A, O]),
+            AsPath::from_hops(vec![AsId(1), AsId(2), AsId(3)]),
+        ];
+        let ids: Vec<PathId> = paths.iter().map(|p| it.intern(p)).collect();
+        for (p, &pid) in paths.iter().zip(&ids) {
+            for (q, &qid) in paths.iter().zip(&ids) {
+                assert_eq!(it.cmp_content(pid, qid), p.cmp(q), "{p} vs {q}");
+                assert_eq!(pid == qid, p == q, "id equality is content equality");
+            }
+        }
     }
 }

@@ -49,7 +49,7 @@ impl LoopDetection {
 }
 
 /// Full import policy of one AS.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ImportPolicy {
     /// Loop-detection configuration.
     pub loop_detection: LoopDetection,

@@ -1,9 +1,16 @@
 //! Adjacency RIB-In: per-neighbor route storage with best-path selection.
+//!
+//! Two representations share the semantics: [`AdjRibIn`] stores owned
+//! [`Route`]s, [`ArenaRibIn`] stores [`ArenaRoute`]s whose paths live in a
+//! shared [`PathInterner`] — the message-level engine processes one UPDATE
+//! per neighbor per churn step, and interning turns each of those from an
+//! O(path) clone into an O(1) id copy.
 
 use crate::decision::select_best;
+use crate::path::{PathId, PathInterner};
 use crate::prefix::Prefix;
 use crate::route::Route;
-use lg_asmap::AsId;
+use lg_asmap::{AsId, Relationship};
 use std::collections::HashMap;
 
 /// Routes received from each neighbor, per prefix, plus best-path selection.
@@ -68,6 +75,121 @@ impl AdjRibIn {
 
     /// All candidate routes for `prefix`, unordered.
     pub fn candidates(&self, prefix: Prefix) -> impl Iterator<Item = &Route> {
+        self.routes
+            .get(&prefix)
+            .into_iter()
+            .flat_map(|m| m.values())
+    }
+
+    /// Prefixes with at least one route.
+    pub fn prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.routes.keys().copied()
+    }
+
+    /// Number of (prefix, neighbor) entries.
+    pub fn entry_count(&self) -> usize {
+        self.routes.values().map(|m| m.len()).sum()
+    }
+}
+
+/// A received route whose path is interned: the per-neighbor unit of an
+/// [`ArenaRibIn`]. `Copy` — moving one is two words, not a `Vec` clone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArenaRoute {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Interned AS path (resolve through the owning [`PathInterner`]).
+    pub path: PathId,
+    /// Neighbor that announced it.
+    pub learned_from: AsId,
+    /// Business relationship to that neighbor.
+    pub rel: Relationship,
+}
+
+impl ArenaRoute {
+    /// Materialize into an owned [`Route`] (no communities — the dynamic
+    /// engine does not model community propagation).
+    pub fn to_route(self, paths: &PathInterner) -> Route {
+        Route {
+            prefix: self.prefix,
+            path: paths.materialize(self.path),
+            learned_from: self.learned_from,
+            rel: self.rel,
+            communities: Vec::new(),
+        }
+    }
+}
+
+/// [`AdjRibIn`] over interned paths: same storage shape and selection
+/// semantics, but routes are `Copy` and path operations go through the
+/// caller's [`PathInterner`].
+///
+/// Selection ([`Self::best`]) replicates [`crate::compare_routes`] exactly
+/// — relationship class, then hop count, then neighbor id, then path
+/// content — so an engine migrating from owned routes selects identically.
+#[derive(Default, Debug, Clone)]
+pub struct ArenaRibIn {
+    routes: HashMap<Prefix, HashMap<AsId, ArenaRoute>>,
+}
+
+impl ArenaRibIn {
+    /// Empty RIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace the route from `route.learned_from` for
+    /// `route.prefix`. Returns the replaced route, if any.
+    pub fn insert(&mut self, route: ArenaRoute) -> Option<ArenaRoute> {
+        self.routes
+            .entry(route.prefix)
+            .or_default()
+            .insert(route.learned_from, route)
+    }
+
+    /// Withdraw the route from `neighbor` for `prefix`. Returns it if present.
+    pub fn withdraw(&mut self, neighbor: AsId, prefix: Prefix) -> Option<ArenaRoute> {
+        let per = self.routes.get_mut(&prefix)?;
+        let out = per.remove(&neighbor);
+        if per.is_empty() {
+            self.routes.remove(&prefix);
+        }
+        out
+    }
+
+    /// Drop every route learned from `neighbor` (session reset / link down).
+    /// Returns the affected prefixes.
+    pub fn withdraw_neighbor(&mut self, neighbor: AsId) -> Vec<Prefix> {
+        let mut affected = Vec::new();
+        self.routes.retain(|prefix, per| {
+            if per.remove(&neighbor).is_some() {
+                affected.push(*prefix);
+            }
+            !per.is_empty()
+        });
+        affected.sort_unstable();
+        affected
+    }
+
+    /// The best route for `prefix` under the decision process.
+    pub fn best(&self, prefix: Prefix, paths: &PathInterner) -> Option<ArenaRoute> {
+        self.routes.get(&prefix)?.values().copied().min_by(|a, b| {
+            a.rel
+                .pref_class()
+                .cmp(&b.rel.pref_class())
+                .then_with(|| paths.len(a.path).cmp(&paths.len(b.path)))
+                .then_with(|| a.learned_from.cmp(&b.learned_from))
+                .then_with(|| paths.cmp_content(a.path, b.path))
+        })
+    }
+
+    /// The route learned from a specific neighbor.
+    pub fn from_neighbor(&self, neighbor: AsId, prefix: Prefix) -> Option<&ArenaRoute> {
+        self.routes.get(&prefix)?.get(&neighbor)
+    }
+
+    /// All candidate routes for `prefix`, unordered.
+    pub fn candidates(&self, prefix: Prefix) -> impl Iterator<Item = &ArenaRoute> {
         self.routes
             .get(&prefix)
             .into_iter()
@@ -153,5 +275,115 @@ mod tests {
         rib.insert(route(1, Relationship::Peer, vec![1, 100]));
         assert!(rib.from_neighbor(AsId(1), pfx()).is_some());
         assert!(rib.from_neighbor(AsId(2), pfx()).is_none());
+    }
+
+    fn arena_route(
+        paths: &mut PathInterner,
+        from: u32,
+        rel: Relationship,
+        hops: Vec<u32>,
+    ) -> ArenaRoute {
+        ArenaRoute {
+            prefix: pfx(),
+            path: paths.intern(&AsPath::from_hops(hops.into_iter().map(AsId).collect())),
+            learned_from: AsId(from),
+            rel,
+        }
+    }
+
+    #[test]
+    fn arena_rib_insert_select_withdraw_cycle() {
+        let mut paths = PathInterner::new();
+        let mut rib = ArenaRibIn::new();
+        rib.insert(arena_route(
+            &mut paths,
+            1,
+            Relationship::Provider,
+            vec![1, 100],
+        ));
+        rib.insert(arena_route(
+            &mut paths,
+            2,
+            Relationship::Customer,
+            vec![2, 3, 100],
+        ));
+        assert_eq!(rib.best(pfx(), &paths).unwrap().learned_from, AsId(2));
+        rib.withdraw(AsId(2), pfx());
+        assert_eq!(rib.best(pfx(), &paths).unwrap().learned_from, AsId(1));
+        rib.withdraw(AsId(1), pfx());
+        assert!(rib.best(pfx(), &paths).is_none());
+        assert_eq!(rib.entry_count(), 0);
+    }
+
+    #[test]
+    fn arena_rib_selects_exactly_like_owned_rib() {
+        // Same candidate set through both representations: identical pick,
+        // including every tiebreak level.
+        let cases: Vec<Vec<(u32, Relationship, Vec<u32>)>> = vec![
+            // Class beats length.
+            vec![
+                (1, Relationship::Provider, vec![1, 100]),
+                (2, Relationship::Customer, vec![2, 3, 4, 100]),
+            ],
+            // Length within class.
+            vec![
+                (9, Relationship::Peer, vec![9, 3]),
+                (1, Relationship::Peer, vec![1, 2, 3]),
+            ],
+            // Neighbor id tiebreak.
+            vec![
+                (5, Relationship::Peer, vec![5, 100]),
+                (3, Relationship::Peer, vec![3, 100]),
+            ],
+            // Content tiebreak (same class, length, would-be neighbor).
+            vec![
+                (4, Relationship::Peer, vec![4, 2, 100]),
+                (4, Relationship::Peer, vec![4, 1, 100]),
+            ],
+        ];
+        for case in cases {
+            let mut owned = AdjRibIn::new();
+            let mut paths = PathInterner::new();
+            let mut arena = ArenaRibIn::new();
+            for (from, rel, hops) in &case {
+                // The owned RIB keys by neighbor; emulate multi-candidate
+                // content ties by perturbing learned_from in both the same
+                // way (last hop distinguishes).
+                let from = if owned.from_neighbor(AsId(*from), pfx()).is_some() {
+                    from + 100
+                } else {
+                    *from
+                };
+                owned.insert(route(from, *rel, hops.clone()));
+                let mut r = arena_route(&mut paths, from, *rel, hops.clone());
+                r.learned_from = AsId(from);
+                arena.insert(r);
+            }
+            let want = owned.best(pfx()).unwrap();
+            let got = arena.best(pfx(), &paths).unwrap();
+            assert_eq!(got.learned_from, want.learned_from);
+            assert_eq!(got.rel, want.rel);
+            assert_eq!(paths.materialize(got.path), want.path);
+            assert_eq!(got.to_route(&paths).path, want.path);
+        }
+    }
+
+    #[test]
+    fn arena_rib_withdraw_neighbor_clears_all_its_routes() {
+        let mut paths = PathInterner::new();
+        let mut rib = ArenaRibIn::new();
+        let other = Prefix::from_octets(20, 0, 0, 0, 16);
+        rib.insert(arena_route(&mut paths, 1, Relationship::Peer, vec![1, 100]));
+        rib.insert(ArenaRoute {
+            prefix: other,
+            path: paths.intern(&AsPath::from_hops(vec![AsId(1), AsId(100)])),
+            learned_from: AsId(1),
+            rel: Relationship::Peer,
+        });
+        rib.insert(arena_route(&mut paths, 2, Relationship::Peer, vec![2, 100]));
+        let affected = rib.withdraw_neighbor(AsId(1));
+        assert_eq!(affected, vec![pfx(), other]);
+        assert_eq!(rib.best(pfx(), &paths).unwrap().learned_from, AsId(2));
+        assert!(rib.best(other, &paths).is_none());
     }
 }

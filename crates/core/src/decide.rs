@@ -19,7 +19,7 @@
 use crate::config::LifeguardConfig;
 use lg_asmap::AsId;
 use lg_locate::Blame;
-use lg_sim::{AnnouncementSpec, Network, RouteTableCache};
+use lg_sim::{AnnouncementSpec, Network, SharedRouteCache};
 
 /// A concrete repair: the announcement to make and what it should achieve.
 #[derive(Clone, Debug)]
@@ -54,18 +54,19 @@ pub fn plan_repair(
     blame: Blame,
     target: AsId,
 ) -> Result<RepairPlan, String> {
-    plan_repair_cached(net, cfg, blame, target, &mut RouteTableCache::new())
+    plan_repair_cached(net, cfg, blame, target, &SharedRouteCache::new())
 }
 
 /// [`plan_repair`] against a shared table cache: the running system plans
 /// repeatedly over one (unchanging) network, so the predicted fixed points
-/// — often the same specs across outages and ticks — memoize well.
+/// — often the same specs across outages and ticks — memoize well, and the
+/// sharded cache lets concurrent systems on one topology share them.
 pub fn plan_repair_cached(
     net: &Network,
     cfg: &LifeguardConfig,
     blame: Blame,
     target: AsId,
-    cache: &mut RouteTableCache,
+    cache: &SharedRouteCache,
 ) -> Result<RepairPlan, String> {
     let culprit = blame.poison_target();
     if culprit == cfg.origin {
@@ -131,7 +132,7 @@ fn try_selective(
     a: AsId,
     b: AsId,
     target: AsId,
-    cache: &mut RouteTableCache,
+    cache: &SharedRouteCache,
 ) -> Option<RepairPlan> {
     // Candidate poison_via sets: each single provider, then each
     // complement-of-one (poison everywhere except one provider).

@@ -52,17 +52,32 @@ pub struct Lifeguard {
     events: Vec<Event>,
     outage_started: HashMap<AsId, Time>,
     /// Predicted-fixed-point tables memoized across repair planning and
-    /// union-conflict checks; invalidates itself on network generation
-    /// changes.
-    route_cache: lg_sim::RouteTableCache,
+    /// union-conflict checks; invalidates itself (incrementally) on network
+    /// mutations. Shareable: several instances monitoring different targets
+    /// over one topology can hand the same `Arc` to
+    /// [`Lifeguard::with_shared_cache`] and reuse each other's fixed
+    /// points, including from concurrent threads.
+    route_cache: std::sync::Arc<lg_sim::SharedRouteCache>,
 }
 
 impl Lifeguard {
-    /// Build a system for `cfg`.
+    /// Build a system for `cfg` with a private route cache.
     ///
     /// # Panics
     /// Panics when the configuration fails [`LifeguardConfig::validate`].
     pub fn new(cfg: LifeguardConfig) -> Self {
+        Self::with_shared_cache(cfg, std::sync::Arc::new(lg_sim::SharedRouteCache::new()))
+    }
+
+    /// Build a system that shares `cache` with other instances working the
+    /// same topology.
+    ///
+    /// # Panics
+    /// Panics when the configuration fails [`LifeguardConfig::validate`].
+    pub fn with_shared_cache(
+        cfg: LifeguardConfig,
+        cache: std::sync::Arc<lg_sim::SharedRouteCache>,
+    ) -> Self {
         cfg.validate().expect("invalid LIFEGUARD configuration");
         let states = cfg
             .targets
@@ -81,8 +96,14 @@ impl Lifeguard {
             states,
             events: Vec::new(),
             outage_started: HashMap::new(),
-            route_cache: lg_sim::RouteTableCache::new(),
+            route_cache: cache,
         }
+    }
+
+    /// The predicted-fixed-point cache (hand a clone of this to
+    /// [`Lifeguard::with_shared_cache`] to share it).
+    pub fn route_cache(&self) -> &std::sync::Arc<lg_sim::SharedRouteCache> {
+        &self.route_cache
     }
 
     /// Configuration.
@@ -374,7 +395,7 @@ impl Lifeguard {
             &self.cfg,
             blame,
             target,
-            &mut self.route_cache,
+            &self.route_cache,
         )
         .and_then(|plan| {
             // The production prefix is shared: verify the new poison is
@@ -750,6 +771,47 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e.kind, EventKind::Unpoisoned { .. })));
+    }
+
+    #[test]
+    fn shared_cache_reuses_fixed_points_across_instances() {
+        // Two independent Lifeguard instances over the same topology share
+        // one route cache; the second instance plans the same repair without
+        // recomputing a single fixed point.
+        let net = world_net();
+        let cache = std::sync::Arc::new(lg_sim::SharedRouteCache::new());
+        let run_to_poisoned = |cache: &std::sync::Arc<lg_sim::SharedRouteCache>| {
+            let mut world = World::new(&net);
+            let mut cfg = LifeguardConfig::paper_defaults(AsId(0), production(), sentinel());
+            cfg.targets = vec![AsId(5)];
+            cfg.vantage_points = vec![AsId(7), AsId(8)];
+            let mut lg = Lifeguard::with_shared_cache(cfg, std::sync::Arc::clone(cache));
+            lg.install(&mut world, Time::ZERO);
+            let t = tick_minutes(&mut lg, &mut world, Time::from_secs(60), 5);
+            for covered in [production(), sentinel(), infra_prefix(AsId(0))] {
+                world
+                    .dp
+                    .failures_mut()
+                    .add(Failure::silent_as_toward(AsId(1), covered).window(t, None));
+            }
+            tick_minutes(&mut lg, &mut world, t, 10);
+            assert!(matches!(
+                lg.state(AsId(5)),
+                Some(TargetState::Poisoned { poisoned, .. }) if *poisoned == AsId(1)
+            ));
+        };
+
+        run_to_poisoned(&cache);
+        let (m1, h1) = (cache.misses(), cache.hits());
+        assert!(m1 > 0, "first instance must populate the cache");
+
+        run_to_poisoned(&cache);
+        assert_eq!(
+            cache.misses(),
+            m1,
+            "second instance should find every fixed point already cached"
+        );
+        assert!(cache.hits() > h1);
     }
 
     #[test]

@@ -10,22 +10,29 @@
 //!   threads (scoped, no runtime dependency) and returns tables in input
 //!   order. Route computations are independent per spec, so this is
 //!   embarrassingly parallel.
-//! * [`RouteTableCache`] — memoizes tables by `(network generation,
-//!   canonical spec key)`. The generation ([`Network::generation`]) is
-//!   re-stamped by every routing-relevant mutation (`set_policy`,
-//!   `set_strips_communities`, and graph surgery like
-//!   `AsGraph::without_link`), so a stale entry can never be served: the
-//!   first computation against a differently-stamped network clears the
-//!   cache.
+//! * [`RouteTableCache`] — memoizes tables by canonical spec key and
+//!   invalidates *incrementally*: every routing-relevant mutation
+//!   (`set_policy`, `set_strips_communities`) logs a typed
+//!   [`DirtyScope`](crate::network::DirtyScope) on the network, and on the
+//!   next lookup the cache drops only the entries that scope can reach — a
+//!   loop-detection edit at AS X evicts only tables whose seed-path
+//!   footprint contains X; everything else survives. Generations the log no
+//!   longer reaches (graph surgery, a different network, deep staleness)
+//!   flush wholesale, so a stale entry can never be served.
+//! * [`SharedRouteCache`] — the same cache behind `Arc`, sharded by spec
+//!   key with one lock per shard, so concurrent `Lifeguard` instances
+//!   evaluating repairs over one topology share fixed points instead of
+//!   each recomputing them.
 
 use crate::announce::AnnouncementSpec;
-use crate::network::Network;
+use crate::network::{DirtyScope, Network};
 use crate::static_routes::{compute_routes, RouteTable};
 use lg_asmap::AsId;
 use lg_bgp::{AsPath, Prefix};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Fans route computations for a batch of specs across threads.
@@ -123,20 +130,115 @@ impl SpecKey {
             communities: spec.communities.clone(),
         }
     }
+
+    /// Every AS whose configuration the announcement's fixed point can
+    /// depend on through loop detection: the origin plus every hop of every
+    /// seed path (poisons, prepends). A seeded neighbor that never appears
+    /// in a path is *not* in the footprint — its loop detection counts its
+    /// own occurrences, of which the candidate has none. Sorted and
+    /// deduplicated for binary search during invalidation.
+    fn footprint(&self) -> Box<[AsId]> {
+        let mut ases: Vec<AsId> = vec![self.origin];
+        for (_, path) in &self.seeds {
+            ases.extend_from_slice(path.hops());
+        }
+        ases.sort_unstable();
+        ases.dedup();
+        ases.into_boxed_slice()
+    }
 }
 
-/// Memoizes converged route tables per network generation.
-///
-/// Tables are handed out as `Arc<RouteTable>` so hits are a clone of a
-/// pointer, not of a table. The cache belongs to one logical network: it
-/// tracks the [`Network::generation`] it last computed against and clears
-/// itself whenever a computation arrives with a different stamp (mutation
-/// or a different network entirely).
+/// A cached fixed point plus the dependency summary invalidation needs.
+#[derive(Clone, Debug)]
+struct CachedTable {
+    table: Arc<RouteTable>,
+    /// See [`SpecKey::footprint`].
+    footprint: Box<[AsId]>,
+    has_communities: bool,
+}
+
+/// One lockable slice of cached tables; the single-owner
+/// [`RouteTableCache`] is one shard, the concurrent [`SharedRouteCache`] is
+/// several. Each shard tracks the generation it last synced to
+/// independently, so shards invalidate lazily on their next access.
 #[derive(Debug, Default)]
-pub struct RouteTableCache {
+struct CacheShard {
     /// Generation of the network the cached tables were computed over.
     generation: Option<u64>,
-    tables: HashMap<SpecKey, Arc<RouteTable>>,
+    tables: HashMap<SpecKey, CachedTable>,
+}
+
+impl CacheShard {
+    /// Bring the shard up to `net`'s generation, dropping exactly the
+    /// entries the mutation log says could have changed. Returns how many
+    /// entries were evicted.
+    fn sync(&mut self, net: &Network) -> u64 {
+        let current = net.generation();
+        let Some(prev) = self.generation else {
+            self.generation = Some(current);
+            return 0;
+        };
+        if prev == current {
+            return 0;
+        }
+        self.generation = Some(current);
+        let before = self.tables.len();
+        match net.changes_since(prev) {
+            // The log no longer reaches our generation (graph surgery, a
+            // different network, deep staleness): everything is suspect.
+            None => self.tables.clear(),
+            Some(scopes) => {
+                for scope in scopes {
+                    match scope {
+                        DirtyScope::Unchanged => {}
+                        DirtyScope::Global => {
+                            self.tables.clear();
+                            break;
+                        }
+                        DirtyScope::Communities => {
+                            self.tables.retain(|_, e| !e.has_communities);
+                        }
+                        DirtyScope::Footprint(a) => {
+                            self.tables
+                                .retain(|_, e| e.footprint.binary_search(&a).is_err());
+                        }
+                    }
+                }
+            }
+        }
+        (before - self.tables.len()) as u64
+    }
+
+    fn lookup(&self, key: &SpecKey) -> Option<Arc<RouteTable>> {
+        self.tables.get(key).map(|e| Arc::clone(&e.table))
+    }
+
+    fn insert(&mut self, key: SpecKey, table: Arc<RouteTable>) {
+        let footprint = key.footprint();
+        let has_communities = !key.communities.is_empty();
+        self.tables.insert(
+            key,
+            CachedTable {
+                table,
+                footprint,
+                has_communities,
+            },
+        );
+    }
+}
+
+/// Memoizes converged route tables with incremental invalidation.
+///
+/// Tables are handed out as `Arc<RouteTable>` so hits are a clone of a
+/// pointer, not of a table. The cache tracks the [`Network::generation`] it
+/// last computed against; when a lookup arrives with a newer stamp it
+/// replays the network's mutation log and evicts only the entries whose
+/// footprint the logged [`DirtyScope`]s touch. Unknown generations (another
+/// network, graph surgery, a log that has rolled over) still flush
+/// wholesale.
+#[derive(Debug, Default)]
+pub struct RouteTableCache {
+    shard: CacheShard,
     hits: u64,
     misses: u64,
     invalidations: u64,
@@ -158,51 +260,39 @@ impl RouteTableCache {
         self.misses
     }
 
-    /// Times a generation change flushed a non-empty cache.
+    /// Cached tables evicted by generation syncs since construction.
     pub fn invalidations(&self) -> u64 {
         self.invalidations
     }
 
     /// Number of cached tables.
     pub fn len(&self) -> usize {
-        self.tables.len()
+        self.shard.tables.len()
     }
 
     /// True when no tables are cached.
     pub fn is_empty(&self) -> bool {
-        self.tables.is_empty()
+        self.shard.tables.is_empty()
     }
 
     /// Drop all cached tables (counters survive).
     pub fn clear(&mut self) {
-        self.tables.clear();
-        self.generation = None;
-    }
-
-    /// Flush if `net` carries a different generation than the cached tables.
-    fn sync(&mut self, net: &Network) {
-        let current = net.generation();
-        if self.generation != Some(current) {
-            if !self.tables.is_empty() {
-                self.invalidations += 1;
-                self.tables.clear();
-            }
-            self.generation = Some(current);
-        }
+        self.shard.tables.clear();
+        self.shard.generation = None;
     }
 
     /// The converged table for `spec`, computed at most once per
     /// generation.
     pub fn compute(&mut self, net: &Network, spec: &AnnouncementSpec) -> Arc<RouteTable> {
-        self.sync(net);
+        self.invalidations += self.shard.sync(net);
         let key = SpecKey::of(spec);
-        if let Some(table) = self.tables.get(&key) {
+        if let Some(table) = self.shard.lookup(&key) {
             self.hits += 1;
-            return Arc::clone(table);
+            return table;
         }
         self.misses += 1;
         let table = Arc::new(compute_routes(net, spec));
-        self.tables.insert(key, Arc::clone(&table));
+        self.shard.insert(key, Arc::clone(&table));
         table
     }
 
@@ -214,13 +304,13 @@ impl RouteTableCache {
         net: &Network,
         specs: &[AnnouncementSpec],
     ) -> Vec<Arc<RouteTable>> {
-        self.sync(net);
+        self.invalidations += self.shard.sync(net);
         let keys: Vec<SpecKey> = specs.iter().map(SpecKey::of).collect();
         // First-appearance index of every key missing from the cache.
         let mut queued: HashMap<&SpecKey, usize> = HashMap::new();
         let mut missing: Vec<usize> = Vec::new();
         for (i, key) in keys.iter().enumerate() {
-            if self.tables.contains_key(key) || queued.contains_key(key) {
+            if self.shard.tables.contains_key(key) || queued.contains_key(key) {
                 self.hits += 1;
                 continue;
             }
@@ -233,11 +323,202 @@ impl RouteTableCache {
                 missing.iter().map(|&i| specs[i].clone()).collect();
             let tables = computer.compute_batch(net, &miss_specs);
             for (&i, table) in missing.iter().zip(tables) {
-                self.tables.insert(keys[i].clone(), Arc::new(table));
+                self.shard.insert(keys[i].clone(), Arc::new(table));
             }
         }
         keys.iter()
-            .map(|key| Arc::clone(self.tables.get(key).expect("all misses just filled")))
+            .map(|key| self.shard.lookup(key).expect("all misses just filled"))
+            .collect()
+    }
+}
+
+/// Number of shards in a [`SharedRouteCache`]: enough that a handful of
+/// concurrent planners rarely contend on one lock, small enough that
+/// per-shard sync stays cheap.
+const DEFAULT_SHARDS: usize = 8;
+
+/// A concurrency-safe [`RouteTableCache`]: the table space is split across
+/// shards by spec-key hash, each shard behind its own mutex, so concurrent
+/// `Lifeguard` instances working one topology share fixed points with
+/// lock-per-shard granularity rather than lock-per-cache.
+///
+/// Invalidation is per shard and lazy — a shard replays the network's
+/// mutation log the next time it is touched — with the same footprint
+/// rules as the single-owner cache. Misses compute *under the shard lock*:
+/// two threads missing the same spec concurrently serialize and the second
+/// gets a hit, so a fixed point is never computed twice for one generation.
+#[derive(Debug)]
+pub struct SharedRouteCache {
+    shards: Box<[Mutex<CacheShard>]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl Default for SharedRouteCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedRouteCache {
+    /// A cache with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count (`shards >= 1`).
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards >= 1, "SharedRouteCache needs at least one shard");
+        SharedRouteCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(CacheShard::default()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Lookups served from cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cached tables evicted by generation syncs since construction.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached tables across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").tables.len())
+            .sum()
+    }
+
+    /// True when no tables are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all cached tables (counters survive).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            shard.tables.clear();
+            shard.generation = None;
+        }
+    }
+
+    fn shard_for(&self, key: &SpecKey) -> &Mutex<CacheShard> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// The converged table for `spec`, computed at most once per
+    /// generation across all sharers.
+    pub fn compute(&self, net: &Network, spec: &AnnouncementSpec) -> Arc<RouteTable> {
+        let key = SpecKey::of(spec);
+        let mut shard = self.shard_for(&key).lock().expect("cache shard poisoned");
+        let dropped = shard.sync(net);
+        if dropped > 0 {
+            self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        }
+        if let Some(table) = shard.lookup(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return table;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let table = Arc::new(compute_routes(net, spec));
+        shard.insert(key, Arc::clone(&table));
+        table
+    }
+
+    /// Batch variant: probe all shards for hits, compute the deduplicated
+    /// misses in parallel on `computer` *without holding any lock*, then
+    /// insert. Returns tables in input order.
+    pub fn compute_batch(
+        &self,
+        computer: &RouteComputer,
+        net: &Network,
+        specs: &[AnnouncementSpec],
+    ) -> Vec<Arc<RouteTable>> {
+        let keys: Vec<SpecKey> = specs.iter().map(SpecKey::of).collect();
+        let mut out: Vec<Option<Arc<RouteTable>>> = vec![None; specs.len()];
+        // First-appearance index of every key not already resolved.
+        let mut queued: HashMap<&SpecKey, usize> = HashMap::new();
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            if let Some(&first) = queued.get(key) {
+                out[i] = out[first].clone();
+                if out[i].is_some() {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                continue;
+            }
+            queued.insert(key, i);
+            let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+            let dropped = shard.sync(net);
+            if dropped > 0 {
+                self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+            }
+            match shard.lookup(key) {
+                Some(table) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    out[i] = Some(table);
+                }
+                None => missing.push(i),
+            }
+        }
+        // In-batch duplicates of a missing key also land here; recount them
+        // as hits once the first instance resolves (handled above for
+        // already-resolved keys, below for computed ones).
+        self.misses
+            .fetch_add(missing.len() as u64, Ordering::Relaxed);
+        if !missing.is_empty() {
+            let miss_specs: Vec<AnnouncementSpec> =
+                missing.iter().map(|&i| specs[i].clone()).collect();
+            let tables = computer.compute_batch(net, &miss_specs);
+            for (&i, table) in missing.iter().zip(tables) {
+                let table = Arc::new(table);
+                let mut shard = self
+                    .shard_for(&keys[i])
+                    .lock()
+                    .expect("cache shard poisoned");
+                // Another sharer may have advanced the generation while we
+                // computed; re-sync so the insert lands against the stamp
+                // it was computed for, or gets dropped on the next sync.
+                let dropped = shard.sync(net);
+                if dropped > 0 {
+                    self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+                }
+                shard.insert(keys[i].clone(), Arc::clone(&table));
+                out[i] = Some(table);
+            }
+        }
+        // Resolve in-batch duplicates whose first instance was a miss.
+        for (i, key) in keys.iter().enumerate() {
+            if out[i].is_none() {
+                let first = queued[key];
+                out[i] = out[first].clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        out.into_iter()
+            .map(|t| t.expect("every slot resolved"))
             .collect()
     }
 }
@@ -323,18 +604,201 @@ mod tests {
     }
 
     #[test]
-    fn cache_invalidates_on_generation_bump() {
+    fn footprint_mutation_evicts_only_touched_entries() {
+        let mut net = net();
+        let mut cache = RouteTableCache::new();
+        let batch = specs(&net);
+        for spec in &batch {
+            cache.compute(&net, spec);
+        }
+        assert_eq!(cache.len(), 4);
+
+        // Loop-detection change at AS2: only the spec poisoning AS2 has it
+        // in its footprint (plain/prepended footprints are {0}, the other
+        // poison's is {0, 4}).
+        net.set_policy(
+            AsId(2),
+            ImportPolicy {
+                loop_detection: lg_bgp::LoopDetection::max_occurrences(1),
+                ..ImportPolicy::standard()
+            },
+        );
+        let t = cache.compute(&net, &batch[2]);
+        assert_eq!(cache.invalidations(), 1, "exactly one entry evicted");
+        assert_eq!(cache.len(), 4, "evicted entry recomputed, rest retained");
+        assert!(same_table(&t, &compute_routes(&net, &batch[2]), net.len()));
+        // The retained entries are hits, not recomputations.
+        let misses = cache.misses();
+        for spec in [&batch[0], &batch[1], &batch[3]] {
+            let t = cache.compute(&net, spec);
+            assert!(same_table(&t, &compute_routes(&net, spec), net.len()));
+        }
+        assert_eq!(cache.misses(), misses, "retained entries recomputed");
+    }
+
+    #[test]
+    fn identical_policy_write_evicts_nothing() {
         let mut net = net();
         let mut cache = RouteTableCache::new();
         let spec = AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3);
         cache.compute(&net, &spec);
-        assert_eq!(cache.len(), 1);
 
         net.set_policy(AsId(1), ImportPolicy::standard());
+        cache.compute(&net, &spec);
+        assert_eq!(cache.invalidations(), 0);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn global_scope_mutation_flushes_everything() {
+        let mut net = net();
+        let mut cache = RouteTableCache::new();
+        for spec in &specs(&net) {
+            cache.compute(&net, spec);
+        }
+        net.set_policy(
+            AsId(3),
+            ImportPolicy {
+                deny_transit: vec![AsId(1)],
+                ..ImportPolicy::standard()
+            },
+        );
+        let spec = AnnouncementSpec::plain(&net, pfx(), AsId(0));
         let t = cache.compute(&net, &spec);
-        assert_eq!(cache.invalidations(), 1);
-        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        assert_eq!(cache.invalidations(), 4, "path-content filters flush all");
         assert!(same_table(&t, &compute_routes(&net, &spec), net.len()));
+    }
+
+    #[test]
+    fn communities_mutation_evicts_only_community_carriers() {
+        let mut net = net();
+        let mut cache = RouteTableCache::new();
+        let plain = AnnouncementSpec::plain(&net, pfx(), AsId(0));
+        let tagged =
+            AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3).with_communities(vec![666]);
+        cache.compute(&net, &plain);
+        cache.compute(&net, &tagged);
+
+        net.set_strips_communities(AsId(1), true);
+        let t = cache.compute(&net, &tagged);
+        assert_eq!(cache.invalidations(), 1, "only the tagged entry evicted");
+        assert!(same_table(&t, &compute_routes(&net, &tagged), net.len()));
+        cache.compute(&net, &plain);
+        assert_eq!(cache.hits(), 1, "community-free entry survived");
+    }
+
+    #[test]
+    fn dirty_invalidation_retains_majority_after_single_as_mutation() {
+        // Acceptance criterion: after a single-AS mutation, >= 50% of a
+        // poison-sweep cache survives (pre-incremental behavior: 0%).
+        let mut g = GraphBuilder::with_ases(18);
+        for i in 1..=16u32 {
+            g.provider_customer(AsId(i), AsId(0));
+            g.provider_customer(AsId(17), AsId(i));
+        }
+        let mut net = Network::new(g.build());
+        let mut cache = RouteTableCache::new();
+        let sweep: Vec<AnnouncementSpec> = (1..=16u32)
+            .map(|t| AnnouncementSpec::poisoned(&net, pfx(), AsId(0), &[AsId(t)]))
+            .collect();
+        for spec in &sweep {
+            cache.compute(&net, spec);
+        }
+        assert_eq!(cache.len(), 16);
+
+        net.set_policy(
+            AsId(3),
+            ImportPolicy {
+                loop_detection: lg_bgp::LoopDetection::disabled(),
+                ..ImportPolicy::standard()
+            },
+        );
+        cache.compute(&net, &sweep[0]);
+        let retained = cache.len() as f64 / 16.0;
+        assert!(
+            retained >= 0.5,
+            "retention {retained} below the 50% acceptance floor"
+        );
+        assert_eq!(cache.invalidations(), 1, "only the AS3 poison evicted");
+        for spec in &sweep {
+            let t = cache.compute(&net, spec);
+            assert!(same_table(&t, &compute_routes(&net, spec), net.len()));
+        }
+    }
+
+    #[test]
+    fn shared_cache_hits_and_invalidates_like_single_owner() {
+        let mut net = net();
+        let shared = SharedRouteCache::with_shards(4);
+        let batch = specs(&net);
+        for spec in &batch {
+            let t = shared.compute(&net, spec);
+            assert!(same_table(&t, &compute_routes(&net, spec), net.len()));
+        }
+        assert_eq!((shared.hits(), shared.misses()), (0, 4));
+        let t1 = shared.compute(&net, &batch[0]);
+        let t2 = shared.compute(&net, &batch[0]);
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!((shared.hits(), shared.misses()), (2, 4));
+
+        // Footprint mutation at AS4 evicts only the AS4 poison.
+        net.set_policy(
+            AsId(4),
+            ImportPolicy {
+                loop_detection: lg_bgp::LoopDetection::disabled(),
+                ..ImportPolicy::standard()
+            },
+        );
+        for spec in &batch {
+            let t = shared.compute(&net, spec);
+            assert!(same_table(&t, &compute_routes(&net, spec), net.len()));
+        }
+        assert_eq!(shared.invalidations(), 1);
+        assert_eq!(shared.misses(), 5, "only the evicted poison recomputed");
+    }
+
+    #[test]
+    fn shared_cache_batch_matches_scratch_and_dedups() {
+        let net = net();
+        let shared = SharedRouteCache::new();
+        let computer = RouteComputer::with_threads(2);
+        let spec = AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3);
+        let other = AnnouncementSpec::poisoned(&net, pfx(), AsId(0), &[AsId(2)]);
+        let batch = [spec.clone(), other.clone(), spec.clone(), spec.clone()];
+        let tables = shared.compute_batch(&computer, &net, &batch);
+        assert_eq!(tables.len(), 4);
+        assert_eq!((shared.hits(), shared.misses()), (2, 2));
+        assert!(Arc::ptr_eq(&tables[0], &tables[2]));
+        assert!(Arc::ptr_eq(&tables[0], &tables[3]));
+        for (s, t) in batch.iter().zip(&tables) {
+            assert!(same_table(t, &compute_routes(&net, s), net.len()));
+        }
+        shared.compute_batch(&computer, &net, &batch);
+        assert_eq!((shared.hits(), shared.misses()), (6, 2));
+    }
+
+    #[test]
+    fn shared_cache_concurrent_computes_agree_with_scratch() {
+        let net = net();
+        let shared = Arc::new(SharedRouteCache::new());
+        let batch = specs(&net);
+        std::thread::scope(|scope| {
+            for start in 0..4usize {
+                let shared = Arc::clone(&shared);
+                let net = &net;
+                let batch = &batch;
+                scope.spawn(move || {
+                    for k in 0..batch.len() {
+                        let spec = &batch[(start + k) % batch.len()];
+                        let t = shared.compute(net, spec);
+                        assert!(same_table(&t, &compute_routes(net, spec), net.len()));
+                    }
+                });
+            }
+        });
+        // Compute-under-lock: each unique spec computed exactly once.
+        assert_eq!(shared.misses(), 4);
+        assert_eq!(shared.hits(), 12);
     }
 
     #[test]

@@ -12,6 +12,13 @@
 //!
 //! Everything is deterministic: events are ordered by `(time, sequence)` and
 //! all "randomness" (MRAI jitter, link delays) is hashed from stable ids.
+//!
+//! Paths are interned in a per-simulation [`PathInterner`]: every UPDATE
+//! carries a [`PathId`] (two words, `Copy`) instead of an owned `AsPath`,
+//! the Adj-RIB-In stores interned routes ([`lg_bgp::ArenaRibIn`]), and the
+//! announced-by prepend on propagation is an O(1) arena node instead of a
+//! Vec clone. Owned paths are materialized only when a Loc-RIB selection
+//! actually changes (for the public [`DynamicSim::loc_route`] view).
 
 use crate::announce::AnnouncementSpec;
 use crate::dataplane::{walk_fib, Fib, FibEntry, Walk};
@@ -19,7 +26,7 @@ use crate::failures::FailureSet;
 use crate::network::Network;
 use crate::time::Time;
 use lg_asmap::{AsId, Relationship};
-use lg_bgp::{AsPath, Prefix, Route};
+use lg_bgp::{ArenaRibIn, ArenaRoute, AsPath, PathId, PathInterner, Prefix, Route};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -45,18 +52,18 @@ impl Default for DynamicSimConfig {
     }
 }
 
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Event {
     /// A BGP UPDATE arriving at `to` from `from`; `path = None` withdraws.
-    /// `epoch` is the sending session's epoch (see
-    /// [`DynamicSim::link_epoch`]): a message from a session incarnation
-    /// that has since died is dropped at delivery, even if a *new* session
-    /// over the same link is up by then.
+    /// The path is interned in the simulation's [`PathInterner`]. `epoch`
+    /// is the sending session's epoch (see [`DynamicSim::link_epoch`]): a
+    /// message from a session incarnation that has since died is dropped at
+    /// delivery, even if a *new* session over the same link is up by then.
     Recv {
         from: AsId,
         to: AsId,
         prefix: Prefix,
-        path: Option<AsPath>,
+        path: Option<PathId>,
         epoch: u64,
     },
     /// The MRAI timer for (node, peer, prefix) fired.
@@ -95,16 +102,26 @@ struct PeerPrefixState {
     /// An MraiFire event is already queued.
     fire_pending: bool,
     /// Content of the last update actually sent (None = withdrawn / nothing
-    /// ever sent). Outer Option: have we ever sent anything?
-    last_sent: Option<Option<AsPath>>,
+    /// ever sent). Outer Option: have we ever sent anything? Interned ids
+    /// are hash-consed, so id equality here is content equality and
+    /// duplicate suppression stays exact.
+    last_sent: Option<Option<PathId>>,
+}
+
+/// A selected route: the interned path for engine-internal comparison plus
+/// the materialized [`Route`] for the public API and data plane. The owned
+/// copy is built once per Loc-RIB *change*, not per UPDATE processed.
+struct LocEntry {
+    path: PathId,
+    route: Route,
 }
 
 #[derive(Default)]
 struct Node {
-    /// Routes accepted from each neighbor, per prefix.
-    adj_in: lg_bgp::AdjRibIn,
+    /// Routes accepted from each neighbor, per prefix (interned paths).
+    adj_in: ArenaRibIn,
     /// Selected route per prefix.
-    loc: HashMap<Prefix, Route>,
+    loc: HashMap<Prefix, LocEntry>,
     /// Per-(peer, prefix) sending state.
     out: HashMap<(AsId, Prefix), PeerPrefixState>,
 }
@@ -114,14 +131,16 @@ struct Node {
 pub struct PrefixMetrics {
     /// Epoch start (set by [`DynamicSim::begin_epoch`]).
     pub epoch_start: Time,
-    /// Updates sent per AS since the epoch started.
-    pub updates_sent: HashMap<AsId, u32>,
+    /// Updates sent per AS since the epoch started. `u64`: long-running
+    /// churn studies over large topologies can push a busy AS past
+    /// `u32::MAX`, and a silent wrap would corrupt Table-2-style means.
+    pub updates_sent: HashMap<AsId, u64>,
     /// First and last send time per AS.
     pub first_sent: HashMap<AsId, Time>,
     /// Last send time per AS.
     pub last_sent: HashMap<AsId, Time>,
     /// Loc-RIB changes per AS.
-    pub loc_changes: HashMap<AsId, u32>,
+    pub loc_changes: HashMap<AsId, u64>,
     /// Time of the first Loc-RIB change per AS.
     pub first_loc_change: HashMap<AsId, Time>,
     /// Time of the last Loc-RIB change per AS.
@@ -142,7 +161,7 @@ impl PrefixMetrics {
     }
 
     /// Number of updates `a` sent this epoch.
-    pub fn updates_of(&self, a: AsId) -> u32 {
+    pub fn updates_of(&self, a: AsId) -> u64 {
         self.updates_sent.get(&a).copied().unwrap_or(0)
     }
 
@@ -160,7 +179,7 @@ impl PrefixMetrics {
         if population.is_empty() {
             return 0.0;
         }
-        let total: u64 = population.iter().map(|a| self.updates_of(*a) as u64).sum();
+        let total: u64 = population.iter().map(|a| self.updates_of(*a)).sum();
         total as f64 / population.len() as f64
     }
 }
@@ -173,8 +192,14 @@ pub struct DynamicSim<'n> {
     seq: u64,
     queue: BinaryHeap<Reverse<Queued>>,
     nodes: Vec<Node>,
+    /// All AS paths this run has seen, hash-consed; lives as long as the
+    /// simulation and is bounded by distinct paths, not messages processed.
+    paths: PathInterner,
     /// Current announcement per prefix (origin + seeds), to diff on change.
     specs: HashMap<Prefix, AnnouncementSpec>,
+    /// Interned seed paths per announced prefix, aligned with the spec's
+    /// seed list; what the origin (re-)advertises to each seeded neighbor.
+    seed_ids: HashMap<Prefix, Vec<(AsId, PathId)>>,
     metrics: HashMap<Prefix, PrefixMetrics>,
     /// BGP sessions currently torn down (control-plane-visible link
     /// failures), as unordered pairs.
@@ -197,7 +222,9 @@ impl<'n> DynamicSim<'n> {
             seq: 0,
             queue: BinaryHeap::new(),
             nodes: (0..net.len()).map(|_| Node::default()).collect(),
+            paths: PathInterner::new(),
             specs: HashMap::new(),
+            seed_ids: HashMap::new(),
             metrics: HashMap::new(),
             down_links: Vec::new(),
             link_epochs: HashMap::new(),
@@ -262,23 +289,32 @@ impl<'n> DynamicSim<'n> {
             }
         }
         // Re-seed origin announcements that ride this link.
-        for spec in self.specs.clone().values() {
-            for (nbr, path) in &spec.seeds {
-                if (spec.origin == a && *nbr == b) || (spec.origin == b && *nbr == a) {
-                    let at = self.now + self.link_latency(spec.origin, *nbr);
-                    let epoch = self.link_epoch(spec.origin, *nbr);
-                    self.push(
-                        at,
-                        Event::Recv {
-                            from: spec.origin,
-                            to: *nbr,
-                            prefix: spec.prefix,
-                            path: Some(path.clone()),
-                            epoch,
-                        },
-                    );
-                }
-            }
+        let reseeds: Vec<(Prefix, AsId, AsId, PathId)> = self
+            .seed_ids
+            .iter()
+            .flat_map(|(prefix, seeds)| {
+                let origin = self.specs[prefix].origin;
+                seeds
+                    .iter()
+                    .filter(move |(nbr, _)| {
+                        (origin == a && *nbr == b) || (origin == b && *nbr == a)
+                    })
+                    .map(move |(nbr, id)| (*prefix, origin, *nbr, *id))
+            })
+            .collect();
+        for (prefix, origin, nbr, id) in reseeds {
+            let at = self.now + self.link_latency(origin, nbr);
+            let epoch = self.link_epoch(origin, nbr);
+            self.push(
+                at,
+                Event::Recv {
+                    from: origin,
+                    to: nbr,
+                    prefix,
+                    path: Some(id),
+                    epoch,
+                },
+            );
         }
     }
 
@@ -305,7 +341,13 @@ impl<'n> DynamicSim<'n> {
 
     /// The route `a` currently selects for `prefix`.
     pub fn loc_route(&self, a: AsId, prefix: Prefix) -> Option<&Route> {
-        self.nodes[a.index()].loc.get(&prefix)
+        self.nodes[a.index()].loc.get(&prefix).map(|e| &e.route)
+    }
+
+    /// Number of distinct path shapes interned so far (diagnostic; growth
+    /// stalls once convergence stops producing new paths).
+    pub fn interned_paths(&self) -> usize {
+        self.paths.node_count()
     }
 
     fn push(&mut self, at: Time, ev: Event) {
@@ -349,19 +391,32 @@ impl<'n> DynamicSim<'n> {
             });
 
         // Origin's own loc entry so the data plane delivers at the origin.
+        // While the prefix is announced this entry is pinned: `reselect`
+        // never replaces or removes it (a neighbor echoing the prefix back
+        // gets rejected by loop detection, and that rejection must not
+        // evict the self-route).
         self.nodes[spec.origin.index()].loc.insert(
             spec.prefix,
-            Route {
-                prefix: spec.prefix,
-                path: AsPath::empty(),
-                learned_from: spec.origin,
-                rel: Relationship::Customer,
-                communities: Vec::new(),
+            LocEntry {
+                path: PathId::EMPTY,
+                route: Route {
+                    prefix: spec.prefix,
+                    path: AsPath::empty(),
+                    learned_from: spec.origin,
+                    rel: Relationship::Customer,
+                    communities: Vec::new(),
+                },
             },
         );
 
+        let seeds: Vec<(AsId, PathId)> = spec
+            .seeds
+            .iter()
+            .map(|(nbr, path)| (*nbr, self.paths.intern(path)))
+            .collect();
+        self.seed_ids.insert(spec.prefix, seeds.clone());
         let mut sent_to: Vec<AsId> = Vec::new();
-        for (nbr, path) in &spec.seeds {
+        for (nbr, id) in &seeds {
             let at = self.now + self.link_latency(spec.origin, *nbr);
             let epoch = self.link_epoch(spec.origin, *nbr);
             self.push(
@@ -370,10 +425,18 @@ impl<'n> DynamicSim<'n> {
                     from: spec.origin,
                     to: *nbr,
                     prefix: spec.prefix,
-                    path: Some(path.clone()),
+                    path: Some(*id),
                     epoch,
                 },
             );
+            // Record the send in the origin's machinery state so duplicate
+            // suppression and later MRAI flushes see what was actually
+            // advertised.
+            let st = self.nodes[spec.origin.index()]
+                .out
+                .entry((*nbr, spec.prefix))
+                .or_default();
+            st.last_sent = Some(Some(*id));
             sent_to.push(*nbr);
         }
         // Withdraw from neighbors no longer seeded.
@@ -392,6 +455,11 @@ impl<'n> DynamicSim<'n> {
                             epoch,
                         },
                     );
+                    let st = self.nodes[spec.origin.index()]
+                        .out
+                        .entry((*nbr, spec.prefix))
+                        .or_default();
+                    st.last_sent = Some(None);
                 }
             }
         }
@@ -402,7 +470,17 @@ impl<'n> DynamicSim<'n> {
         let Some(spec) = self.specs.remove(&prefix) else {
             return;
         };
+        self.seed_ids.remove(&prefix);
         self.nodes[spec.origin.index()].loc.remove(&prefix);
+        // Drop the origin's per-(peer, prefix) machinery state: stale
+        // `last_sent` would suppress the first update of a later
+        // re-announcement, and a stale `mrai_ready_at` / pending fire would
+        // mis-time it. (Queued MraiFire events for the dropped state are
+        // harmless: they re-create a default entry whose desired content is
+        // already None.)
+        self.nodes[spec.origin.index()]
+            .out
+            .retain(|(_, p), _| *p != prefix);
         for (nbr, _) in &spec.seeds {
             let at = self.now + self.link_latency(spec.origin, *nbr);
             let epoch = self.link_epoch(spec.origin, *nbr);
@@ -437,6 +515,8 @@ impl<'n> DynamicSim<'n> {
 
     /// Advance the clock to `t`, processing due events (later events stay
     /// queued). Useful for interleaving data-plane probes with convergence.
+    /// A `t` in the past is a no-op: the clock never rewinds (MRAI
+    /// bookkeeping and metrics timestamps rely on monotonic time).
     pub fn run_until(&mut self, t: Time) {
         while let Some(Reverse(q)) = self.queue.peek().cloned() {
             if q.at > t {
@@ -446,7 +526,7 @@ impl<'n> DynamicSim<'n> {
             self.now = q.at;
             self.handle(q.ev);
         }
-        self.now = t;
+        self.now = self.now.max(t);
     }
 
     /// True when no events are pending.
@@ -479,7 +559,7 @@ impl<'n> DynamicSim<'n> {
         from: AsId,
         to: AsId,
         prefix: Prefix,
-        path: Option<AsPath>,
+        path: Option<PathId>,
         epoch: u64,
     ) {
         let Some(rel) = self.net.graph().relationship(to, from) else {
@@ -494,48 +574,65 @@ impl<'n> DynamicSim<'n> {
             // TCP session would have lost it with the connection.
             return;
         }
-        {
-            let node = &mut self.nodes[to.index()];
-            match path {
-                Some(p) => {
-                    let accepted = self
-                        .net
-                        .policy(to)
-                        .accepts(to, self.net.peers_of(to), rel, &p);
-                    if accepted {
-                        node.adj_in.insert(Route {
-                            prefix,
-                            path: p,
-                            learned_from: from,
-                            rel,
-                            // The dynamic engine is used for convergence
-                            // studies; community propagation is modeled in
-                            // the static engine only.
-                            communities: Vec::new(),
-                        });
-                    } else {
-                        // Implicit withdrawal: the rejected update replaced
-                        // whatever the neighbor previously advertised.
-                        node.adj_in.withdraw(from, prefix);
-                    }
-                }
-                None => {
+        match path {
+            Some(p) => {
+                let accepted = self.net.policy(to).accepts_hops(
+                    to,
+                    self.net.peers_of(to),
+                    rel,
+                    self.paths.hops(p),
+                    self.paths.len(p),
+                );
+                let node = &mut self.nodes[to.index()];
+                if accepted {
+                    node.adj_in.insert(ArenaRoute {
+                        prefix,
+                        path: p,
+                        learned_from: from,
+                        rel,
+                    });
+                } else {
+                    // Implicit withdrawal: the rejected update replaced
+                    // whatever the neighbor previously advertised.
                     node.adj_in.withdraw(from, prefix);
                 }
+            }
+            None => {
+                self.nodes[to.index()].adj_in.withdraw(from, prefix);
             }
         }
         self.reselect(to, prefix);
     }
 
     fn reselect(&mut self, at: AsId, prefix: Prefix) {
-        let best = self.nodes[at.index()].adj_in.best(prefix).cloned();
-        let cur = self.nodes[at.index()].loc.get(&prefix).cloned();
-        if best == cur {
+        // The origin's self-route is pinned while the prefix is announced:
+        // a neighbor's echoed-back announcement (rejected by loop
+        // detection, becoming an implicit withdrawal) must not evict it.
+        if self.specs.get(&prefix).is_some_and(|s| s.origin == at) {
             return;
         }
-        match &best {
+        let best = self.nodes[at.index()].adj_in.best(prefix, &self.paths);
+        let cur = self.nodes[at.index()].loc.get(&prefix);
+        let same = match (&best, cur) {
+            (None, None) => true,
+            (Some(b), Some(c)) => {
+                b.path == c.path && b.learned_from == c.route.learned_from && b.rel == c.route.rel
+            }
+            _ => false,
+        };
+        if same {
+            return;
+        }
+        match best {
             Some(r) => {
-                self.nodes[at.index()].loc.insert(prefix, r.clone());
+                let route = r.to_route(&self.paths);
+                self.nodes[at.index()].loc.insert(
+                    prefix,
+                    LocEntry {
+                        path: r.path,
+                        route,
+                    },
+                );
             }
             None => {
                 self.nodes[at.index()].loc.remove(&prefix);
@@ -559,17 +656,32 @@ impl<'n> DynamicSim<'n> {
         }
     }
 
-    /// What `node` would advertise to `peer` for `prefix` right now.
-    fn desired_content(&self, node: AsId, peer: AsId, prefix: Prefix) -> Option<AsPath> {
-        let best = self.nodes[node.index()].loc.get(&prefix)?;
-        if best.learned_from == peer {
+    /// What `node` would advertise to `peer` for `prefix` right now. At the
+    /// announced origin this is the spec's seed path for that neighbor (or
+    /// nothing for unseeded neighbors — selective advertising), not a
+    /// derivation from the self-route.
+    fn desired_content(&mut self, node: AsId, peer: AsId, prefix: Prefix) -> Option<PathId> {
+        if let Some(spec) = self.specs.get(&prefix) {
+            if spec.origin == node {
+                return self
+                    .seed_ids
+                    .get(&prefix)
+                    .and_then(|seeds| seeds.iter().find(|(n, _)| *n == peer))
+                    .map(|(_, id)| *id);
+            }
+        }
+        let (path, learned_from, rel) = {
+            let e = self.nodes[node.index()].loc.get(&prefix)?;
+            (e.path, e.route.learned_from, e.route.rel)
+        };
+        if learned_from == peer {
             return None; // split horizon: don't echo back
         }
         let rel_to_peer = self.net.graph().relationship(node, peer)?;
-        if !best.rel.exportable_to(rel_to_peer) {
+        if !rel.exportable_to(rel_to_peer) {
             return None;
         }
-        Some(best.path.announced_by(node))
+        Some(self.paths.prepend(path, node))
     }
 
     fn schedule_update(&mut self, node: AsId, peer: AsId, prefix: Prefix) {
@@ -581,8 +693,7 @@ impl<'n> DynamicSim<'n> {
             .out
             .entry((peer, prefix))
             .or_default();
-        let already = st.last_sent.as_ref();
-        if already == Some(&desired) || (already.is_none() && desired.is_none()) {
+        if st.last_sent == Some(desired) || (st.last_sent.is_none() && desired.is_none()) {
             return; // no change to advertise
         }
         if desired.is_none() {
@@ -606,25 +717,34 @@ impl<'n> DynamicSim<'n> {
             .out
             .entry((peer, prefix))
             .or_default();
-        let already = st.last_sent.as_ref();
-        if already == Some(&desired) || (already.is_none() && desired.is_none()) {
+        if st.last_sent == Some(desired) || (st.last_sent.is_none() && desired.is_none()) {
             return;
         }
         self.send_now(node, peer, prefix, desired);
     }
 
-    fn send_now(&mut self, node: AsId, peer: AsId, prefix: Prefix, content: Option<AsPath>) {
+    fn send_now(&mut self, node: AsId, peer: AsId, prefix: Prefix, content: Option<PathId>) {
         let interval = self.mrai_interval(node, peer);
         let st = self.nodes[node.index()]
             .out
             .entry((peer, prefix))
             .or_default();
-        st.last_sent = Some(content.clone());
+        st.last_sent = Some(content);
         if content.is_some() {
             st.mrai_ready_at = self.now + interval;
         }
         if let Some(m) = self.metrics.get_mut(&prefix) {
             *m.updates_sent.entry(node).or_insert(0) += 1;
+            // Send timestamps are monotone per AS within an epoch: the
+            // clock never rewinds, so a recorded time can't exceed `now`.
+            if cfg!(debug_assertions) {
+                if let Some(first) = m.first_sent.get(&node) {
+                    debug_assert!(*first <= self.now, "first_sent after now at {node}");
+                }
+                if let Some(last) = m.last_sent.get(&node) {
+                    debug_assert!(*last <= self.now, "last_sent after now at {node}");
+                }
+            }
             m.first_sent.entry(node).or_insert(self.now);
             m.last_sent.insert(node, self.now);
         }
@@ -655,16 +775,16 @@ impl Fib for DynamicSim<'_> {
         // by iteration order — nondeterministic across runs. The preference
         // key breaks ties by prefix value; `loc` holds one route per
         // prefix, so the winner (and thus the route) is unique.
-        let (_, r) = self.nodes[at.index()]
+        let (_, e) = self.nodes[at.index()]
             .loc
             .iter()
             .filter(|(p, _)| p.contains(dst_addr))
             .max_by_key(|(p, _)| crate::dataplane::lpm_preference(**p))?;
         // The origin's self-route has an empty path.
-        if r.path.is_empty() {
+        if e.path.is_empty() {
             Some(FibEntry::Deliver)
         } else {
-            Some(FibEntry::Forward(r.learned_from))
+            Some(FibEntry::Forward(e.route.learned_from))
         }
     }
 }
@@ -807,7 +927,7 @@ mod tests {
             ));
             sim.run_until_quiescent(Time::from_mins(60));
             let m = sim.metrics(pfx());
-            let sum: u32 = m.updates_sent.values().sum();
+            let sum: u64 = m.updates_sent.values().sum();
             total.insert(label, sum);
         }
         assert!(
@@ -1071,6 +1191,145 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn run_until_never_rewinds_clock() {
+        // Regression: `run_until` used to execute `self.now = t`
+        // unconditionally, so an interleaved driver asking for an earlier
+        // time rewound the clock and corrupted MRAI/metrics bookkeeping.
+        let net = fig2();
+        let mut sim = DynamicSim::new(&net, cfg());
+        sim.run_until(Time(5_000));
+        assert_eq!(sim.now(), Time(5_000));
+        sim.run_until(Time(1_000));
+        assert_eq!(sim.now(), Time(5_000), "clock went backwards");
+        sim.run_until(Time(6_000));
+        assert_eq!(sim.now(), Time(6_000));
+    }
+
+    #[test]
+    fn withdraw_reannounce_cycle_converges_under_mrai() {
+        // Regression: `withdraw` left the origin's per-(peer, prefix) out
+        // state (duplicate suppression + MRAI pacing) behind, which could
+        // suppress or mis-time the first update of a re-announcement.
+        let net = fig2();
+        let mut sim = DynamicSim::new(&net, cfg());
+        let baseline = AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3);
+        sim.announce(&baseline);
+        sim.run_until_quiescent(Time::from_mins(30));
+        sim.withdraw(pfx());
+        sim.run_until_quiescent(Time::from_mins(60));
+        for a in net.graph().ases() {
+            assert!(sim.loc_route(a, pfx()).is_none(), "{a} kept a route");
+        }
+        // Re-announce a *different* shape mid-MRAI-shadow; the fixed point
+        // must match static, not be suppressed by stale origin state.
+        let poisoned = AnnouncementSpec::poisoned(&net, pfx(), AsId(0), &[AsId(1)]);
+        sim.announce(&poisoned);
+        sim.run_until_quiescent(Time::from_mins(120));
+        assert!(sim.quiescent());
+        let static_table = compute_routes(&net, &poisoned);
+        for a in net.graph().ases() {
+            if a == AsId(0) {
+                continue;
+            }
+            assert_eq!(
+                sim.loc_route(a, pfx()).map(|r| r.learned_from),
+                static_table.next_hop(a),
+                "{a} disagrees after withdraw/re-announce"
+            );
+        }
+        assert!(sim.loc_route(AsId(0), pfx()).is_some(), "origin self-route");
+    }
+
+    #[test]
+    fn rapid_withdraw_reannounce_does_not_suppress_first_update() {
+        // Tighter variant: withdraw and immediately re-announce (no
+        // quiescence between), so the origin's stale `last_sent` from the
+        // first announcement is the exact path being re-announced.
+        let net = fig2();
+        let mut sim = DynamicSim::new(&net, cfg());
+        let spec = AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3);
+        sim.announce(&spec);
+        sim.run_until_quiescent(Time::from_mins(30));
+        sim.withdraw(pfx());
+        sim.announce(&spec);
+        sim.run_until_quiescent(Time::from_mins(120));
+        assert!(sim.quiescent());
+        let static_table = compute_routes(&net, &spec);
+        for a in net.graph().ases() {
+            if a == AsId(0) {
+                continue;
+            }
+            assert_eq!(
+                sim.loc_route(a, pfx()).map(|r| r.learned_from),
+                static_table.next_hop(a),
+                "{a} disagrees after rapid withdraw/re-announce"
+            );
+        }
+    }
+
+    #[test]
+    fn origin_self_route_survives_echoed_announcement() {
+        // Origin 3 customer of 1 and 2; 0 above both. Announcing via AS1
+        // only makes AS2 learn the route through AS0 and export it back
+        // down to its customer 3. The origin rejects the echo (its own ASN
+        // is in the path) — and that rejection must not evict the pinned
+        // self-route, or the data plane stops delivering at the origin.
+        let mut g = GraphBuilder::with_ases(4);
+        g.provider_customer(AsId(0), AsId(1));
+        g.provider_customer(AsId(0), AsId(2));
+        g.provider_customer(AsId(1), AsId(3));
+        g.provider_customer(AsId(2), AsId(3));
+        let net = Network::new(g.build());
+        let mut sim = DynamicSim::new(&net, cfg());
+        sim.announce(&AnnouncementSpec::via(
+            pfx(),
+            AsId(3),
+            AsPath::origin_only(AsId(3)),
+            &[AsId(1)],
+        ));
+        sim.run_until_quiescent(Time::from_mins(60));
+        assert!(sim.quiescent());
+        // AS2 really did learn the long way around (so the echo happened).
+        assert_eq!(sim.loc_route(AsId(2), pfx()).unwrap().learned_from, AsId(0));
+        let origin_route = sim.loc_route(AsId(3), pfx());
+        assert!(
+            origin_route.is_some_and(|r| r.path.is_empty()),
+            "origin self-route evicted by echoed announcement: {origin_route:?}"
+        );
+        let w = sim.walk(AsId(3), pfx().an_addr());
+        assert!(w.outcome.delivered(), "origin cannot deliver to itself");
+    }
+
+    #[test]
+    fn interning_reuses_paths_across_churn() {
+        // Announce/withdraw the same shape repeatedly: the arena must not
+        // grow after the first cycle (hash-consing reuses every path).
+        let net = fig2();
+        let mut sim = DynamicSim::new(&net, cfg());
+        let spec = AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3);
+        sim.announce(&spec);
+        sim.run_until_quiescent(Time::from_mins(30));
+        sim.withdraw(pfx());
+        sim.run_until_quiescent(Time::from_mins(60));
+        // MRAI phase differs between cycles, so early cycles may surface a
+        // few new transient paths — but the reachable path set is finite,
+        // so growth must saturate rather than track message count.
+        let mut counts = Vec::new();
+        for _ in 0..4 {
+            sim.announce(&spec);
+            sim.run_until_quiescent(Time::from_mins(500));
+            sim.withdraw(pfx());
+            sim.run_until_quiescent(Time::from_mins(560));
+            counts.push(sim.interned_paths());
+        }
+        assert_eq!(
+            counts[counts.len() - 2],
+            counts[counts.len() - 1],
+            "arena still growing after repeated identical churn: {counts:?}"
+        );
     }
 
     #[test]

@@ -34,10 +34,10 @@ pub mod static_routes;
 pub mod time;
 
 pub use announce::AnnouncementSpec;
-pub use compute::{RouteComputer, RouteTableCache};
+pub use compute::{RouteComputer, RouteTableCache, SharedRouteCache};
 pub use dataplane::{DataPlane, Fib, Walk, WalkOutcome};
 pub use dynamic::{DynamicSim, DynamicSimConfig, PrefixMetrics};
 pub use failures::{Direction, Failure, FailureSet, NetElement};
-pub use network::Network;
+pub use network::{DirtyScope, MutationRecord, Network};
 pub use static_routes::{compute_routes, RouteTable};
 pub use time::Time;

@@ -3,6 +3,51 @@
 
 use lg_asmap::{AsGraph, AsId};
 use lg_bgp::ImportPolicy;
+use std::collections::VecDeque;
+
+/// What a routing-relevant mutation can possibly change, recorded so route
+/// caches can invalidate incrementally instead of flushing wholesale.
+///
+/// Soundness notes per variant live on the constructors in
+/// [`Network::set_policy`] / [`Network::set_strips_communities`]; the cache
+/// side (`lg-sim`'s compute module) unions the scopes between its last-seen
+/// generation and the current one and drops only the entries a scope can
+/// reach.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DirtyScope {
+    /// The mutation provably cannot change any fixed point (e.g. a policy
+    /// replaced by an identical one). Bumps the generation, dirties nothing.
+    Unchanged,
+    /// Only announcements whose seed-path footprint (origin plus every hop
+    /// of every seed path) contains this AS can change. Emitted for
+    /// loop-detection-only policy edits: loop detection at X counts
+    /// occurrences of X, and in the static fixed point a candidate offered
+    /// to a not-yet-finalized X contains X only if a seed path does.
+    Footprint(AsId),
+    /// Only announcements carrying community attributes can change
+    /// (community-stripping toggles).
+    Communities,
+    /// Anything can change (path-content filters such as
+    /// `reject_peers_in_customer_path` or `deny_transit`).
+    Global,
+}
+
+/// One entry of the bounded mutation log: the generation transition and the
+/// scope of what it may have changed.
+#[derive(Clone, Debug)]
+pub struct MutationRecord {
+    /// Generation immediately before the mutation.
+    pub prev: u64,
+    /// Generation stamped by the mutation.
+    pub next: u64,
+    /// What the mutation can affect.
+    pub scope: DirtyScope,
+}
+
+/// How many mutation records a network retains. A cache that fell further
+/// behind than this treats everything as dirty (same behavior as before
+/// incremental invalidation existed).
+const MUTATION_HISTORY_CAP: usize = 64;
 
 /// A configured network: the AS graph, each AS's import policy, and
 /// deterministic per-link propagation delays.
@@ -20,6 +65,9 @@ pub struct Network {
     /// [`Self::set_strips_communities`]). Route caches key on this to
     /// detect staleness.
     generation: u64,
+    /// Recent mutations, oldest first, contiguous: `history[i].next ==
+    /// history[i+1].prev` and the last record's `next` is `generation`.
+    history: VecDeque<MutationRecord>,
 }
 
 impl Network {
@@ -34,6 +82,7 @@ impl Network {
             peer_lists,
             strips_communities: vec![false; n],
             generation,
+            history: VecDeque::new(),
         }
     }
 
@@ -43,10 +92,52 @@ impl Network {
         self.generation
     }
 
-    /// Mark `a` as stripping community attributes on export.
-    pub fn set_strips_communities(&mut self, a: AsId, strips: bool) {
-        self.strips_communities[a.index()] = strips;
+    /// Stamp a fresh generation and log what the mutation can affect.
+    fn record_mutation(&mut self, scope: DirtyScope) {
+        let prev = self.generation;
         self.generation = lg_asmap::next_generation();
+        self.history.push_back(MutationRecord {
+            prev,
+            next: self.generation,
+            scope,
+        });
+        if self.history.len() > MUTATION_HISTORY_CAP {
+            self.history.pop_front();
+        }
+    }
+
+    /// The scopes of every mutation between generation `since` and now,
+    /// oldest first (empty when `since` is current). `None` when the log no
+    /// longer reaches back to `since` — including when `since` belongs to a
+    /// different network or a diverged clone — in which case callers must
+    /// treat everything as dirty.
+    pub fn changes_since(&self, since: u64) -> Option<Vec<DirtyScope>> {
+        if since == self.generation {
+            return Some(Vec::new());
+        }
+        let start = self.history.iter().position(|r| r.prev == since)?;
+        Some(
+            self.history
+                .iter()
+                .skip(start)
+                .map(|r| r.scope.clone())
+                .collect(),
+        )
+    }
+
+    /// Mark `a` as stripping community attributes on export.
+    ///
+    /// Scope: community stripping only matters to announcements that carry
+    /// communities, so an actual toggle dirties [`DirtyScope::Communities`];
+    /// a no-op write dirties nothing.
+    pub fn set_strips_communities(&mut self, a: AsId, strips: bool) {
+        let scope = if self.strips_communities[a.index()] == strips {
+            DirtyScope::Unchanged
+        } else {
+            DirtyScope::Communities
+        };
+        self.strips_communities[a.index()] = strips;
+        self.record_mutation(scope);
     }
 
     /// Does `a` strip communities on export?
@@ -76,9 +167,25 @@ impl Network {
 
     /// Replace the import policy of `a` (loop-detection quirks, Cogent-style
     /// filters — §7.1).
+    ///
+    /// Scope: an identical policy dirties nothing; a change confined to
+    /// `loop_detection` dirties only announcements whose seed footprint
+    /// contains `a` (loop detection at `a` counts occurrences of `a`, and a
+    /// candidate evaluated by a not-yet-finalized `a` contains `a` only if
+    /// a seed path does); any path-content filter change is global.
     pub fn set_policy(&mut self, a: AsId, policy: ImportPolicy) {
+        let old = &self.policies[a.index()];
+        let scope = if *old == policy {
+            DirtyScope::Unchanged
+        } else if old.reject_peers_in_customer_path == policy.reject_peers_in_customer_path
+            && old.deny_transit == policy.deny_transit
+        {
+            DirtyScope::Footprint(a)
+        } else {
+            DirtyScope::Global
+        };
         self.policies[a.index()] = policy;
-        self.generation = lg_asmap::next_generation();
+        self.record_mutation(scope);
     }
 
     /// Cached peer list of `a`.
@@ -182,6 +289,71 @@ mod tests {
         assert_ne!(other.generation(), n.generation());
         let clone = n.clone();
         assert_eq!(clone.generation(), n.generation());
+    }
+
+    #[test]
+    fn changes_since_reports_typed_scopes() {
+        let mut n = net();
+        let g0 = n.generation();
+        assert_eq!(n.changes_since(g0), Some(vec![]));
+
+        // Identical policy: generation bumps, but scope is Unchanged.
+        n.set_policy(AsId(0), ImportPolicy::standard());
+        assert_eq!(n.changes_since(g0), Some(vec![DirtyScope::Unchanged]));
+
+        // Loop-detection-only edit: footprint-scoped to the edited AS.
+        n.set_policy(
+            AsId(1),
+            ImportPolicy {
+                loop_detection: LoopDetection::disabled(),
+                ..ImportPolicy::standard()
+            },
+        );
+        // Community stripping toggle and a no-op re-set of the same value.
+        n.set_strips_communities(AsId(2), true);
+        n.set_strips_communities(AsId(2), true);
+        // Path-content filter: global.
+        n.set_policy(
+            AsId(2),
+            ImportPolicy {
+                deny_transit: vec![AsId(0)],
+                ..ImportPolicy::standard()
+            },
+        );
+        assert_eq!(
+            n.changes_since(g0),
+            Some(vec![
+                DirtyScope::Unchanged,
+                DirtyScope::Footprint(AsId(1)),
+                DirtyScope::Communities,
+                DirtyScope::Unchanged,
+                DirtyScope::Global,
+            ])
+        );
+        // A suffix of the log is reachable from an intermediate generation.
+        let mid = n.generation();
+        n.set_policy(AsId(0), ImportPolicy::standard());
+        assert_eq!(n.changes_since(mid), Some(vec![DirtyScope::Unchanged]));
+        // A generation the network never had: unknown.
+        assert_eq!(n.changes_since(u64::MAX), None);
+        // A foreign network's generation: unknown.
+        let other = net();
+        assert_eq!(n.changes_since(other.generation()), None);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut n = net();
+        let g0 = n.generation();
+        for _ in 0..200 {
+            n.set_strips_communities(AsId(0), true);
+        }
+        // Far older than the cap: the log no longer reaches back.
+        assert_eq!(n.changes_since(g0), None);
+        // Recent generations still resolve.
+        let recent = n.generation();
+        n.set_strips_communities(AsId(0), true);
+        assert_eq!(n.changes_since(recent), Some(vec![DirtyScope::Unchanged]));
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Concurrency smoke for the shared route cache: many threads hammer one
+//! `SharedRouteCache` across repeated mutation generations and every lookup
+//! must match a scratch computation — no stale fixed points, no torn
+//! counters, no deadlocks. CI runs this with a high `LG_SMOKE_ITERS` as a
+//! sanitizer-style gate; locally it defaults to a quick pass.
+//!
+//! (The toolchain here has no miri/loom; this test is the nightly-free
+//! stand-in: real OS threads, real contention, exact oracles.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lg_asmap::TopologyConfig;
+use lg_bgp::{ImportPolicy, LoopDetection, Prefix};
+use lg_sim::{compute_routes, AnnouncementSpec, Network, SharedRouteCache};
+
+fn pfx() -> Prefix {
+    Prefix::from_octets(184, 164, 224, 0, 20)
+}
+
+fn iterations() -> u64 {
+    std::env::var("LG_SMOKE_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+#[test]
+fn concurrent_lookups_survive_mutation_generations() {
+    const THREADS: usize = 8;
+
+    let mut net = Network::new(TopologyConfig::small(97).generate());
+    let origin = net
+        .graph()
+        .ases()
+        .find(|a| net.graph().is_stub(*a) && net.graph().providers(*a).len() >= 2)
+        .or_else(|| net.graph().ases().find(|a| net.graph().is_stub(*a)))
+        .expect("topology has stubs");
+    let transits = net.graph().transit_ases();
+
+    let specs: Vec<AnnouncementSpec> = {
+        let providers = net.graph().providers(origin);
+        let above = net.graph().providers(providers[0]);
+        let target = if above.is_empty() {
+            providers[0]
+        } else {
+            above[0]
+        };
+        vec![
+            AnnouncementSpec::plain(&net, pfx(), origin),
+            AnnouncementSpec::prepended(&net, pfx(), origin, 3),
+            AnnouncementSpec::poisoned(&net, pfx(), origin, &[target]),
+        ]
+    };
+
+    let cache = Arc::new(SharedRouteCache::new());
+    let lookups = AtomicU64::new(0);
+
+    // Alternate phases: 8 threads race lookups against a warm/cold cache,
+    // then the network mutates (a loop-detection toggle at a rotating
+    // transit AS) and the next phase must see only post-mutation tables.
+    for phase in 0..iterations() {
+        let victim = transits[(phase as usize) % transits.len()];
+        let lenient = phase % 2 == 0;
+        net.set_policy(
+            victim,
+            ImportPolicy {
+                loop_detection: if lenient {
+                    LoopDetection::max_occurrences(1)
+                } else {
+                    LoopDetection::standard()
+                },
+                ..ImportPolicy::standard()
+            },
+        );
+
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let cache = Arc::clone(&cache);
+                let net = &net;
+                let specs = &specs;
+                let lookups = &lookups;
+                s.spawn(move || {
+                    // Stagger start order so shard lock contention varies.
+                    for spec in specs.iter().cycle().skip(t % specs.len()).take(specs.len()) {
+                        let got = cache.compute(net, spec);
+                        let want = compute_routes(net, spec);
+                        for a in net.graph().ases() {
+                            assert_eq!(
+                                got.route(a),
+                                want.route(a),
+                                "phase {phase}: stale route at {a}"
+                            );
+                        }
+                        lookups.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+    }
+
+    let total = lookups.load(Ordering::Relaxed);
+    assert_eq!(total, iterations() * (THREADS * specs.len()) as u64);
+    // Counter coherence: every lookup is accounted as exactly one hit or
+    // one miss.
+    assert_eq!(cache.hits() + cache.misses(), total);
+    // Each phase's mutation forces at least the poisoned/footprint specs to
+    // recompute, so misses grow with phases while hits dominate.
+    assert!(cache.misses() >= specs.len() as u64);
+    assert!(cache.hits() > 0);
+}

@@ -11,7 +11,7 @@ use lifeguard_repro::asmap::{AsId, TopologyConfig};
 use lifeguard_repro::bgp::{ImportPolicy, LoopDetection, Prefix};
 use lifeguard_repro::sim::static_routes::{compute_routes_reference, RouteTable};
 use lifeguard_repro::sim::{
-    compute_routes, AnnouncementSpec, Network, RouteComputer, RouteTableCache,
+    compute_routes, AnnouncementSpec, Network, RouteComputer, RouteTableCache, SharedRouteCache,
 };
 use proptest::prelude::*;
 
@@ -138,5 +138,139 @@ proptest! {
         assert_same_table("post-mutation", &after, &compute_routes(&net, &spec), &net)?;
         prop_assert!(after.has_route(target), "lenient target must ignore one poison");
         prop_assert!(!before.has_route(target), "strict target must drop the poison");
+    }
+
+    /// Incremental invalidation: a loop-detection change at one AS evicts
+    /// only entries whose announcement footprint names that AS, and *every*
+    /// post-mutation lookup — retained or recomputed — still matches a
+    /// scratch computation. Stale service is the bug this pins against.
+    #[test]
+    fn incremental_invalidation_never_serves_stale(seed in 1u64..10_000, victim_ix in 0usize..64) {
+        let mut net = Network::new(TopologyConfig::small(seed).generate());
+        let origin = pick_origin(&net);
+        let specs = spec_menu(&net, origin);
+
+        let mut cache = RouteTableCache::new();
+        for spec in &specs {
+            cache.compute(&net, spec);
+        }
+        prop_assert_eq!(cache.len(), specs.len());
+
+        // Flip loop detection at an arbitrary AS (possibly one no footprint
+        // names — then nothing may be evicted).
+        let ases: Vec<AsId> = net.graph().ases().collect();
+        let victim = ases[victim_ix % ases.len()];
+        net.set_policy(
+            victim,
+            ImportPolicy {
+                loop_detection: LoopDetection::max_occurrences(1),
+                ..ImportPolicy::standard()
+            },
+        );
+
+        let misses_before = cache.misses();
+        for spec in &specs {
+            let got = cache.compute(&net, spec);
+            assert_same_table("post-mutation lookup", &got, &compute_routes(&net, spec), &net)?;
+        }
+        let recomputed = cache.misses() - misses_before;
+        // Soundness bound: entries for specs that never route through the
+        // victim must have been retained, so at most every entry recomputes
+        // and specs not naming the victim anywhere stay cached.
+        prop_assert!(recomputed <= specs.len() as u64);
+        if !specs.iter().any(|s| s.origin == victim) && victim != origin {
+            // Plain/prepend footprints are just {origin}: they always survive
+            // a non-origin loop-detection mutation.
+            prop_assert!(
+                (recomputed as usize) < specs.len(),
+                "mutation at {} flushed everything",
+                victim
+            );
+        }
+    }
+
+    /// The shared sharded cache is observationally identical to the scratch
+    /// engine from 1, 2, and 8 concurrent threads, and reports the work as
+    /// hits/misses coherently (each unique spec computed exactly once).
+    #[test]
+    fn shared_cache_matches_scratch_across_threads(seed in 1u64..10_000) {
+        let net = Network::new(TopologyConfig::small(seed).generate());
+        let origin = pick_origin(&net);
+        let specs = spec_menu(&net, origin);
+
+        for threads in [1usize, 2, 8] {
+            let cache = Arc::new(SharedRouteCache::new());
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let cache = Arc::clone(&cache);
+                    let net = &net;
+                    let specs = &specs;
+                    s.spawn(move || {
+                        for spec in specs {
+                            let got = cache.compute(net, spec);
+                            let want = compute_routes(net, spec);
+                            assert_eq!(got.prefix, want.prefix);
+                            for a in net.graph().ases() {
+                                assert_eq!(got.route(a), want.route(a), "thread view at {a}");
+                            }
+                        }
+                    });
+                }
+            });
+            prop_assert_eq!(
+                cache.misses(),
+                specs.len() as u64,
+                "each unique spec computes once ({} threads)",
+                threads
+            );
+            prop_assert_eq!(
+                cache.hits(),
+                ((threads - 1) * specs.len()) as u64,
+                "every other lookup is a hit ({} threads)",
+                threads
+            );
+        }
+    }
+
+    /// Concurrent readers over a shared cache never observe a fixed point
+    /// from before a mutation: after the network changes, every thread's
+    /// lookup matches a fresh scratch computation.
+    #[test]
+    fn shared_cache_mutation_is_visible_to_all_threads(seed in 1u64..10_000) {
+        let mut net = Network::new(TopologyConfig::small(seed).generate());
+        let origin = pick_origin(&net);
+        let providers = net.graph().providers(origin);
+        let above = net.graph().providers(providers[0]);
+        let target = if above.is_empty() { providers[0] } else { above[0] };
+        let specs = spec_menu(&net, origin);
+
+        let cache = Arc::new(SharedRouteCache::new());
+        for spec in &specs {
+            cache.compute(&net, spec);
+        }
+        net.set_policy(
+            target,
+            ImportPolicy {
+                loop_detection: LoopDetection::max_occurrences(1),
+                ..ImportPolicy::standard()
+            },
+        );
+
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let net = &net;
+                let specs = &specs;
+                s.spawn(move || {
+                    for spec in specs {
+                        let got = cache.compute(net, spec);
+                        let want = compute_routes(net, spec);
+                        for a in net.graph().ases() {
+                            assert_eq!(got.route(a), want.route(a), "stale route at {a}");
+                        }
+                    }
+                });
+            }
+        });
     }
 }

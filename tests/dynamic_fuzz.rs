@@ -1,0 +1,186 @@
+//! BGPFuzz-style randomized stress: arbitrary interleavings of announce
+//! (plain / prepended / poisoned), withdraw, link failure, link restoration,
+//! and clock advancement must always drive the event-driven engine to a
+//! quiescent state whose per-AS selections match the static fixed point over
+//! the surviving topology. This is the generalization of the hand-written
+//! fail/restore scenarios: any sequence the repair machinery could issue,
+//! in any order, against any generated topology.
+
+use lifeguard_repro::asmap::{AsId, TopologyConfig};
+use lifeguard_repro::bgp::Prefix;
+use lifeguard_repro::sim::{
+    compute_routes, AnnouncementSpec, DynamicSim, DynamicSimConfig, Network,
+};
+use proptest::prelude::*;
+
+fn pfx() -> Prefix {
+    Prefix::from_octets(184, 164, 224, 0, 20)
+}
+
+fn pick_origin(net: &Network) -> AsId {
+    net.graph()
+        .ases()
+        .find(|a| net.graph().is_stub(*a) && net.graph().providers(*a).len() >= 2)
+        .or_else(|| net.graph().ases().find(|a| net.graph().is_stub(*a)))
+        .expect("generated topology has stubs")
+}
+
+fn pick_poison_target(net: &Network, origin: AsId) -> AsId {
+    let providers = net.graph().providers(origin);
+    let above = net.graph().providers(providers[0]);
+    if above.is_empty() {
+        providers[0]
+    } else {
+        above[0]
+    }
+}
+
+/// All links of the graph as unordered pairs (a < b), in a deterministic
+/// order so a fuzz index always names the same link for a given seed.
+fn all_links(net: &Network) -> Vec<(AsId, AsId)> {
+    let mut links = Vec::new();
+    for a in net.graph().ases() {
+        for (b, _) in net.graph().neighbors(a) {
+            if a.0 < b.0 {
+                links.push((a, *b));
+            }
+        }
+    }
+    links
+}
+
+fn make_spec(net: &Network, shape: u8, origin: AsId, target: AsId) -> AnnouncementSpec {
+    match shape % 3 {
+        0 => AnnouncementSpec::plain(net, pfx(), origin),
+        1 => AnnouncementSpec::prepended(net, pfx(), origin, 3),
+        _ => AnnouncementSpec::poisoned(net, pfx(), origin, &[target]),
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// (Re-)announce one of the three spec shapes.
+    Announce(u8),
+    /// Withdraw the prefix (no-op when nothing is announced).
+    Withdraw,
+    /// Fail the i-th link mod live links (no-op when already down).
+    Fail(usize),
+    /// Restore the i-th currently-down link (no-op when none are down).
+    Restore(usize),
+    /// Let the simulator run for this many milliseconds.
+    Advance(u64),
+}
+
+/// Decode one raw generated tuple into an operation. `kind` picks the op
+/// class with announce/fail/restore/advance weighted over withdraw; `index`
+/// names a link; `ms` a clock advance.
+fn decode(kind: u8, index: usize, ms: u64) -> Op {
+    match kind {
+        0..=2 => Op::Announce(kind),
+        3 => Op::Withdraw,
+        4 | 5 => Op::Fail(index),
+        6 | 7 => Op::Restore(index),
+        _ => Op::Advance(ms),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_update_sequences_converge_to_static_fixed_point(
+        seed in 1u64..10_000,
+        raw_ops in proptest::collection::vec((0u8..11, 0usize..1024, 1u64..120_000), 1..24),
+    ) {
+        let ops: Vec<Op> = raw_ops
+            .iter()
+            .map(|&(kind, index, ms)| decode(kind, index, ms))
+            .collect();
+        let net = Network::new(TopologyConfig::small(seed).generate());
+        let origin = pick_origin(&net);
+        let target = pick_poison_target(&net, origin);
+        let links = all_links(&net);
+
+        let mut sim = DynamicSim::new(&net, DynamicSimConfig::default());
+        let mut down: Vec<(AsId, AsId)> = Vec::new();
+        let mut announced: Option<u8> = None;
+
+        for op in &ops {
+            match *op {
+                Op::Announce(shape) => {
+                    sim.announce(&make_spec(&net, shape, origin, target));
+                    announced = Some(shape);
+                }
+                Op::Withdraw => {
+                    if announced.take().is_some() {
+                        sim.withdraw(pfx());
+                    }
+                }
+                Op::Fail(i) => {
+                    let link = links[i % links.len()];
+                    if !down.contains(&link) {
+                        down.push(link);
+                        sim.fail_link(link.0, link.1);
+                    }
+                }
+                Op::Restore(i) => {
+                    if !down.is_empty() {
+                        let link = down.remove(i % down.len());
+                        sim.restore_link(link.0, link.1);
+                    }
+                }
+                Op::Advance(ms) => {
+                    let t = sim.now() + ms;
+                    sim.run_until(t);
+                }
+            }
+        }
+
+        // Whatever the sequence did, the network must settle.
+        let end = sim.run_until_quiescent(sim.now() + 36_000_000);
+        prop_assert!(sim.quiescent(), "not quiescent by {:?} after {:?}", end, ops);
+
+        match announced {
+            None => {
+                // Withdrawn (or never announced): no residual state anywhere.
+                for a in net.graph().ases() {
+                    prop_assert!(
+                        sim.loc_route(a, pfx()).is_none(),
+                        "{} kept a route after withdrawal",
+                        a
+                    );
+                }
+            }
+            Some(shape) => {
+                // The surviving topology's static fixed point is the ground
+                // truth for the last announced shape.
+                let cut_net;
+                let static_net = if down.is_empty() {
+                    &net
+                } else {
+                    let mut g = net.graph().without_link(down[0].0, down[0].1);
+                    for (a, b) in &down[1..] {
+                        g = g.without_link(*a, *b);
+                    }
+                    cut_net = Network::new(g);
+                    &cut_net
+                };
+                let table =
+                    compute_routes(static_net, &make_spec(static_net, shape, origin, target));
+                for a in net.graph().ases() {
+                    if a == origin {
+                        continue;
+                    }
+                    prop_assert_eq!(
+                        sim.loc_route(a, pfx()).map(|r| r.learned_from),
+                        table.next_hop(a),
+                        "{} disagrees with the static fixed point (shape {}, down {:?})",
+                        a,
+                        shape,
+                        &down
+                    );
+                }
+            }
+        }
+    }
+}
