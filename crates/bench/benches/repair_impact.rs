@@ -14,4 +14,5 @@ fn main() {
     );
     let r = run_impact(&cfg);
     impact_table(&r).print();
+    lg_telemetry::emit_if_configured();
 }

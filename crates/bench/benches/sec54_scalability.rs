@@ -26,4 +26,5 @@ fn main() {
         format!("{:.0}", acc.mean_probes()),
     ]);
     t.print();
+    lg_telemetry::emit_if_configured();
 }

@@ -1,0 +1,189 @@
+//! Telemetry smoke harness: exercises every instrumented subsystem against
+//! the process-global registry, asserts that the key counters actually
+//! moved, prints the snapshot table, and emits `telemetry.json` when
+//! `LG_TELEMETRY_OUT` is set.
+//!
+//! CI runs this as the observability gate: if any subsystem stops
+//! reporting, the run exits non-zero.
+
+use lg_asmap::{AsId, GraphBuilder};
+use lg_bgp::{ImportPolicy, Prefix};
+use lg_probe::{Prober, ProberConfig};
+use lg_sim::dataplane::{infra_addr, infra_prefix, DataPlane};
+use lg_sim::failures::Failure;
+use lg_sim::{AnnouncementSpec, DynamicSim, DynamicSimConfig, Network, RouteTableCache, Time};
+use lifeguard_core::{Lifeguard, LifeguardConfig, World};
+
+/// The recurring Fig-2 evaluation world: O(0) under B(2); B under C(3) and
+/// A(1); C under D(4); A and D under E(5); F(6) behind A; vantage points
+/// under C and E.
+fn fig2_world() -> Network {
+    let mut g = GraphBuilder::with_ases(9);
+    g.provider_customer(AsId(2), AsId(0));
+    g.provider_customer(AsId(3), AsId(2));
+    g.provider_customer(AsId(1), AsId(2));
+    g.provider_customer(AsId(4), AsId(3));
+    g.provider_customer(AsId(5), AsId(1));
+    g.provider_customer(AsId(5), AsId(4));
+    g.provider_customer(AsId(6), AsId(1));
+    g.provider_customer(AsId(3), AsId(7));
+    g.provider_customer(AsId(5), AsId(8));
+    Network::new(g.build())
+}
+
+fn pfx() -> Prefix {
+    Prefix::from_octets(184, 164, 224, 0, 20)
+}
+
+/// Route-cache traffic: a poison sweep (misses), a re-query (hits), and a
+/// footprint-scoped invalidation (evictions by scope).
+fn exercise_cache() {
+    let mut g = GraphBuilder::with_ases(18);
+    for i in 1..=16u32 {
+        g.provider_customer(AsId(i), AsId(0));
+        g.provider_customer(AsId(17), AsId(i));
+    }
+    let mut net = Network::new(g.build());
+    let mut cache = RouteTableCache::new();
+    let sweep: Vec<AnnouncementSpec> = (1..=16u32)
+        .map(|t| AnnouncementSpec::poisoned(&net, pfx(), AsId(0), &[AsId(t)]))
+        .collect();
+    for spec in &sweep {
+        cache.compute(&net, spec); // misses
+    }
+    for spec in &sweep {
+        cache.compute(&net, spec); // hits
+    }
+    net.set_policy(
+        AsId(3),
+        ImportPolicy {
+            loop_detection: lg_bgp::LoopDetection::disabled(),
+            ..ImportPolicy::standard()
+        },
+    );
+    cache.compute(&net, &sweep[0]); // footprint eviction + recompute
+}
+
+/// Dynamic-engine traffic: baseline convergence, then a poison transition
+/// landing inside the MRAI shadow (deferrals, withdrawals).
+fn exercise_dynamic() {
+    let net = fig2_world();
+    let mut sim = DynamicSim::new(&net, DynamicSimConfig::default());
+    sim.announce(&AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3));
+    sim.run_until_quiescent(Time::from_mins(30));
+    sim.announce(&AnnouncementSpec::poisoned(
+        &net,
+        pfx(),
+        AsId(0),
+        &[AsId(1)],
+    ));
+    sim.run_until_quiescent(Time::from_mins(60));
+    assert!(sim.quiescent(), "dynamic engine must reach quiescence");
+}
+
+/// Probe-budget traffic: plain pings against a healthy world.
+fn exercise_prober() {
+    let net = fig2_world();
+    let spec = AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3);
+    let mut dp = DataPlane::new(&net);
+    dp.announce(&spec);
+    let mut pr = Prober::new(ProberConfig::default());
+    for target in [AsId(3), AsId(5)] {
+        pr.ping(&dp, Time::from_secs(60), AsId(0), infra_addr(target));
+    }
+}
+
+/// Repair-loop traffic: outage -> isolation -> poison -> repair.
+fn exercise_core() {
+    let net = fig2_world();
+    let mut world = World::new(&net);
+    let sentinel = Prefix::from_octets(184, 164, 224, 0, 19);
+    let mut cfg = LifeguardConfig::paper_defaults(AsId(0), pfx(), sentinel);
+    cfg.targets = vec![AsId(5)];
+    cfg.vantage_points = vec![AsId(7), AsId(8)];
+    let mut lg = Lifeguard::new(cfg);
+    lg.install(&mut world, Time::ZERO);
+
+    let mut t = Time::from_secs(60);
+    let tick_minutes = |lg: &mut Lifeguard, world: &mut World<'_>, from: Time, minutes: u64| {
+        let mut t = from;
+        let end = from + minutes * 60_000;
+        while t <= end {
+            lg.tick(world, t);
+            t += lg.config().ping_interval_ms;
+        }
+        t
+    };
+    t = tick_minutes(&mut lg, &mut world, t, 5);
+    for covered in [pfx(), sentinel, infra_prefix(AsId(0))] {
+        world
+            .dp
+            .failures_mut()
+            .add(Failure::silent_as_toward(AsId(1), covered).window(t, None));
+    }
+    tick_minutes(&mut lg, &mut world, t, 10);
+    assert!(lg.poisoning_active(), "the repair loop must apply a poison");
+}
+
+fn main() {
+    exercise_cache();
+    exercise_dynamic();
+    exercise_prober();
+    exercise_core();
+
+    let snap = lg_telemetry::global().snapshot();
+
+    // The observability gate: every instrumented subsystem must have
+    // reported. A zero here means an instrumentation point regressed.
+    let required_nonzero = [
+        "cache.hits",
+        "cache.misses",
+        "cache.evictions.footprint",
+        "compute.runs",
+        "compute.arena_nodes",
+        "dynamic.updates_sent",
+        "dynamic.updates_received",
+        "dynamic.withdrawals_sent",
+        "dynamic.mrai_deferrals",
+        "dynamic.loc_rib_changes",
+        "probe.pings",
+        "core.outages_detected",
+        "core.poisons_applied",
+    ];
+    let mut failed = false;
+    for name in required_nonzero {
+        match snap.counter(name) {
+            Some(v) if v > 0 => {}
+            Some(_) => {
+                eprintln!("FAIL: counter {name} is zero");
+                failed = true;
+            }
+            None => {
+                eprintln!("FAIL: counter {name} missing from the registry");
+                failed = true;
+            }
+        }
+    }
+    for name in [
+        "compute.wall_us",
+        "dynamic.quiescence_ms",
+        "core.isolation_ms",
+    ] {
+        match snap.histogram(name) {
+            Some(h) if h.count > 0 => {}
+            _ => {
+                eprintln!("FAIL: histogram {name} missing or empty");
+                failed = true;
+            }
+        }
+    }
+
+    println!("{}", snap.render_table());
+    lg_telemetry::emit_if_configured();
+
+    if failed {
+        eprintln!("telemetry smoke FAILED: see counters above");
+        std::process::exit(1);
+    }
+    println!("telemetry smoke OK: all key counters non-zero");
+}

@@ -132,4 +132,40 @@ mod tests {
         assert!(s.contains("AS4"));
         assert!(s.contains("selective"));
     }
+
+    #[test]
+    fn poison_skipped_display_carries_target_and_reason() {
+        let e = Event {
+            at: Time::from_secs(120),
+            kind: EventKind::PoisonSkipped {
+                target: AsId(6),
+                reason: "could not isolate a culprit".to_string(),
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("00:02:00"), "{s}");
+        assert!(s.contains("did not poison"), "{s}");
+        assert!(s.contains("AS6"), "{s}");
+        assert!(s.contains("could not isolate a culprit"), "{s}");
+    }
+
+    #[test]
+    fn sentinel_detection_events_display() {
+        let healed = Event {
+            at: Time::from_secs(30),
+            kind: EventKind::FailureHealed { target: AsId(5) },
+        };
+        let s = healed.to_string();
+        assert!(s.contains("sentinel"), "{s}");
+        assert!(s.contains("healed"), "{s}");
+        assert!(s.contains("AS5"), "{s}");
+
+        let un = Event {
+            at: Time::from_secs(31),
+            kind: EventKind::Unpoisoned { target: AsId(5) },
+        };
+        let s = un.to_string();
+        assert!(s.contains("restored"), "{s}");
+        assert!(s.contains("AS5"), "{s}");
+    }
 }

@@ -17,7 +17,37 @@ use crate::world::World;
 use lg_asmap::AsId;
 use lg_sim::dataplane::infra_addr;
 use lg_sim::Time;
+use lg_telemetry::{Counter, Registry};
 use std::collections::HashMap;
+
+/// Registry handles for the outage ledger (`monitor.*` metrics), one bump
+/// per ledger transition in [`MeshMonitor::tick`].
+struct MonitorTelemetry {
+    /// New outage record opened (first vantage streak crossed the
+    /// threshold).
+    outages_opened: Counter,
+    /// An open record's affected-vantage set changed (e.g. became partial
+    /// or spread to more vantage points).
+    outages_transitioned: Counter,
+    /// Record closed into history (connectivity returned everywhere).
+    outages_closed: Counter,
+}
+
+impl MonitorTelemetry {
+    fn from_registry(r: &Registry) -> Self {
+        MonitorTelemetry {
+            outages_opened: r.counter("monitor.outages_opened"),
+            outages_transitioned: r.counter("monitor.outages_transitioned"),
+            outages_closed: r.counter("monitor.outages_closed"),
+        }
+    }
+}
+
+impl Default for MonitorTelemetry {
+    fn default() -> Self {
+        Self::from_registry(lg_telemetry::global())
+    }
+}
 
 /// One entry in the outage ledger.
 #[derive(Clone, Debug)]
@@ -61,6 +91,7 @@ pub struct MeshMonitor {
     active: HashMap<AsId, OutageRecord>,
     /// Finished outages.
     pub history: Vec<OutageRecord>,
+    tele: MonitorTelemetry,
 }
 
 impl MeshMonitor {
@@ -74,7 +105,20 @@ impl MeshMonitor {
             down: HashMap::new(),
             active: HashMap::new(),
             history: Vec::new(),
+            tele: MonitorTelemetry::default(),
         }
+    }
+
+    /// Like [`MeshMonitor::new`], but reporting `monitor.*` metrics into
+    /// `registry` instead of the process-global one.
+    pub fn with_registry(
+        vantage_points: Vec<AsId>,
+        targets: Vec<AsId>,
+        registry: &Registry,
+    ) -> Self {
+        let mut m = Self::new(vantage_points, targets);
+        m.tele = MonitorTelemetry::from_registry(registry);
+        m
     }
 
     /// One monitoring round: ping pairs from every vantage point to every
@@ -134,12 +178,14 @@ impl MeshMonitor {
                             reachable_vps: reachable,
                         },
                     );
+                    self.tele.outages_opened.inc();
                     changed.push(t);
                 }
                 (Some(rec), false) => {
                     if rec.affected_vps != affected {
                         rec.affected_vps = affected;
                         rec.reachable_vps = reachable;
+                        self.tele.outages_transitioned.inc();
                         changed.push(t);
                     }
                 }
@@ -147,6 +193,7 @@ impl MeshMonitor {
                     let mut rec = self.active.remove(&t).unwrap();
                     rec.ended = Some(now);
                     self.history.push(rec);
+                    self.tele.outages_closed.inc();
                     changed.push(t);
                 }
                 (None, true) => {}
@@ -301,6 +348,33 @@ mod tests {
         assert_eq!(rec.affected_vps.len(), 2);
         // Not partial anymore (no VP reaches 7): still not a candidate.
         assert!(!m.is_repair_candidate(&mut world, now, AsId(7)));
+    }
+
+    #[test]
+    fn ledger_transitions_report_into_scoped_registry() {
+        // The partial-outage arc (open -> close) bumps the monitor.*
+        // transition counters exactly once each.
+        let n = net();
+        let mut world = World::new(&n);
+        let reg = lg_telemetry::Registry::new();
+        let mut m =
+            MeshMonitor::with_registry(vec![AsId(5), AsId(6)], vec![AsId(7), AsId(8)], &reg);
+        run_rounds(&mut m, &mut world, 1, 4);
+        let start = Time::from_mins(10);
+        let end = Time::from_mins(30);
+        world.dp.failures_mut().add(
+            Failure::silent_as_toward(AsId(1), infra_prefix(AsId(7)))
+                .ingress_from(AsId(5))
+                .window(start, Some(end)),
+        );
+        run_rounds(&mut m, &mut world, 10, 8);
+        run_rounds(&mut m, &mut world, 31, 4);
+        assert_eq!(m.history.len(), 1);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("monitor.outages_opened"), Some(1));
+        assert_eq!(snap.counter("monitor.outages_closed"), Some(1));
+        assert_eq!(snap.counter("monitor.outages_transitioned"), Some(0));
     }
 
     #[test]

@@ -9,7 +9,65 @@ use lg_bgp::AsPath;
 use lg_locate::{FailureDirection, Isolator};
 use lg_sim::dataplane::infra_addr;
 use lg_sim::{AnnouncementSpec, Time};
+use lg_telemetry::{Counter, Histogram, Registry};
 use std::collections::HashMap;
+
+/// Registry handles for the repair loop (`core.*` metrics). Every event
+/// appended to the log is also tallied here, so process-wide dashboards see
+/// outage/repair activity without walking per-instance event logs.
+struct CoreTelemetry {
+    outages_detected: Counter,
+    isolations: Counter,
+    poisons_applied: Counter,
+    poisons_skipped: Counter,
+    repairs: Counter,
+    failures_healed: Counter,
+    unpoisons: Counter,
+    /// Modeled isolation latency, from `IsolationCompleted::elapsed_ms`.
+    isolation_ms: Histogram,
+    /// Failure-to-repair latency, from `Repaired::downtime_ms`.
+    repair_downtime_ms: Histogram,
+}
+
+impl CoreTelemetry {
+    fn from_registry(r: &Registry) -> Self {
+        CoreTelemetry {
+            outages_detected: r.counter("core.outages_detected"),
+            isolations: r.counter("core.isolations"),
+            poisons_applied: r.counter("core.poisons_applied"),
+            poisons_skipped: r.counter("core.poisons_skipped"),
+            repairs: r.counter("core.repairs"),
+            failures_healed: r.counter("core.failures_healed"),
+            unpoisons: r.counter("core.unpoisons"),
+            isolation_ms: r.histogram("core.isolation_ms"),
+            repair_downtime_ms: r.histogram("core.repair_downtime_ms"),
+        }
+    }
+
+    fn observe(&self, kind: &EventKind) {
+        match kind {
+            EventKind::OutageDetected { .. } => self.outages_detected.inc(),
+            EventKind::IsolationCompleted { elapsed_ms, .. } => {
+                self.isolations.inc();
+                self.isolation_ms.record(*elapsed_ms);
+            }
+            EventKind::Poisoned { .. } => self.poisons_applied.inc(),
+            EventKind::PoisonSkipped { .. } => self.poisons_skipped.inc(),
+            EventKind::Repaired { downtime_ms, .. } => {
+                self.repairs.inc();
+                self.repair_downtime_ms.record(*downtime_ms);
+            }
+            EventKind::FailureHealed { .. } => self.failures_healed.inc(),
+            EventKind::Unpoisoned { .. } => self.unpoisons.inc(),
+        }
+    }
+}
+
+impl Default for CoreTelemetry {
+    fn default() -> Self {
+        Self::from_registry(lg_telemetry::global())
+    }
+}
 
 /// Per-target state of the repair loop.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -58,6 +116,7 @@ pub struct Lifeguard {
     /// [`Lifeguard::with_shared_cache`] and reuse each other's fixed
     /// points, including from concurrent threads.
     route_cache: std::sync::Arc<lg_sim::SharedRouteCache>,
+    tele: CoreTelemetry,
 }
 
 impl Lifeguard {
@@ -67,6 +126,17 @@ impl Lifeguard {
     /// Panics when the configuration fails [`LifeguardConfig::validate`].
     pub fn new(cfg: LifeguardConfig) -> Self {
         Self::with_shared_cache(cfg, std::sync::Arc::new(lg_sim::SharedRouteCache::new()))
+    }
+
+    /// Like [`Lifeguard::new`], but reporting `core.*` metrics into
+    /// `registry` instead of the process-global one.
+    ///
+    /// # Panics
+    /// Panics when the configuration fails [`LifeguardConfig::validate`].
+    pub fn with_registry(cfg: LifeguardConfig, registry: &Registry) -> Self {
+        let mut lg = Self::new(cfg);
+        lg.tele = CoreTelemetry::from_registry(registry);
+        lg
     }
 
     /// Build a system that shares `cache` with other instances working the
@@ -97,6 +167,7 @@ impl Lifeguard {
             events: Vec::new(),
             outage_started: HashMap::new(),
             route_cache: cache,
+            tele: CoreTelemetry::default(),
         }
     }
 
@@ -129,6 +200,7 @@ impl Lifeguard {
     }
 
     fn log(&mut self, at: Time, kind: EventKind) {
+        self.tele.observe(&kind);
         self.events.push(Event { at, kind });
     }
 
@@ -1079,6 +1151,98 @@ mod tests {
             "no outage events for a transient blip: {:?}",
             lg.events()
         );
+    }
+
+    #[test]
+    fn repair_lifecycle_reports_into_scoped_registry() {
+        // The full outage -> isolate -> poison -> repair -> heal -> unpoison
+        // arc, observed through a scoped registry; the sentinel-detection
+        // events must also round-trip through the ledger with informative
+        // renderings.
+        let net = world_net();
+        let mut world = World::new(&net);
+        let reg = Registry::new();
+        let mut cfg = LifeguardConfig::paper_defaults(AsId(0), production(), sentinel());
+        cfg.targets = vec![AsId(5)];
+        cfg.vantage_points = vec![AsId(7), AsId(8)];
+        let mut lg = Lifeguard::with_registry(cfg, &reg);
+        lg.install(&mut world, Time::ZERO);
+        let t = tick_minutes(&mut lg, &mut world, Time::from_secs(60), 5);
+        let heal_at = t + 3_600_000;
+        for covered in [production(), sentinel(), infra_prefix(AsId(0))] {
+            world
+                .dp
+                .failures_mut()
+                .add(Failure::silent_as_toward(AsId(1), covered).window(t, Some(heal_at)));
+        }
+        tick_minutes(&mut lg, &mut world, t, 10);
+        tick_minutes(&mut lg, &mut world, heal_at + 60_000, 10);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("core.outages_detected"), Some(1));
+        assert_eq!(snap.counter("core.poisons_applied"), Some(1));
+        assert_eq!(snap.counter("core.repairs"), Some(1));
+        assert_eq!(snap.counter("core.failures_healed"), Some(1));
+        assert_eq!(snap.counter("core.unpoisons"), Some(1));
+        assert_eq!(snap.counter("core.poisons_skipped"), Some(0));
+        let iso = snap
+            .histogram("core.isolation_ms")
+            .expect("isolation histogram");
+        assert_eq!(iso.count, 1);
+        assert!(iso.sum > 0, "modeled isolation latency must be positive");
+        let down = snap
+            .histogram("core.repair_downtime_ms")
+            .expect("downtime histogram");
+        assert_eq!(down.count, 1);
+
+        let healed = lg
+            .events()
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::FailureHealed { .. }))
+            .expect("FailureHealed in the ledger");
+        assert!(healed.to_string().contains("sentinel"), "{healed}");
+        let un = lg
+            .events()
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Unpoisoned { .. }))
+            .expect("Unpoisoned in the ledger");
+        assert!(un.to_string().contains("restored"), "{un}");
+    }
+
+    #[test]
+    fn poison_skip_round_trips_through_ledger_and_registry() {
+        // Captive F cannot be repaired: the skip shows up both as a
+        // formatted ledger event carrying the reason and as a counter.
+        let net = world_net();
+        let mut world = World::new(&net);
+        let reg = Registry::new();
+        let mut cfg = LifeguardConfig::paper_defaults(AsId(0), production(), sentinel());
+        cfg.targets = vec![AsId(6)];
+        cfg.vantage_points = vec![AsId(7), AsId(8)];
+        let mut lg = Lifeguard::with_registry(cfg, &reg);
+        lg.install(&mut world, Time::ZERO);
+        let t = tick_minutes(&mut lg, &mut world, Time::from_secs(60), 5);
+        for covered in [production(), sentinel(), infra_prefix(AsId(0))] {
+            world
+                .dp
+                .failures_mut()
+                .add(Failure::silent_as_toward(AsId(1), covered).window(t, None));
+        }
+        tick_minutes(&mut lg, &mut world, t, 10);
+
+        let skipped = lg
+            .events()
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::PoisonSkipped { .. }))
+            .expect("PoisonSkipped in the ledger");
+        let s = skipped.to_string();
+        assert!(s.contains("did not poison"), "{s}");
+        assert!(s.contains("AS6"), "{s}");
+
+        let snap = reg.snapshot();
+        assert!(snap.counter("core.poisons_skipped").unwrap() >= 1);
+        assert_eq!(snap.counter("core.poisons_applied"), Some(0));
+        assert_eq!(snap.counter("core.repairs"), Some(0));
     }
 
     #[test]

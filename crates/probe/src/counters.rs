@@ -25,13 +25,17 @@ impl ProbeCounters {
         self.pings + self.spoofed_pings + self.traceroute_probes + self.option_probes
     }
 
-    /// Difference since an earlier snapshot.
+    /// Difference since an earlier snapshot. Saturating: if counters were
+    /// reset between snapshots (`earlier` ahead of `self`), the delta
+    /// clamps to zero instead of underflowing.
     pub fn since(&self, earlier: &ProbeCounters) -> ProbeCounters {
         ProbeCounters {
-            pings: self.pings - earlier.pings,
-            spoofed_pings: self.spoofed_pings - earlier.spoofed_pings,
-            traceroute_probes: self.traceroute_probes - earlier.traceroute_probes,
-            option_probes: self.option_probes - earlier.option_probes,
+            pings: self.pings.saturating_sub(earlier.pings),
+            spoofed_pings: self.spoofed_pings.saturating_sub(earlier.spoofed_pings),
+            traceroute_probes: self
+                .traceroute_probes
+                .saturating_sub(earlier.traceroute_probes),
+            option_probes: self.option_probes.saturating_sub(earlier.option_probes),
         }
     }
 }
@@ -60,5 +64,34 @@ mod tests {
         assert_eq!(d.traceroute_probes, 10);
         assert_eq!(d.option_probes, 10);
         assert_eq!(d.total(), 25);
+    }
+
+    #[test]
+    fn since_saturates_after_reset() {
+        // Regression: `since` used unchecked subtraction and panicked in
+        // debug builds when the prober's counters were reset (a fresh
+        // `Prober`) between snapshots.
+        let before = ProbeCounters {
+            pings: 10,
+            spoofed_pings: 3,
+            traceroute_probes: 7,
+            option_probes: 35,
+        };
+        let after_reset = ProbeCounters {
+            pings: 2,
+            spoofed_pings: 0,
+            traceroute_probes: 9,
+            option_probes: 0,
+        };
+        let d = after_reset.since(&before);
+        assert_eq!(
+            d,
+            ProbeCounters {
+                pings: 0,
+                spoofed_pings: 0,
+                traceroute_probes: 2,
+                option_probes: 0,
+            }
+        );
     }
 }

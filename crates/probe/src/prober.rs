@@ -6,7 +6,36 @@ use crate::traceroute::{Traceroute, TrbHop};
 use lg_asmap::{AsId, RouterId};
 use lg_sim::dataplane::{infra_addr, DataPlane};
 use lg_sim::Time;
+use lg_telemetry::{Counter, Registry};
 use std::collections::{HashMap, HashSet};
+
+/// Registry handles for probe budgets, resolved once at construction.
+/// Aggregates across all probers in the process; the per-instance
+/// [`ProbeCounters`] stay the exact per-run accounting (§5.4 budgets).
+#[derive(Clone, Debug)]
+struct ProbeTelemetry {
+    pings: Counter,
+    spoofed_pings: Counter,
+    traceroute_probes: Counter,
+    option_probes: Counter,
+}
+
+impl ProbeTelemetry {
+    fn from_registry(r: &Registry) -> Self {
+        ProbeTelemetry {
+            pings: r.counter("probe.pings"),
+            spoofed_pings: r.counter("probe.spoofed_pings"),
+            traceroute_probes: r.counter("probe.traceroute_probes"),
+            option_probes: r.counter("probe.option_probes"),
+        }
+    }
+}
+
+impl Default for ProbeTelemetry {
+    fn default() -> Self {
+        Self::from_registry(lg_telemetry::global())
+    }
+}
 
 /// Prober configuration.
 #[derive(Clone, Copy, Debug)]
@@ -41,22 +70,34 @@ pub struct Prober {
     counters: ProbeCounters,
     /// Per-AS response budget for the current second.
     rate: HashMap<AsId, (u64, u32)>,
+    tele: ProbeTelemetry,
 }
 
 impl Prober {
-    /// Prober with the given configuration.
+    /// Prober with the given configuration, reporting into the global
+    /// telemetry registry.
     pub fn new(cfg: ProberConfig) -> Self {
         Prober {
             cfg,
             unresponsive: HashSet::new(),
             counters: ProbeCounters::new(),
             rate: HashMap::new(),
+            tele: ProbeTelemetry::default(),
         }
     }
 
     /// Prober with default configuration.
     pub fn with_defaults() -> Self {
         Self::new(ProberConfig::default())
+    }
+
+    /// Prober reporting into `registry` instead of the global one
+    /// (isolated observation in tests).
+    pub fn with_registry(cfg: ProberConfig, registry: &Registry) -> Self {
+        Prober {
+            tele: ProbeTelemetry::from_registry(registry),
+            ..Self::new(cfg)
+        }
     }
 
     /// Mark an AS's routers as never answering ICMP.
@@ -85,11 +126,13 @@ impl Prober {
     /// usage through this.
     pub fn charge_option_probes(&mut self, n: u64) {
         self.counters.option_probes += n;
+        self.tele.option_probes.add(n);
     }
 
     /// Charge `n` plain pings to the budget (batched keep-alive probing).
     pub fn charge_pings(&mut self, n: u64) {
         self.counters.pings += n;
+        self.tele.pings.add(n);
     }
 
     /// Check and consume one response slot for `a` in the second of `now`.
@@ -145,6 +188,7 @@ impl Prober {
         dst_addr: u32,
     ) -> PingResult {
         self.counters.pings += 1;
+        self.tele.pings.inc();
         let fwd = dp.walk(now, src, dst_addr);
         if !fwd.outcome.delivered() {
             return PingResult::lost(PingDiagnosis::ForwardLoss(fwd.last_as().unwrap_or(src)));
@@ -177,6 +221,7 @@ impl Prober {
         spoof_as: AsId,
     ) -> PingResult {
         self.counters.spoofed_pings += 1;
+        self.tele.spoofed_pings.inc();
         let fwd = dp.walk(now, sender, dst_addr);
         if !fwd.outcome.delivered() {
             return PingResult::lost(PingDiagnosis::ForwardLoss(fwd.last_as().unwrap_or(sender)));
@@ -226,6 +271,7 @@ impl Prober {
         // Skip the source's own internal router.
         for hop in fwd.hops.iter().skip(1) {
             self.counters.traceroute_probes += 1;
+            self.tele.traceroute_probes.inc();
             let responded = self.responds(dp, now, hop.owner, receiver_addr).is_some();
             hops.push(TrbHop {
                 router: *hop,
@@ -266,6 +312,7 @@ impl Prober {
             self.cfg.rt_fresh_option_probes
         };
         self.counters.option_probes += cost as u64;
+        self.tele.option_probes.add(cost as u64);
         if !rt.responded {
             return None;
         }
@@ -473,6 +520,32 @@ mod tests {
             pr.ping(&dp, Time::from_secs(1), gmu, infra_addr(smart))
                 .responded
         );
+    }
+
+    #[test]
+    fn probe_budgets_report_into_scoped_registry() {
+        let (net, gmu, smart) = fig4_world();
+        let dp = setup(&net);
+        let reg = lg_telemetry::Registry::new();
+        let mut pr = Prober::with_registry(ProberConfig::default(), &reg);
+        pr.ping(&dp, Time::ZERO, gmu, infra_addr(smart));
+        pr.spoofed_ping(&dp, Time::ZERO, gmu, infra_addr(smart), AsId(5));
+        pr.traceroute(&dp, Time::ZERO, gmu, infra_addr(smart));
+        pr.reverse_traceroute(&dp, Time::ZERO, gmu, smart, false);
+        pr.charge_pings(5);
+        pr.charge_option_probes(2);
+
+        // The registry mirrors the per-instance accounting exactly.
+        let c = pr.counters();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("probe.pings"), Some(c.pings));
+        assert_eq!(snap.counter("probe.spoofed_pings"), Some(c.spoofed_pings));
+        assert_eq!(
+            snap.counter("probe.traceroute_probes"),
+            Some(c.traceroute_probes)
+        );
+        assert_eq!(snap.counter("probe.option_probes"), Some(c.option_probes));
+        assert!(c.pings >= 7 && c.option_probes >= 37, "{c:?}");
     }
 
     #[test]

@@ -29,11 +29,13 @@ use crate::network::{DirtyScope, Network};
 use crate::static_routes::{compute_routes, RouteTable};
 use lg_asmap::AsId;
 use lg_bgp::{AsPath, Prefix};
+use lg_telemetry::{Counter, Gauge, Histogram, Registry};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Fans route computations for a batch of specs across threads.
 ///
@@ -148,6 +150,118 @@ impl SpecKey {
     }
 }
 
+/// Eviction counts split by the [`DirtyScope`] kind that caused them
+/// (plus `generation_lost` for wholesale flushes when the mutation log no
+/// longer reaches the cache's generation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Evictions {
+    /// Entries dropped by `DirtyScope::Footprint` mutations.
+    pub footprint: u64,
+    /// Entries dropped by `DirtyScope::Communities` mutations.
+    pub communities: u64,
+    /// Entries dropped by `DirtyScope::Global` mutations.
+    pub global: u64,
+    /// Entries dropped because the log rolled past the cache's generation
+    /// (graph surgery, a different network, deep staleness).
+    pub generation_lost: u64,
+}
+
+impl Evictions {
+    /// Total entries evicted across all scopes.
+    pub fn total(&self) -> u64 {
+        self.footprint + self.communities + self.global + self.generation_lost
+    }
+
+    fn accumulate(&mut self, other: &Evictions) {
+        self.footprint += other.footprint;
+        self.communities += other.communities;
+        self.global += other.global;
+        self.generation_lost += other.generation_lost;
+    }
+}
+
+/// Point-in-time counter summary of a cache (see
+/// [`RouteTableCache::stats`] / [`SharedRouteCache::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CacheStats {
+    /// Lookups served from cache since construction.
+    pub hits: u64,
+    /// Lookups that had to compute since construction.
+    pub misses: u64,
+    /// Evictions since construction, by cause.
+    pub evictions: Evictions,
+    /// Tables currently cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of entries ever inserted that are still cached:
+    /// `entries / (entries + evicted)`. 1.0 for an empty history.
+    pub fn retention_ratio(&self) -> f64 {
+        let before = self.entries as u64 + self.evictions.total();
+        if before == 0 {
+            1.0
+        } else {
+            self.entries as f64 / before as f64
+        }
+    }
+}
+
+/// Registry handles both cache flavors report into, resolved once at
+/// construction so the hot path is pure atomic bumps. Both flavors share
+/// the same metric names: reports aggregate every cache in the process
+/// (per-instance counts stay exact on the instance itself).
+#[derive(Clone, Debug)]
+struct CacheTelemetry {
+    hits: Counter,
+    misses: Counter,
+    evict_footprint: Counter,
+    evict_communities: Counter,
+    evict_global: Counter,
+    evict_generation_lost: Counter,
+    entries: Gauge,
+    retention_pct: Gauge,
+    shard_wait_us: Histogram,
+}
+
+impl CacheTelemetry {
+    fn from_registry(r: &Registry) -> Self {
+        CacheTelemetry {
+            hits: r.counter("cache.hits"),
+            misses: r.counter("cache.misses"),
+            evict_footprint: r.counter("cache.evictions.footprint"),
+            evict_communities: r.counter("cache.evictions.communities"),
+            evict_global: r.counter("cache.evictions.global"),
+            evict_generation_lost: r.counter("cache.evictions.generation_lost"),
+            entries: r.gauge("cache.entries"),
+            retention_pct: r.gauge("cache.retention_pct"),
+            shard_wait_us: r.histogram("cache.shard_wait_us"),
+        }
+    }
+
+    /// Report a sync's eviction outcome: per-scope counters and — when
+    /// anything was evicted — the retention percentage of that sync
+    /// (`remaining` counts the synced shard's surviving entries).
+    fn record_sync(&self, ev: &Evictions, remaining: usize) {
+        let total = ev.total();
+        if total == 0 {
+            return;
+        }
+        self.evict_footprint.add(ev.footprint);
+        self.evict_communities.add(ev.communities);
+        self.evict_global.add(ev.global);
+        self.evict_generation_lost.add(ev.generation_lost);
+        let before = remaining as u64 + total;
+        self.retention_pct.set(remaining as u64 * 100 / before);
+    }
+}
+
+impl Default for CacheTelemetry {
+    fn default() -> Self {
+        Self::from_registry(lg_telemetry::global())
+    }
+}
+
 /// A cached fixed point plus the dependency summary invalidation needs.
 #[derive(Clone, Debug)]
 struct CachedTable {
@@ -170,43 +284,50 @@ struct CacheShard {
 
 impl CacheShard {
     /// Bring the shard up to `net`'s generation, dropping exactly the
-    /// entries the mutation log says could have changed. Returns how many
-    /// entries were evicted.
-    fn sync(&mut self, net: &Network) -> u64 {
+    /// entries the mutation log says could have changed. Returns the
+    /// evicted-entry counts split by the scope kind that caused them.
+    fn sync(&mut self, net: &Network) -> Evictions {
+        let mut ev = Evictions::default();
         let current = net.generation();
         let Some(prev) = self.generation else {
             self.generation = Some(current);
-            return 0;
+            return ev;
         };
         if prev == current {
-            return 0;
+            return ev;
         }
         self.generation = Some(current);
-        let before = self.tables.len();
         match net.changes_since(prev) {
             // The log no longer reaches our generation (graph surgery, a
             // different network, deep staleness): everything is suspect.
-            None => self.tables.clear(),
+            None => {
+                ev.generation_lost = self.tables.len() as u64;
+                self.tables.clear();
+            }
             Some(scopes) => {
                 for scope in scopes {
+                    let before = self.tables.len();
                     match scope {
                         DirtyScope::Unchanged => {}
                         DirtyScope::Global => {
+                            ev.global += before as u64;
                             self.tables.clear();
                             break;
                         }
                         DirtyScope::Communities => {
                             self.tables.retain(|_, e| !e.has_communities);
+                            ev.communities += (before - self.tables.len()) as u64;
                         }
                         DirtyScope::Footprint(a) => {
                             self.tables
                                 .retain(|_, e| e.footprint.binary_search(&a).is_err());
+                            ev.footprint += (before - self.tables.len()) as u64;
                         }
                     }
                 }
             }
         }
-        (before - self.tables.len()) as u64
+        ev
     }
 
     fn lookup(&self, key: &SpecKey) -> Option<Arc<RouteTable>> {
@@ -241,13 +362,24 @@ pub struct RouteTableCache {
     shard: CacheShard,
     hits: u64,
     misses: u64,
-    invalidations: u64,
+    evictions: Evictions,
+    tele: CacheTelemetry,
 }
 
 impl RouteTableCache {
-    /// An empty cache bound to no generation yet.
+    /// An empty cache bound to no generation yet, reporting into the
+    /// global telemetry registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache reporting into `registry` instead of the global
+    /// one (isolated observation in tests).
+    pub fn with_registry(registry: &Registry) -> Self {
+        RouteTableCache {
+            tele: CacheTelemetry::from_registry(registry),
+            ..Self::default()
+        }
     }
 
     /// Lookups served from cache since construction.
@@ -260,9 +392,26 @@ impl RouteTableCache {
         self.misses
     }
 
-    /// Cached tables evicted by generation syncs since construction.
+    /// Cached tables evicted by generation syncs since construction
+    /// (all scopes; see [`RouteTableCache::stats`] for the split).
     pub fn invalidations(&self) -> u64 {
-        self.invalidations
+        self.evictions.total()
+    }
+
+    /// Counter summary: hits, misses, evictions by scope, live entries.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.shard.tables.len(),
+        }
+    }
+
+    fn record_sync(&mut self, ev: Evictions) {
+        self.evictions.accumulate(&ev);
+        self.tele.record_sync(&ev, self.shard.tables.len());
+        self.tele.entries.set(self.shard.tables.len() as u64);
     }
 
     /// Number of cached tables.
@@ -284,15 +433,19 @@ impl RouteTableCache {
     /// The converged table for `spec`, computed at most once per
     /// generation.
     pub fn compute(&mut self, net: &Network, spec: &AnnouncementSpec) -> Arc<RouteTable> {
-        self.invalidations += self.shard.sync(net);
+        let ev = self.shard.sync(net);
+        self.record_sync(ev);
         let key = SpecKey::of(spec);
         if let Some(table) = self.shard.lookup(&key) {
             self.hits += 1;
+            self.tele.hits.inc();
             return table;
         }
         self.misses += 1;
+        self.tele.misses.inc();
         let table = Arc::new(compute_routes(net, spec));
         self.shard.insert(key, Arc::clone(&table));
+        self.tele.entries.set(self.shard.tables.len() as u64);
         table
     }
 
@@ -304,7 +457,8 @@ impl RouteTableCache {
         net: &Network,
         specs: &[AnnouncementSpec],
     ) -> Vec<Arc<RouteTable>> {
-        self.invalidations += self.shard.sync(net);
+        let ev = self.shard.sync(net);
+        self.record_sync(ev);
         let keys: Vec<SpecKey> = specs.iter().map(SpecKey::of).collect();
         // First-appearance index of every key missing from the cache.
         let mut queued: HashMap<&SpecKey, usize> = HashMap::new();
@@ -317,7 +471,9 @@ impl RouteTableCache {
             queued.insert(key, i);
             missing.push(i);
         }
+        self.tele.hits.add((specs.len() - missing.len()) as u64);
         self.misses += missing.len() as u64;
+        self.tele.misses.add(missing.len() as u64);
         if !missing.is_empty() {
             let miss_specs: Vec<AnnouncementSpec> =
                 missing.iter().map(|&i| specs[i].clone()).collect();
@@ -325,6 +481,7 @@ impl RouteTableCache {
             for (&i, table) in missing.iter().zip(tables) {
                 self.shard.insert(keys[i].clone(), Arc::new(table));
             }
+            self.tele.entries.set(self.shard.tables.len() as u64);
         }
         keys.iter()
             .map(|key| self.shard.lookup(key).expect("all misses just filled"))
@@ -352,7 +509,11 @@ pub struct SharedRouteCache {
     shards: Box<[Mutex<CacheShard>]>,
     hits: AtomicU64,
     misses: AtomicU64,
-    invalidations: AtomicU64,
+    evict_footprint: AtomicU64,
+    evict_communities: AtomicU64,
+    evict_global: AtomicU64,
+    evict_generation_lost: AtomicU64,
+    tele: CacheTelemetry,
 }
 
 impl Default for SharedRouteCache {
@@ -362,13 +523,25 @@ impl Default for SharedRouteCache {
 }
 
 impl SharedRouteCache {
-    /// A cache with the default shard count.
+    /// A cache with the default shard count, reporting into the global
+    /// telemetry registry.
     pub fn new() -> Self {
         Self::with_shards(DEFAULT_SHARDS)
     }
 
     /// A cache with an explicit shard count (`shards >= 1`).
     pub fn with_shards(shards: usize) -> Self {
+        Self::with_shards_in(shards, lg_telemetry::global())
+    }
+
+    /// A cache reporting into `registry` instead of the global one
+    /// (isolated observation in tests).
+    pub fn with_registry(registry: &Registry) -> Self {
+        Self::with_shards_in(DEFAULT_SHARDS, registry)
+    }
+
+    /// Explicit shard count and telemetry registry.
+    pub fn with_shards_in(shards: usize, registry: &Registry) -> Self {
         assert!(shards >= 1, "SharedRouteCache needs at least one shard");
         SharedRouteCache {
             shards: (0..shards)
@@ -376,7 +549,11 @@ impl SharedRouteCache {
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
+            evict_footprint: AtomicU64::new(0),
+            evict_communities: AtomicU64::new(0),
+            evict_global: AtomicU64::new(0),
+            evict_generation_lost: AtomicU64::new(0),
+            tele: CacheTelemetry::from_registry(registry),
         }
     }
 
@@ -395,9 +572,56 @@ impl SharedRouteCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Cached tables evicted by generation syncs since construction.
+    /// Cached tables evicted by generation syncs since construction
+    /// (all scopes; see [`SharedRouteCache::stats`] for the split).
     pub fn invalidations(&self) -> u64 {
-        self.invalidations.load(Ordering::Relaxed)
+        self.evictions().total()
+    }
+
+    /// Evictions since construction, by cause.
+    pub fn evictions(&self) -> Evictions {
+        Evictions {
+            footprint: self.evict_footprint.load(Ordering::Relaxed),
+            communities: self.evict_communities.load(Ordering::Relaxed),
+            global: self.evict_global.load(Ordering::Relaxed),
+            generation_lost: self.evict_generation_lost.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counter summary: hits, misses, evictions by scope, live entries.
+    /// Takes every shard lock to count entries; a coarse monitoring call,
+    /// not a hot-path one.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: self.evictions(),
+            entries: self.len(),
+        }
+    }
+
+    /// Acquire a shard lock, metering the wait in the shard-lock
+    /// wait-time histogram (the ROADMAP's contention measurement).
+    fn lock_shard<'a>(&self, shard: &'a Mutex<CacheShard>) -> MutexGuard<'a, CacheShard> {
+        let t0 = Instant::now();
+        let guard = shard.lock().expect("cache shard poisoned");
+        self.tele.shard_wait_us.record_elapsed_us(t0);
+        guard
+    }
+
+    /// Sync a locked shard and account its evictions.
+    fn sync_locked(&self, shard: &mut CacheShard, net: &Network) {
+        let ev = shard.sync(net);
+        if ev.total() > 0 {
+            self.evict_footprint
+                .fetch_add(ev.footprint, Ordering::Relaxed);
+            self.evict_communities
+                .fetch_add(ev.communities, Ordering::Relaxed);
+            self.evict_global.fetch_add(ev.global, Ordering::Relaxed);
+            self.evict_generation_lost
+                .fetch_add(ev.generation_lost, Ordering::Relaxed);
+            self.tele.record_sync(&ev, shard.tables.len());
+        }
     }
 
     /// Number of cached tables across all shards.
@@ -432,16 +656,15 @@ impl SharedRouteCache {
     /// generation across all sharers.
     pub fn compute(&self, net: &Network, spec: &AnnouncementSpec) -> Arc<RouteTable> {
         let key = SpecKey::of(spec);
-        let mut shard = self.shard_for(&key).lock().expect("cache shard poisoned");
-        let dropped = shard.sync(net);
-        if dropped > 0 {
-            self.invalidations.fetch_add(dropped, Ordering::Relaxed);
-        }
+        let mut shard = self.lock_shard(self.shard_for(&key));
+        self.sync_locked(&mut shard, net);
         if let Some(table) = shard.lookup(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.tele.hits.inc();
             return table;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.tele.misses.inc();
         let table = Arc::new(compute_routes(net, spec));
         shard.insert(key, Arc::clone(&table));
         table
@@ -466,18 +689,17 @@ impl SharedRouteCache {
                 out[i] = out[first].clone();
                 if out[i].is_some() {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.tele.hits.inc();
                 }
                 continue;
             }
             queued.insert(key, i);
-            let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
-            let dropped = shard.sync(net);
-            if dropped > 0 {
-                self.invalidations.fetch_add(dropped, Ordering::Relaxed);
-            }
+            let mut shard = self.lock_shard(self.shard_for(key));
+            self.sync_locked(&mut shard, net);
             match shard.lookup(key) {
                 Some(table) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.tele.hits.inc();
                     out[i] = Some(table);
                 }
                 None => missing.push(i),
@@ -488,23 +710,18 @@ impl SharedRouteCache {
         // already-resolved keys, below for computed ones).
         self.misses
             .fetch_add(missing.len() as u64, Ordering::Relaxed);
+        self.tele.misses.add(missing.len() as u64);
         if !missing.is_empty() {
             let miss_specs: Vec<AnnouncementSpec> =
                 missing.iter().map(|&i| specs[i].clone()).collect();
             let tables = computer.compute_batch(net, &miss_specs);
             for (&i, table) in missing.iter().zip(tables) {
                 let table = Arc::new(table);
-                let mut shard = self
-                    .shard_for(&keys[i])
-                    .lock()
-                    .expect("cache shard poisoned");
+                let mut shard = self.lock_shard(self.shard_for(&keys[i]));
                 // Another sharer may have advanced the generation while we
                 // computed; re-sync so the insert lands against the stamp
                 // it was computed for, or gets dropped on the next sync.
-                let dropped = shard.sync(net);
-                if dropped > 0 {
-                    self.invalidations.fetch_add(dropped, Ordering::Relaxed);
-                }
+                self.sync_locked(&mut shard, net);
                 shard.insert(keys[i].clone(), Arc::clone(&table));
                 out[i] = Some(table);
             }
@@ -515,6 +732,7 @@ impl SharedRouteCache {
                 let first = queued[key];
                 out[i] = out[first].clone();
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.tele.hits.inc();
             }
         }
         out.into_iter()
@@ -821,6 +1039,141 @@ mod tests {
         // A second identical batch is all hits.
         cache.compute_batch(&computer, &net, &batch);
         assert_eq!((cache.hits(), cache.misses()), (6, 2));
+    }
+
+    #[test]
+    fn stats_pin_fifteen_of_sixteen_retained() {
+        // The PR 2 bench claim (`dirty_invalidation_single_as`: one
+        // recompute, 15/16 retained), pinned deterministically on the
+        // stats API: a 16-entry poison sweep, one single-AS loop-detection
+        // mutation, exactly one footprint eviction.
+        let mut g = GraphBuilder::with_ases(18);
+        for i in 1..=16u32 {
+            g.provider_customer(AsId(i), AsId(0));
+            g.provider_customer(AsId(17), AsId(i));
+        }
+        let mut net = Network::new(g.build());
+        let mut cache = RouteTableCache::new();
+        let sweep: Vec<AnnouncementSpec> = (1..=16u32)
+            .map(|t| AnnouncementSpec::poisoned(&net, pfx(), AsId(0), &[AsId(t)]))
+            .collect();
+        for spec in &sweep {
+            cache.compute(&net, spec);
+        }
+        assert_eq!(cache.stats().entries, 16);
+
+        net.set_policy(
+            AsId(3),
+            ImportPolicy {
+                loop_detection: lg_bgp::LoopDetection::disabled(),
+                ..ImportPolicy::standard()
+            },
+        );
+        cache.compute(&net, &sweep[0]); // triggers the sync; AS1 poison hits
+        let s = cache.stats();
+        assert_eq!(s.entries, 15, "15/16 entries retained");
+        assert_eq!(
+            s.evictions,
+            Evictions {
+                footprint: 1,
+                ..Evictions::default()
+            },
+            "the one eviction is footprint-scoped"
+        );
+        assert_eq!((s.hits, s.misses), (1, 16));
+        assert!((s.retention_ratio() - 15.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_split_evictions_by_scope() {
+        let mut net = net();
+        let mut cache = RouteTableCache::new();
+        let plain = AnnouncementSpec::plain(&net, pfx(), AsId(0));
+        let tagged =
+            AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3).with_communities(vec![666]);
+        let poison = AnnouncementSpec::poisoned(&net, pfx(), AsId(0), &[AsId(2)]);
+        for spec in [&plain, &tagged, &poison] {
+            cache.compute(&net, spec);
+        }
+
+        // Communities mutation: evicts only the tagged entry.
+        net.set_strips_communities(AsId(1), true);
+        cache.compute(&net, &plain);
+        assert_eq!(cache.stats().evictions.communities, 1);
+
+        // Footprint mutation at AS2: evicts only the AS2 poison.
+        net.set_policy(
+            AsId(2),
+            ImportPolicy {
+                loop_detection: lg_bgp::LoopDetection::disabled(),
+                ..ImportPolicy::standard()
+            },
+        );
+        cache.compute(&net, &plain);
+        assert_eq!(cache.stats().evictions.footprint, 1);
+
+        // Global mutation: flushes whatever is left (plain entry).
+        net.set_policy(
+            AsId(3),
+            ImportPolicy {
+                deny_transit: vec![AsId(1)],
+                ..ImportPolicy::standard()
+            },
+        );
+        cache.compute(&net, &plain);
+        let s = cache.stats();
+        assert_eq!(s.evictions.global, 1);
+        assert_eq!(s.evictions.generation_lost, 0);
+        assert_eq!(s.evictions.total(), 3);
+        assert_eq!(cache.invalidations(), 3);
+    }
+
+    #[test]
+    fn caches_report_into_scoped_registry() {
+        let reg = lg_telemetry::Registry::new();
+        let net = net();
+        let spec = AnnouncementSpec::plain(&net, pfx(), AsId(0));
+
+        let mut cache = RouteTableCache::with_registry(&reg);
+        cache.compute(&net, &spec);
+        cache.compute(&net, &spec);
+
+        let shared = SharedRouteCache::with_registry(&reg);
+        shared.compute(&net, &spec);
+        shared.compute(&net, &spec);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("cache.hits"), Some(2));
+        assert_eq!(snap.counter("cache.misses"), Some(2));
+        // Every shared-cache op metered its shard-lock wait.
+        assert_eq!(snap.histogram("cache.shard_wait_us").unwrap().count, 2);
+    }
+
+    #[test]
+    fn shared_cache_stats_track_scoped_evictions() {
+        let mut net = net();
+        let reg = lg_telemetry::Registry::new();
+        let shared = SharedRouteCache::with_shards_in(4, &reg);
+        let batch = specs(&net);
+        for spec in &batch {
+            shared.compute(&net, spec);
+        }
+        net.set_policy(
+            AsId(4),
+            ImportPolicy {
+                loop_detection: lg_bgp::LoopDetection::disabled(),
+                ..ImportPolicy::standard()
+            },
+        );
+        for spec in &batch {
+            shared.compute(&net, spec);
+        }
+        let s = shared.stats();
+        assert_eq!(s.evictions.footprint, 1);
+        assert_eq!(s.evictions.total(), 1);
+        assert_eq!(s.entries, 4);
+        assert_eq!((s.hits, s.misses), (3, 5));
+        assert_eq!(reg.snapshot().counter("cache.evictions.footprint"), Some(1));
     }
 
     #[test]

@@ -27,8 +27,45 @@ use crate::network::Network;
 use crate::time::Time;
 use lg_asmap::{AsId, Relationship};
 use lg_bgp::{ArenaRibIn, ArenaRoute, AsPath, PathId, PathInterner, Prefix, Route};
+use lg_telemetry::{Counter, Histogram, Registry};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+
+/// Registry handles the engine reports into, resolved once at
+/// construction. These aggregate across every `DynamicSim` in the
+/// process; the per-prefix [`PrefixMetrics`] remain the exact per-run
+/// measurement the paper's tables are built from.
+#[derive(Clone, Debug)]
+struct DynamicTelemetry {
+    /// UPDATE messages put on the wire (announcements + withdrawals).
+    updates_sent: Counter,
+    /// UPDATE messages delivered and processed (dead-session and
+    /// down-link drops excluded).
+    updates_received: Counter,
+    /// Withdrawals among the messages sent.
+    withdrawals_sent: Counter,
+    /// Announcements that could not be sent immediately because the
+    /// per-(peer, prefix) MRAI timer was still running.
+    mrai_deferrals: Counter,
+    /// Best-route (Loc-RIB) changes across all nodes.
+    loc_rib_changes: Counter,
+    /// Simulated milliseconds from entering `run_until_quiescent` to its
+    /// last processed event, per call that processed anything.
+    quiescence_ms: Histogram,
+}
+
+impl DynamicTelemetry {
+    fn from_registry(r: &Registry) -> Self {
+        DynamicTelemetry {
+            updates_sent: r.counter("dynamic.updates_sent"),
+            updates_received: r.counter("dynamic.updates_received"),
+            withdrawals_sent: r.counter("dynamic.withdrawals_sent"),
+            mrai_deferrals: r.counter("dynamic.mrai_deferrals"),
+            loc_rib_changes: r.counter("dynamic.loc_rib_changes"),
+            quiescence_ms: r.histogram("dynamic.quiescence_ms"),
+        }
+    }
+}
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -210,11 +247,19 @@ pub struct DynamicSim<'n> {
     link_epochs: HashMap<(AsId, AsId), u64>,
     /// Failures consulted by [`DynamicSim::walk`].
     pub failures: FailureSet,
+    tele: DynamicTelemetry,
 }
 
 impl<'n> DynamicSim<'n> {
-    /// Fresh simulator over `net`.
+    /// Fresh simulator over `net`, reporting into the global telemetry
+    /// registry.
     pub fn new(net: &'n Network, cfg: DynamicSimConfig) -> Self {
+        Self::with_registry(net, cfg, lg_telemetry::global())
+    }
+
+    /// Fresh simulator reporting into `registry` instead of the global
+    /// one (isolated observation in tests).
+    pub fn with_registry(net: &'n Network, cfg: DynamicSimConfig, registry: &Registry) -> Self {
         DynamicSim {
             net,
             cfg,
@@ -229,6 +274,7 @@ impl<'n> DynamicSim<'n> {
             down_links: Vec::new(),
             link_epochs: HashMap::new(),
             failures: FailureSet::none(),
+            tele: DynamicTelemetry::from_registry(registry),
         }
     }
 
@@ -351,6 +397,15 @@ impl<'n> DynamicSim<'n> {
     }
 
     fn push(&mut self, at: Time, ev: Event) {
+        // Every enqueued Recv is an UPDATE on the wire (whether it will be
+        // delivered or die with its session), so this is the one spot that
+        // sees them all — origin seeds, propagation, and withdrawals.
+        if let Event::Recv { path, .. } = &ev {
+            self.tele.updates_sent.inc();
+            if path.is_none() {
+                self.tele.withdrawals_sent.inc();
+            }
+        }
         self.seq += 1;
         self.queue.push(Reverse(Queued {
             at,
@@ -500,7 +555,9 @@ impl<'n> DynamicSim<'n> {
     /// Process events until the queue drains or `deadline` passes. Returns
     /// the time of the last processed event.
     pub fn run_until_quiescent(&mut self, deadline: Time) -> Time {
+        let start = self.now;
         let mut last = self.now;
+        let mut processed = false;
         while let Some(Reverse(q)) = self.queue.peek().cloned() {
             if q.at > deadline {
                 break;
@@ -508,7 +565,13 @@ impl<'n> DynamicSim<'n> {
             self.queue.pop();
             self.now = q.at;
             last = q.at;
+            processed = true;
             self.handle(q.ev);
+        }
+        if processed {
+            // Simulated time from entering the call to its last event: the
+            // time-to-quiescence of this convergence burst.
+            self.tele.quiescence_ms.record(last - start);
         }
         last
     }
@@ -574,6 +637,7 @@ impl<'n> DynamicSim<'n> {
             // TCP session would have lost it with the connection.
             return;
         }
+        self.tele.updates_received.inc();
         match path {
             Some(p) => {
                 let accepted = self.net.policy(to).accepts_hops(
@@ -638,6 +702,7 @@ impl<'n> DynamicSim<'n> {
                 self.nodes[at.index()].loc.remove(&prefix);
             }
         }
+        self.tele.loc_rib_changes.inc();
         if let Some(m) = self.metrics.get_mut(&prefix) {
             *m.loc_changes.entry(at).or_insert(0) += 1;
             m.first_loc_change.entry(at).or_insert(self.now);
@@ -704,9 +769,14 @@ impl<'n> DynamicSim<'n> {
         let ready = st.mrai_ready_at;
         if self.now >= ready {
             self.send_now(node, peer, prefix, desired);
-        } else if !st.fire_pending {
-            st.fire_pending = true;
-            self.push(ready, Event::MraiFire { node, peer, prefix });
+        } else {
+            // MRAI still running: the change waits for the timer (whether
+            // this call queues the fire or an earlier one already did).
+            self.tele.mrai_deferrals.inc();
+            if !st.fire_pending {
+                st.fire_pending = true;
+                self.push(ready, Event::MraiFire { node, peer, prefix });
+            }
         }
         // If a fire is already pending it will pick up the latest content.
     }
@@ -1330,6 +1400,41 @@ mod tests {
             counts[counts.len() - 1],
             "arena still growing after repeated identical churn: {counts:?}"
         );
+    }
+
+    #[test]
+    fn telemetry_counts_updates_deferrals_and_quiescence() {
+        let reg = lg_telemetry::Registry::new();
+        let net = fig2();
+        let mut sim = DynamicSim::with_registry(&net, cfg(), &reg);
+        sim.announce(&AnnouncementSpec::prepended(&net, pfx(), AsId(0), 3));
+        sim.run_until_quiescent(Time::from_mins(30));
+        // Poison transition: route changes land inside the MRAI shadow of
+        // the baseline convergence, so deferrals must occur; A withdraws
+        // from its captives.
+        sim.announce(&AnnouncementSpec::poisoned(
+            &net,
+            pfx(),
+            AsId(0),
+            &[AsId(1)],
+        ));
+        sim.run_until_quiescent(Time::from_mins(60));
+        assert!(sim.quiescent());
+
+        let snap = reg.snapshot();
+        let sent = snap.counter("dynamic.updates_sent").unwrap();
+        let received = snap.counter("dynamic.updates_received").unwrap();
+        assert!(sent > 0);
+        assert!(
+            received > 0 && received <= sent,
+            "sent {sent} recv {received}"
+        );
+        assert!(snap.counter("dynamic.withdrawals_sent").unwrap() > 0);
+        assert!(snap.counter("dynamic.mrai_deferrals").unwrap() > 0);
+        assert!(snap.counter("dynamic.loc_rib_changes").unwrap() > 0);
+        let q = snap.histogram("dynamic.quiescence_ms").unwrap();
+        assert_eq!(q.count, 2, "one quiescence burst per run_until_quiescent");
+        assert!(q.sum > 0);
     }
 
     #[test]

@@ -19,8 +19,39 @@ use crate::announce::AnnouncementSpec;
 use crate::network::Network;
 use lg_asmap::{AsId, Relationship};
 use lg_bgp::{AsPath, Prefix, Route};
+use lg_telemetry::{Counter, Histogram};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Global-registry handles for [`compute_routes`], resolved once. The
+/// function tallies locally and flushes at return, so the hot loop sees no
+/// atomics at all — the per-call cost is one `Instant` pair plus a handful
+/// of relaxed adds, well under the ≤5% overhead budget on a medium spec.
+struct ComputeMetrics {
+    /// Fixed points computed.
+    runs: Counter,
+    /// Candidates popped from the selection heap (fixed-point iterations).
+    candidates: Counter,
+    /// Arena path nodes allocated.
+    arena_nodes: Counter,
+    /// Per-spec wall time, microseconds.
+    wall_us: Histogram,
+}
+
+fn compute_metrics() -> &'static ComputeMetrics {
+    static METRICS: OnceLock<ComputeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = lg_telemetry::global();
+        ComputeMetrics {
+            runs: r.counter("compute.runs"),
+            candidates: r.counter("compute.candidates"),
+            arena_nodes: r.counter("compute.arena_nodes"),
+            wall_us: r.histogram("compute.wall_us"),
+        }
+    })
+}
 
 /// Sentinel parent id terminating a [`PathArena`] chain.
 const NO_PARENT: u32 = u32::MAX;
@@ -208,6 +239,8 @@ impl PartialOrd for Candidate {
 /// plain `Copy` data. It is differentially tested against
 /// [`compute_routes_reference`] (tests/compute_equivalence.rs).
 pub fn compute_routes(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
+    let started = Instant::now();
+    let mut popped: u64 = 0;
     let n = net.len();
     let mut routes: Vec<Option<Route>> = vec![None; n];
     let mut arena = PathArena::with_capacity(n + spec.seeds.len() * 4);
@@ -253,6 +286,7 @@ pub fn compute_routes(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
     }
 
     while let Some(Reverse(cand)) = heap.pop() {
+        popped += 1;
         let to = cand.to;
         if routes[to.index()].is_some() {
             continue; // already selected a better (or equal-popped-first) route
@@ -309,6 +343,12 @@ pub fn compute_routes(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
 
         routes[to.index()] = Some(route);
     }
+
+    let m = compute_metrics();
+    m.runs.inc();
+    m.candidates.add(popped);
+    m.arena_nodes.add(arena.nodes.len() as u64);
+    m.wall_us.record_elapsed_us(started);
 
     // The origin's self-route must not leak out as a normal route.
     RouteTable {

@@ -1,0 +1,37 @@
+//! Cross-crate observability for the LIFEGUARD workspace.
+//!
+//! Every performance-critical subsystem (the memoized compute layer, the
+//! shared route cache, the dynamic BGP engine, the prober, the core repair
+//! loop) reports into a [`Registry`] of named metrics:
+//!
+//! * [`Counter`] — monotone `u64`, one relaxed atomic add per event;
+//! * [`Gauge`] — last-written `u64` (entry counts, sizes);
+//! * [`Histogram`] — log2-bucketed distribution with exact count/sum,
+//!   cheap enough for per-operation latencies (one atomic add per bucket
+//!   hit plus two for count/sum).
+//!
+//! Metrics are cheap enough to leave on: the hot path touches only
+//! pre-resolved handles (an `Arc<AtomicU64>` or the bucket array), never
+//! the registry map. Instrumented components resolve their handles once at
+//! construction (or lazily through a `OnceLock`) and bump them thereafter.
+//!
+//! There is one process-wide registry at [`global()`]; components also
+//! accept an explicit `&Registry` so tests can observe an isolated scope
+//! without cross-test interference.
+//!
+//! A [`TelemetrySnapshot`] freezes the registry into a sorted
+//! name → value list that serializes to JSON (`telemetry.json` run
+//! reports) or renders as a human-readable table, and supports diffing two
+//! snapshots (`since`) to meter a region of a run.
+//!
+//! Naming scheme (see DESIGN.md § Observability): dotted lowercase paths,
+//! `<subsystem>.<event>[.<detail>]`; histogram names carry their unit as a
+//! suffix (`_us` wall micros, `_ms` simulated millis).
+
+mod metrics;
+mod registry;
+mod snapshot;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Span};
+pub use registry::{global, Registry};
+pub use snapshot::{emit_if_configured, MetricValue, TelemetrySnapshot, ENV_TELEMETRY_OUT};

@@ -1,0 +1,109 @@
+//! The metric registry: a name → metric map handing out cheap handles.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram, Span};
+use crate::snapshot::{MetricValue, TelemetrySnapshot};
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named-metric registry. Resolution (`counter`/`gauge`/`histogram`)
+/// takes a mutex and should happen once per component at construction;
+/// the returned handles are lock-free thereafter.
+///
+/// Use [`global()`] for the process-wide registry that run reports are
+/// built from, or construct a scoped `Registry` for isolated observation
+/// in tests.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<HashMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Fresh empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Resolve (registering on first use) the counter named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("telemetry metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Resolve (registering on first use) the gauge named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("telemetry metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Resolve (registering on first use) the histogram named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::default()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("telemetry metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Start a wall-clock span recording into the histogram named `name`
+    /// on drop. Convenience for one-off timings; hot paths should resolve
+    /// the histogram once and call [`Histogram::span`].
+    pub fn span(&self, name: &str) -> Span {
+        self.histogram(name).span()
+    }
+
+    /// Freeze every registered metric into a sorted snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let m = self.metrics.lock().unwrap();
+        let mut metrics: Vec<(String, MetricValue)> = m
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        metrics.sort_by(|a, b| a.0.cmp(&b.0));
+        TelemetrySnapshot { metrics }
+    }
+}
+
+/// The process-wide registry. Components default to reporting here;
+/// binaries and benches snapshot it into `telemetry.json` run reports.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}

@@ -1,0 +1,195 @@
+//! Frozen registry state: JSON run reports, tables, and diffing.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use crate::metrics::HistogramSnapshot;
+use crate::registry::global;
+
+/// Environment variable naming the file the global registry should be
+/// dumped to at the end of a run (see [`emit_if_configured`]).
+pub const ENV_TELEMETRY_OUT: &str = "LG_TELEMETRY_OUT";
+
+/// One frozen metric value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotone counter value.
+    Counter(u64),
+    /// Last-written gauge value.
+    Gauge(u64),
+    /// Frozen distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time freeze of a [`crate::Registry`]: sorted
+/// `(name, value)` pairs that serialize to JSON, render as a table, and
+/// diff against an earlier snapshot of the same registry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Metrics sorted by name.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+impl TelemetrySnapshot {
+    /// Look up a metric by exact name.
+    pub fn value(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.metrics[i].1)
+    }
+
+    /// Counter value by name (`None` if absent or not a counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.value(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name (`None` if absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        match self.value(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram by name (`None` if absent or not a histogram).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.value(name)? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Difference `self - earlier`, metric by metric. Counters and
+    /// histogram counts subtract saturating (a metric reset between
+    /// snapshots yields 0, never a panic); gauges keep their latest
+    /// value. Metrics absent from `earlier` pass through unchanged;
+    /// metrics absent from `self` are dropped.
+    pub fn since(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(name, v)| {
+                let diffed = match (v, earlier.value(name)) {
+                    (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                        MetricValue::Counter(now.saturating_sub(*then))
+                    }
+                    (MetricValue::Histogram(now), Some(MetricValue::Histogram(then))) => {
+                        MetricValue::Histogram(now.since(then))
+                    }
+                    // Gauges are instantaneous; kind changes fall back to latest.
+                    (v, _) => v.clone(),
+                };
+                (name.clone(), diffed)
+            })
+            .collect();
+        TelemetrySnapshot { metrics }
+    }
+
+    /// Serialize as a JSON object: counters and gauges as numbers,
+    /// histograms as `{count, sum, mean, p50, p99, max, buckets}` with
+    /// `buckets` a list of `[inclusive_upper_bound, count]` pairs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"telemetry\": {");
+        for (i, (name, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_string(&mut out, name);
+            out.push_str(": ");
+            match v {
+                MetricValue::Counter(n) | MetricValue::Gauge(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                MetricValue::Histogram(h) => {
+                    let max = h.buckets.last().map_or(0, |&(upper, _)| upper);
+                    let _ = write!(
+                        out,
+                        "{{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p99\": {}, \"max_bucket\": {}, \"buckets\": [",
+                        h.count,
+                        h.sum,
+                        h.mean(),
+                        h.quantile_upper(0.50),
+                        h.quantile_upper(0.99),
+                        max,
+                    );
+                    for (j, (upper, n)) in h.buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "[{upper}, {n}]");
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Render as an aligned human-readable table, one metric per line.
+    pub fn render_table(&self) -> String {
+        let width = self.metrics.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, v) in &self.metrics {
+            let _ = write!(out, "{name:width$}  ");
+            match v {
+                MetricValue::Counter(n) => {
+                    let _ = writeln!(out, "{n}");
+                }
+                MetricValue::Gauge(n) => {
+                    let _ = writeln!(out, "{n} (gauge)");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "count {} mean {} p50 <={} p99 <={}",
+                        h.count,
+                        h.mean(),
+                        h.quantile_upper(0.50),
+                        h.quantile_upper(0.99),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// If `LG_TELEMETRY_OUT` names a path, write the global registry's
+/// snapshot there as JSON and return the path. Binaries and bench mains
+/// call this once at exit so any run can produce a `telemetry.json`
+/// report without code changes.
+pub fn emit_if_configured() -> Option<PathBuf> {
+    let path = PathBuf::from(std::env::var_os(ENV_TELEMETRY_OUT)?);
+    let json = global().snapshot().to_json();
+    match std::fs::write(&path, json) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("telemetry: failed to write {}: {e}", path.display());
+            None
+        }
+    }
+}

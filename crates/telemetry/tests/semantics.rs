@@ -1,0 +1,193 @@
+//! Pins the telemetry semantics: log2 bucketing, snapshot diffing,
+//! concurrent counter correctness, and report formats.
+
+use lg_telemetry::{MetricValue, Registry};
+
+#[test]
+fn counter_and_gauge_basics() {
+    let r = Registry::new();
+    let c = r.counter("t.count");
+    c.inc();
+    c.add(4);
+    c.add(0);
+    assert_eq!(c.get(), 5);
+    // Resolving the same name yields a handle over the same cell.
+    assert_eq!(r.counter("t.count").get(), 5);
+
+    let g = r.gauge("t.gauge");
+    g.set(7);
+    g.set(3);
+    assert_eq!(g.get(), 3);
+}
+
+#[test]
+#[should_panic(expected = "different kind")]
+fn kind_mismatch_panics() {
+    let r = Registry::new();
+    r.counter("t.metric");
+    r.gauge("t.metric");
+}
+
+#[test]
+fn histogram_bucket_boundaries() {
+    let r = Registry::new();
+    let h = r.histogram("t.hist");
+    // Bucket i >= 1 holds [2^(i-1), 2^i - 1]; bucket 0 holds exactly 0.
+    for v in [0, 1, 2, 3, 4, 1023, 1024] {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, 7);
+    assert_eq!(s.sum, 2057);
+    assert_eq!(
+        s.buckets,
+        vec![(0, 1), (1, 1), (3, 2), (7, 1), (1023, 1), (2047, 1)]
+    );
+    assert_eq!(s.mean(), 2057 / 7);
+}
+
+#[test]
+fn histogram_quantiles_walk_buckets() {
+    let r = Registry::new();
+    let h = r.histogram("t.q");
+    for _ in 0..90 {
+        h.record(1);
+    }
+    for _ in 0..10 {
+        h.record(1000);
+    }
+    let s = h.snapshot();
+    // p50 lands in the all-ones bucket; p99 in the 1000s bucket (<=1023).
+    assert_eq!(s.quantile_upper(0.50), 1);
+    assert_eq!(s.quantile_upper(0.99), 1023);
+    assert_eq!(s.quantile_upper(0.0), 1);
+    assert_eq!(s.quantile_upper(1.0), 1023);
+}
+
+#[test]
+fn snapshot_diff_counters_and_histograms() {
+    let r = Registry::new();
+    let c = r.counter("t.c");
+    let h = r.histogram("t.h");
+    c.add(3);
+    h.record(5);
+    let before = r.snapshot();
+
+    c.add(4);
+    h.record(5);
+    h.record(100);
+    let after = r.snapshot();
+
+    let d = after.since(&before);
+    assert_eq!(d.counter("t.c"), Some(4));
+    let dh = d.histogram("t.h").unwrap();
+    assert_eq!(dh.count, 2);
+    assert_eq!(dh.sum, 105);
+    assert_eq!(dh.buckets, vec![(7, 1), (127, 1)]);
+}
+
+#[test]
+fn snapshot_diff_saturates_on_reset() {
+    // A "later" snapshot with smaller values (counters reset between
+    // snapshots) must yield zero, never underflow.
+    let r1 = Registry::new();
+    r1.counter("t.c").add(10);
+    let big = r1.snapshot();
+    let r2 = Registry::new();
+    r2.counter("t.c").add(4);
+    let small = r2.snapshot();
+    assert_eq!(small.since(&big).counter("t.c"), Some(0));
+}
+
+#[test]
+fn snapshot_diff_passes_through_new_metrics_and_gauges() {
+    let r = Registry::new();
+    r.counter("t.old").add(1);
+    let before = r.snapshot();
+    r.counter("t.new").add(2);
+    r.gauge("t.g").set(9);
+    let d = r.snapshot().since(&before);
+    assert_eq!(d.counter("t.new"), Some(2));
+    assert_eq!(d.gauge("t.g"), Some(9));
+    assert_eq!(d.counter("t.old"), Some(0));
+}
+
+#[test]
+fn concurrent_counter_and_histogram_are_exact() {
+    let r = Registry::new();
+    let c = r.counter("t.par");
+    let h = r.histogram("t.par_h");
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let c = c.clone();
+            let h = h.clone();
+            s.spawn(move || {
+                for i in 0..10_000u64 {
+                    c.inc();
+                    h.record(i % 16);
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), 80_000);
+    let hs = h.snapshot();
+    assert_eq!(hs.count, 80_000);
+    assert_eq!(hs.sum, 8 * (0..10_000u64).map(|i| i % 16).sum::<u64>());
+}
+
+#[test]
+fn span_records_into_histogram() {
+    let r = Registry::new();
+    let h = r.histogram("t.span_us");
+    {
+        let _s = h.span();
+    }
+    {
+        let _s = r.span("t.span_us");
+    }
+    assert_eq!(h.snapshot().count, 2);
+}
+
+#[test]
+fn json_and_table_render() {
+    let r = Registry::new();
+    r.counter("cache.hits").add(12);
+    r.gauge("cache.entries").set(3);
+    r.histogram("compute.wall_us").record(250);
+    let snap = r.snapshot();
+
+    let json = snap.to_json();
+    assert!(json.contains("\"telemetry\""));
+    assert!(json.contains("\"cache.hits\": 12"));
+    assert!(json.contains("\"cache.entries\": 3"));
+    assert!(json.contains("\"compute.wall_us\": {\"count\": 1, \"sum\": 250"));
+    assert!(json.contains("\"buckets\": [[255, 1]]"));
+    // Balanced braces/brackets — cheap well-formedness check.
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "unbalanced braces in {json}"
+    );
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+    let table = snap.render_table();
+    assert!(table.contains("cache.hits"));
+    assert!(table.contains("12"));
+    assert!(table.contains("(gauge)"));
+    assert!(table.contains("count 1"));
+}
+
+#[test]
+fn snapshot_lookup_is_sorted_and_exact() {
+    let r = Registry::new();
+    r.counter("b.two").add(2);
+    r.counter("a.one").add(1);
+    r.counter("c.three").add(3);
+    let s = r.snapshot();
+    let names: Vec<&str> = s.metrics.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, vec!["a.one", "b.two", "c.three"]);
+    assert_eq!(s.counter("a.one"), Some(1));
+    assert_eq!(s.counter("c.three"), Some(3));
+    assert_eq!(s.counter("missing"), None);
+    assert!(matches!(s.value("b.two"), Some(MetricValue::Counter(2))));
+}

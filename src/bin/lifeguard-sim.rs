@@ -3,22 +3,45 @@
 //! ```sh
 //! cargo run --bin lifeguard-sim -- scenarios/reverse_outage.json
 //! cargo run --bin lifeguard-sim -- scenarios/reverse_outage.json --json
+//! cargo run --bin lifeguard-sim -- scenarios/reverse_outage.json --telemetry telemetry.json
 //! ```
 //!
 //! Scenario format: see `src/scenario.rs` and the `scenarios/` directory.
+//! `--telemetry PATH` writes the process-global metric snapshot (counters,
+//! gauges, histograms) as JSON after the run; `LG_TELEMETRY_OUT=PATH` does
+//! the same via the environment.
 
 use lifeguard_repro::scenario;
 use std::process::ExitCode;
 
+fn usage() -> ExitCode {
+    eprintln!("usage: lifeguard-sim <scenario.json> [--json] [--telemetry PATH]");
+    ExitCode::from(2)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (path, as_json) = match args.as_slice() {
-        [p] => (p.clone(), false),
-        [p, flag] if flag == "--json" => (p.clone(), true),
-        _ => {
-            eprintln!("usage: lifeguard-sim <scenario.json> [--json]");
-            return ExitCode::from(2);
+    let mut path: Option<String> = None;
+    let mut as_json = false;
+    let mut telemetry_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => as_json = true,
+            "--telemetry" => {
+                i += 1;
+                let Some(p) = args.get(i) else {
+                    return usage();
+                };
+                telemetry_out = Some(p.clone());
+            }
+            p if path.is_none() && !p.starts_with('-') => path = Some(p.to_string()),
+            _ => return usage(),
         }
+        i += 1;
+    }
+    let Some(path) = path else {
+        return usage();
     };
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
@@ -41,6 +64,15 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+
+    if let Some(tpath) = &telemetry_out {
+        let snap = lg_telemetry::global().snapshot();
+        if let Err(e) = std::fs::write(tpath, snap.to_json()) {
+            eprintln!("cannot write telemetry to {tpath}: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    lg_telemetry::emit_if_configured();
 
     if as_json {
         // Event log as structured JSON lines.
