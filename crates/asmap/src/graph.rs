@@ -139,6 +139,23 @@ impl AsGraph {
         g
     }
 
+    /// A copy of the graph with the link `a`-`b` added, `rel` being `a`'s
+    /// view of `b` (no-op when already adjacent). The repair studies re-add
+    /// links that earlier surgery removed.
+    pub fn with_link(&self, a: AsId, b: AsId, rel: Relationship) -> AsGraph {
+        let mut g = self.clone();
+        if !g.are_adjacent(a, b) {
+            assert_ne!(a, b, "self-link on {a}");
+            g.adj[a.index()].push((b, rel));
+            g.adj[b.index()].push((a, rel.reverse()));
+            g.adj[a.index()].sort_unstable_by_key(|(n, _)| *n);
+            g.adj[b.index()].sort_unstable_by_key(|(n, _)| *n);
+            g.edge_count += 1;
+        }
+        g.generation = next_generation();
+        g
+    }
+
     /// A copy of the graph with every link of `a` removed ("remove all of
     /// A's links from the topology", §5.1).
     pub fn without_as(&self, a: AsId) -> AsGraph {
@@ -324,6 +341,30 @@ mod tests {
         assert!(gone.neighbors(AsId(0)).is_empty());
         assert!(!gone.are_adjacent(AsId(1), AsId(0)));
         assert!(gone.are_adjacent(AsId(1), AsId(2)));
+    }
+
+    #[test]
+    fn with_link_restores_and_sorts() {
+        let g = triangle();
+        let cut = g.without_link(AsId(0), AsId(1));
+        let back = cut.with_link(AsId(0), AsId(1), Customer);
+        assert_eq!(back.edge_count(), 3);
+        assert_eq!(back.relationship(AsId(0), AsId(1)), Some(Customer));
+        assert_eq!(back.relationship(AsId(1), AsId(0)), Some(Provider));
+        // Adjacency stays sorted for deterministic iteration.
+        for a in back.ases() {
+            let nbrs: Vec<AsId> = back.neighbors(a).iter().map(|(n, _)| *n).collect();
+            let mut sorted = nbrs.clone();
+            sorted.sort_unstable();
+            assert_eq!(nbrs, sorted);
+        }
+        // Adding an existing link is a no-op on structure...
+        let same = back.with_link(AsId(0), AsId(1), Peer);
+        assert_eq!(same.edge_count(), 3);
+        assert_eq!(same.relationship(AsId(0), AsId(1)), Some(Customer));
+        // ...but every surgery stamps a fresh generation.
+        assert_ne!(same.generation(), back.generation());
+        assert_ne!(back.generation(), cut.generation());
     }
 
     #[test]

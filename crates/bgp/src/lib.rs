@@ -29,5 +29,5 @@ pub use policy::{ImportPolicy, LoopDetection};
 pub use prefix::Prefix;
 pub use rib::{AdjRibIn, ArenaRibIn, ArenaRoute};
 pub use route::Route;
-pub use session::{Session, SessionConfig, SessionEvent};
+pub use session::{OutRing, Session, SessionConfig, SessionEvent};
 pub use trie::PrefixTrie;

@@ -387,6 +387,67 @@ mod tests {
     }
 
     #[test]
+    fn interner_long_prepend_chain_shares_every_tail() {
+        // Heavy prepending (the paper's baseline-prepending announcements,
+        // taken to an extreme) must stay O(1) per hop: a chain of N
+        // prepends allocates exactly N nodes, every intermediate id is a
+        // live shared tail, and re-interning the materialized chain reuses
+        // all of them.
+        let mut it = PathInterner::new();
+        const N: usize = 10_000;
+        let mut id = PathId::EMPTY;
+        let mut stages = Vec::with_capacity(N);
+        for i in 0..N {
+            // Alternate two hops so parents differ and dedup keys collide
+            // only on true repetition.
+            id = it.prepend(id, if i % 2 == 0 { O } else { A });
+            stages.push(id);
+        }
+        assert_eq!(it.node_count(), N);
+        assert_eq!(it.len(id), N);
+        assert_eq!(it.hops(id).len(), N);
+        assert_eq!(it.count(id, O), N / 2);
+        // Rebuilding the full chain from owned hops allocates nothing new
+        // and lands on the same id...
+        let owned = it.materialize(id);
+        assert_eq!(it.intern(&owned), id);
+        assert_eq!(it.node_count(), N);
+        // ...and every prefix stage round-trips to its own id.
+        for (i, &stage) in stages.iter().enumerate().step_by(997) {
+            assert_eq!(it.len(stage), i + 1);
+            let m = it.materialize(stage);
+            assert_eq!(it.intern(&m), stage);
+        }
+        assert_eq!(it.node_count(), N);
+    }
+
+    #[test]
+    fn interner_self_prepend_duplicates_are_distinct_nodes() {
+        // AS-prepending repeats one hop: each extra copy is a *different*
+        // path (longer), so it must get a fresh node, while re-running the
+        // same prepend sequence reuses them all.
+        let mut it = PathInterner::new();
+        let mut id = it.prepend(PathId::EMPTY, O);
+        let mut ids = vec![id];
+        for _ in 0..5 {
+            id = it.prepend(id, O);
+            ids.push(id);
+        }
+        assert_eq!(it.node_count(), 6);
+        for (i, &pid) in ids.iter().enumerate() {
+            assert_eq!(it.len(pid), i + 1);
+            assert_eq!(it.count(pid, O), i + 1);
+        }
+        // Same sequence again: zero growth, identical ids.
+        let mut again = PathId::EMPTY;
+        for &want in &ids {
+            again = it.prepend(again, O);
+            assert_eq!(again, want);
+        }
+        assert_eq!(it.node_count(), 6);
+    }
+
+    #[test]
     fn interner_content_ordering_matches_owned_ord() {
         let mut it = PathInterner::new();
         let paths = [

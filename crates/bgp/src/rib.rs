@@ -369,6 +369,64 @@ mod tests {
     }
 
     #[test]
+    fn arena_rib_withdraw_of_never_announced_is_inert() {
+        // Withdrawing a (neighbor, prefix) that was never announced must
+        // return None and leave no residue — neither an empty per-prefix
+        // map nor any effect on unrelated entries.
+        let mut paths = PathInterner::new();
+        let mut rib = ArenaRibIn::new();
+        assert!(rib.withdraw(AsId(1), pfx()).is_none());
+        assert_eq!(rib.prefixes().count(), 0);
+        assert!(rib.withdraw_neighbor(AsId(1)).is_empty());
+
+        rib.insert(arena_route(&mut paths, 2, Relationship::Peer, vec![2, 100]));
+        // Wrong neighbor, right prefix; right neighbor, wrong prefix.
+        assert!(rib.withdraw(AsId(1), pfx()).is_none());
+        let other = Prefix::from_octets(20, 0, 0, 0, 16);
+        assert!(rib.withdraw(AsId(2), other).is_none());
+        assert_eq!(rib.entry_count(), 1);
+        assert_eq!(rib.best(pfx(), &paths).unwrap().learned_from, AsId(2));
+        // Double-withdraw: first succeeds, second is a no-op.
+        assert!(rib.withdraw(AsId(2), pfx()).is_some());
+        assert!(rib.withdraw(AsId(2), pfx()).is_none());
+        assert_eq!(rib.prefixes().count(), 0);
+    }
+
+    #[test]
+    fn arena_rib_reannounce_after_withdraw_reuses_interned_tail() {
+        // A withdraw/re-announce cycle (the dominant pattern under link
+        // flaps) must not grow the interner: the re-announced path
+        // hash-conses back to the original id, and selection sees the
+        // restored route as if it never left.
+        let mut paths = PathInterner::new();
+        let mut rib = ArenaRibIn::new();
+        let first = rib
+            .insert(arena_route(&mut paths, 1, Relationship::Peer, vec![1, 100]))
+            .is_none();
+        assert!(first);
+        let id0 = rib.from_neighbor(AsId(1), pfx()).unwrap().path;
+        let nodes = paths.node_count();
+
+        let gone = rib.withdraw(AsId(1), pfx()).unwrap();
+        assert_eq!(gone.path, id0);
+        assert!(rib.best(pfx(), &paths).is_none());
+
+        let r = arena_route(&mut paths, 1, Relationship::Peer, vec![1, 100]);
+        assert_eq!(r.path, id0, "re-interned path must reuse the old id");
+        assert_eq!(paths.node_count(), nodes, "interner grew on re-announce");
+        rib.insert(r);
+        let best = rib.best(pfx(), &paths).unwrap();
+        assert_eq!(best.learned_from, AsId(1));
+        assert_eq!(best.path, id0);
+
+        // A longer path sharing the tail only adds the new head node.
+        let r2 = arena_route(&mut paths, 3, Relationship::Peer, vec![3, 1, 100]);
+        assert_eq!(paths.node_count(), nodes + 1);
+        rib.insert(r2);
+        assert_eq!(rib.best(pfx(), &paths).unwrap().learned_from, AsId(1));
+    }
+
+    #[test]
     fn arena_rib_withdraw_neighbor_clears_all_its_routes() {
         let mut paths = PathInterner::new();
         let mut rib = ArenaRibIn::new();

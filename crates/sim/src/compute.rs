@@ -159,6 +159,9 @@ pub struct Evictions {
     pub footprint: u64,
     /// Entries dropped by `DirtyScope::Communities` mutations.
     pub communities: u64,
+    /// Entries dropped by `DirtyScope::LinkDown` / `DirtyScope::LinkUp`
+    /// mutations (link surgery that no longer flushes wholesale).
+    pub link: u64,
     /// Entries dropped by `DirtyScope::Global` mutations.
     pub global: u64,
     /// Entries dropped because the log rolled past the cache's generation
@@ -169,12 +172,13 @@ pub struct Evictions {
 impl Evictions {
     /// Total entries evicted across all scopes.
     pub fn total(&self) -> u64 {
-        self.footprint + self.communities + self.global + self.generation_lost
+        self.footprint + self.communities + self.link + self.global + self.generation_lost
     }
 
     fn accumulate(&mut self, other: &Evictions) {
         self.footprint += other.footprint;
         self.communities += other.communities;
+        self.link += other.link;
         self.global += other.global;
         self.generation_lost += other.generation_lost;
     }
@@ -217,6 +221,7 @@ struct CacheTelemetry {
     misses: Counter,
     evict_footprint: Counter,
     evict_communities: Counter,
+    evict_link: Counter,
     evict_global: Counter,
     evict_generation_lost: Counter,
     entries: Gauge,
@@ -231,6 +236,7 @@ impl CacheTelemetry {
             misses: r.counter("cache.misses"),
             evict_footprint: r.counter("cache.evictions.footprint"),
             evict_communities: r.counter("cache.evictions.communities"),
+            evict_link: r.counter("cache.evictions.link"),
             evict_global: r.counter("cache.evictions.global"),
             evict_generation_lost: r.counter("cache.evictions.generation_lost"),
             entries: r.gauge("cache.entries"),
@@ -249,6 +255,7 @@ impl CacheTelemetry {
         }
         self.evict_footprint.add(ev.footprint);
         self.evict_communities.add(ev.communities);
+        self.evict_link.add(ev.link);
         self.evict_global.add(ev.global);
         self.evict_generation_lost.add(ev.generation_lost);
         let before = remaining as u64 + total;
@@ -317,6 +324,15 @@ impl CacheShard {
                         DirtyScope::Communities => {
                             self.tables.retain(|_, e| !e.has_communities);
                             ev.communities += (before - self.tables.len()) as u64;
+                        }
+                        DirtyScope::LinkDown(a, b) => {
+                            self.tables.retain(|_, e| !e.table.uses_link(a, b));
+                            ev.link += (before - self.tables.len()) as u64;
+                        }
+                        DirtyScope::LinkUp(a, b) => {
+                            self.tables
+                                .retain(|_, e| !e.table.has_route(a) && !e.table.has_route(b));
+                            ev.link += (before - self.tables.len()) as u64;
                         }
                         DirtyScope::Footprint(a) => {
                             self.tables
@@ -511,6 +527,7 @@ pub struct SharedRouteCache {
     misses: AtomicU64,
     evict_footprint: AtomicU64,
     evict_communities: AtomicU64,
+    evict_link: AtomicU64,
     evict_global: AtomicU64,
     evict_generation_lost: AtomicU64,
     tele: CacheTelemetry,
@@ -551,6 +568,7 @@ impl SharedRouteCache {
             misses: AtomicU64::new(0),
             evict_footprint: AtomicU64::new(0),
             evict_communities: AtomicU64::new(0),
+            evict_link: AtomicU64::new(0),
             evict_global: AtomicU64::new(0),
             evict_generation_lost: AtomicU64::new(0),
             tele: CacheTelemetry::from_registry(registry),
@@ -583,6 +601,7 @@ impl SharedRouteCache {
         Evictions {
             footprint: self.evict_footprint.load(Ordering::Relaxed),
             communities: self.evict_communities.load(Ordering::Relaxed),
+            link: self.evict_link.load(Ordering::Relaxed),
             global: self.evict_global.load(Ordering::Relaxed),
             generation_lost: self.evict_generation_lost.load(Ordering::Relaxed),
         }
@@ -617,6 +636,7 @@ impl SharedRouteCache {
                 .fetch_add(ev.footprint, Ordering::Relaxed);
             self.evict_communities
                 .fetch_add(ev.communities, Ordering::Relaxed);
+            self.evict_link.fetch_add(ev.link, Ordering::Relaxed);
             self.evict_global.fetch_add(ev.global, Ordering::Relaxed);
             self.evict_generation_lost
                 .fetch_add(ev.generation_lost, Ordering::Relaxed);
@@ -1082,6 +1102,144 @@ mod tests {
         );
         assert_eq!((s.hits, s.misses), (1, 16));
         assert!((s.retention_ratio() - 15.0 / 16.0).abs() < 1e-9);
+    }
+
+    /// Origin 0 below middles 1..=16, all under top AS 17; AS 18 starts
+    /// isolated (no links) for the link-addition test.
+    fn star_net() -> Network {
+        let mut g = GraphBuilder::with_ases(19);
+        for i in 1..=16u32 {
+            g.provider_customer(AsId(i), AsId(0));
+            g.provider_customer(AsId(17), AsId(i));
+        }
+        Network::new(g.build())
+    }
+
+    fn poison_sweep(net: &Network) -> Vec<AnnouncementSpec> {
+        (1..=16u32)
+            .map(|t| AnnouncementSpec::poisoned(net, pfx(), AsId(0), &[AsId(t)]))
+            .collect()
+    }
+
+    #[test]
+    fn link_removal_evicts_only_tables_routing_over_it() {
+        let mut net = net();
+        let mut cache = RouteTableCache::new();
+        let batch = specs(&net);
+        for spec in &batch {
+            cache.compute(&net, spec);
+        }
+
+        // Link 4-5 carries AS5's route in every table except the AS4
+        // poison, where both endpoints are captive (AS4 rejects the
+        // poisoned seed, AS5 sits behind it).
+        net.remove_link(AsId(4), AsId(5));
+        let t = cache.compute(&net, &batch[3]);
+        assert_eq!(cache.stats().evictions.link, 3, "three tables used 4-5");
+        assert_eq!(cache.len(), 1, "only the AS4 poison survived the sync");
+        assert_eq!(cache.hits(), 1, "the retained table is served as a hit");
+        assert!(same_table(&t, &compute_routes(&net, &batch[3]), net.len()));
+        for spec in &batch {
+            let t = cache.compute(&net, spec);
+            assert!(same_table(&t, &compute_routes(&net, spec), net.len()));
+        }
+        assert_eq!(cache.len(), 4, "evicted tables recomputed on demand");
+    }
+
+    #[test]
+    fn link_removal_of_cold_backup_retains_fifteen_of_sixteen() {
+        // The ROADMAP open item, pinned like the 15/16 policy test: link
+        // surgery used to be invisible to the mutation log (a fresh
+        // Network around graph surgery), flushing every table wholesale.
+        // Scoped LinkDown keeps every table whose routes avoid the link:
+        // AS17 uplinks through middle 1 except in the middle-1 poison,
+        // where it falls back to middle 2 — so removing link 17-2 evicts
+        // exactly that one table.
+        let mut net = star_net();
+        let mut cache = RouteTableCache::new();
+        let sweep = poison_sweep(&net);
+        for spec in &sweep {
+            cache.compute(&net, spec);
+        }
+        assert_eq!(cache.stats().entries, 16);
+
+        net.remove_link(AsId(17), AsId(2));
+        cache.compute(&net, &sweep[2]);
+        let s = cache.stats();
+        assert_eq!(s.entries, 15, "15/16 entries retained");
+        assert_eq!(
+            s.evictions,
+            Evictions {
+                link: 1,
+                ..Evictions::default()
+            },
+            "only the middle-1 poison routed over 17-2"
+        );
+        assert_eq!((s.hits, s.misses), (1, 16));
+        for spec in &sweep {
+            let t = cache.compute(&net, spec);
+            assert!(same_table(&t, &compute_routes(&net, spec), net.len()));
+        }
+        assert_eq!(cache.misses(), 17, "no retained table was recomputed");
+    }
+
+    #[test]
+    fn link_addition_evicts_only_tables_reaching_an_endpoint() {
+        let mut net = star_net();
+        let mut cache = RouteTableCache::new();
+        let sweep = poison_sweep(&net);
+        for spec in &sweep {
+            cache.compute(&net, spec);
+        }
+
+        // Attach the isolated AS 18 below middle 3. Every table where
+        // middle 3 holds a route can now propagate over the new link; the
+        // middle-3 poison reaches neither endpoint and survives.
+        net.add_link(AsId(3), AsId(18), lg_asmap::Relationship::Customer);
+        let t = cache.compute(&net, &sweep[2]);
+        let s = cache.stats();
+        assert_eq!(s.evictions.link, 15, "only the AS3 poison retained");
+        assert_eq!((s.hits, s.misses), (1, 16), "retained table is a hit");
+        assert!(same_table(&t, &compute_routes(&net, &sweep[2]), net.len()));
+        for spec in &sweep {
+            let t = cache.compute(&net, spec);
+            assert!(same_table(&t, &compute_routes(&net, spec), net.len()));
+        }
+        // AS18 is actually routed now (the link mattered).
+        let t = cache.compute(&net, &sweep[0]);
+        assert!(t.has_route(AsId(18)), "new leaf routes via middle 3");
+    }
+
+    #[test]
+    fn peer_filter_endpoints_force_global_link_eviction() {
+        // Soundness guard for the scoped link invalidation: a peer-link
+        // mutation at an AS running reject_peers_in_customer_path changes
+        // that AS's peer list, which can flip unrelated acceptance
+        // decisions — the scope degrades to Global and everything goes.
+        let mut net = net();
+        net.set_policy(
+            AsId(4),
+            ImportPolicy {
+                reject_peers_in_customer_path: true,
+                ..ImportPolicy::standard()
+            },
+        );
+        let mut cache = RouteTableCache::new();
+        let batch = specs(&net);
+        for spec in &batch {
+            cache.compute(&net, spec);
+        }
+        let evicted_before = cache.invalidations();
+        net.add_link(AsId(4), AsId(1), lg_asmap::Relationship::Peer);
+        cache.compute(&net, &batch[0]);
+        let s = cache.stats();
+        assert_eq!(s.evictions.global, 4, "peer filter forces a full flush");
+        assert_eq!(s.evictions.link, 0);
+        assert_eq!(cache.invalidations(), evicted_before + 4);
+        for spec in &batch {
+            let t = cache.compute(&net, spec);
+            assert!(same_table(&t, &compute_routes(&net, spec), net.len()));
+        }
     }
 
     #[test]

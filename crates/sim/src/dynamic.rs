@@ -24,9 +24,9 @@ use crate::announce::AnnouncementSpec;
 use crate::dataplane::{walk_fib, Fib, FibEntry, Walk};
 use crate::failures::FailureSet;
 use crate::network::Network;
-use crate::time::Time;
+use crate::time::{Time, TimerWheel};
 use lg_asmap::{AsId, Relationship};
-use lg_bgp::{ArenaRibIn, ArenaRoute, AsPath, PathId, PathInterner, Prefix, Route};
+use lg_bgp::{ArenaRibIn, ArenaRoute, AsPath, OutRing, PathId, PathInterner, Prefix, Route};
 use lg_telemetry::{Counter, Histogram, Registry};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -67,6 +67,25 @@ impl DynamicTelemetry {
     }
 }
 
+/// Which out-queue/MRAI bookkeeping backs the engine.
+///
+/// Both implementations are *event-for-event* identical — same update
+/// sequences, same Loc-RIBs, same quiescence ticks — which
+/// `tests/outqueue_differential.rs` pins with randomized churn schedules.
+/// `Reference` exists as the oracle for that harness; `Ring` is the fast
+/// path and the default.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OutQueue {
+    /// Per-peer ring-buffer out-queues ([`lg_bgp::OutRing`]) with MRAI
+    /// fires on a hierarchical [`TimerWheel`]: deferral is an index push,
+    /// and advancing time pops due peers in O(due).
+    #[default]
+    Ring,
+    /// The original flat `HashMap<(peer, prefix), _>` state with MRAI
+    /// fires as ordinary heap events. Kept as the differential oracle.
+    Reference,
+}
+
 /// Engine configuration.
 #[derive(Clone, Debug)]
 pub struct DynamicSimConfig {
@@ -77,6 +96,8 @@ pub struct DynamicSimConfig {
     pub mrai_jitter: bool,
     /// Per-message processing delay in ms, added to link propagation.
     pub proc_delay_ms: u64,
+    /// Out-queue implementation (see [`OutQueue`]).
+    pub out_queue: OutQueue,
 }
 
 impl Default for DynamicSimConfig {
@@ -85,6 +106,7 @@ impl Default for DynamicSimConfig {
             mrai_ms: 30_000,
             mrai_jitter: true,
             proc_delay_ms: 1,
+            out_queue: OutQueue::Ring,
         }
     }
 }
@@ -136,13 +158,204 @@ impl PartialOrd for Queued {
 struct PeerPrefixState {
     /// Earliest time the next *announcement* may be sent.
     mrai_ready_at: Time,
-    /// An MraiFire event is already queued.
+    /// An MraiFire event (Reference) or wheel timer (Ring) is already
+    /// queued.
     fire_pending: bool,
     /// Content of the last update actually sent (None = withdrawn / nothing
     /// ever sent). Outer Option: have we ever sent anything? Interned ids
     /// are hash-consed, so id equality here is content equality and
     /// duplicate suppression stays exact.
     last_sent: Option<Option<PathId>>,
+}
+
+/// Ring-mode per-peer sending machinery: dense per-prefix state plus the
+/// ring of deferred updates. Peers get a slot on first contact.
+///
+/// Per-prefix state is a linear-probed vec, not a map: a node announces a
+/// handful of prefixes (production + sentinel in LIFEGUARD scenarios), so
+/// a scan over inline pairs beats hashing on every sent update.
+struct RingPeer {
+    peer: AsId,
+    state: Vec<(Prefix, PeerPrefixState)>,
+    ring: OutRing,
+}
+
+/// Ring-mode per-node view: maps neighbor ASes to dense peer slots via a
+/// sorted vec + binary search (degree-sized, cheaper than hashing on the
+/// per-update hot path).
+#[derive(Default)]
+struct RingNode {
+    peer_idx: Vec<(AsId, u32)>,
+    peers: Vec<RingPeer>,
+}
+
+/// Wheel payload: enough to find the deferred update when its MRAI timer
+/// fires. The prefix lives in the ring slot, not here.
+#[derive(Clone, Copy, Debug)]
+struct FireKey {
+    node: u32,
+    peer: u32,
+    pos: u64,
+}
+
+/// The engine's out-queue state, in one of the two [`OutQueue`] shapes.
+enum OutStore {
+    Reference(Vec<HashMap<(AsId, Prefix), PeerPrefixState>>),
+    Ring {
+        nodes: Vec<RingNode>,
+        // Boxed: the wheel's inline slot arrays dwarf the Reference
+        // variant, and there is exactly one OutStore per simulation.
+        wheel: Box<TimerWheel<FireKey>>,
+    },
+}
+
+impl OutStore {
+    fn new(kind: OutQueue, n: usize) -> Self {
+        match kind {
+            OutQueue::Reference => OutStore::Reference((0..n).map(|_| HashMap::new()).collect()),
+            OutQueue::Ring => OutStore::Ring {
+                nodes: (0..n).map(|_| RingNode::default()).collect(),
+                wheel: Box::new(TimerWheel::new()),
+            },
+        }
+    }
+
+    fn ring_peer_slot(node: &mut RingNode, peer: AsId) -> u32 {
+        match node.peer_idx.binary_search_by_key(&peer, |&(p, _)| p) {
+            Ok(pos) => node.peer_idx[pos].1,
+            Err(pos) => {
+                let i = u32::try_from(node.peers.len()).expect("peer slot overflow");
+                node.peer_idx.insert(pos, (peer, i));
+                node.peers.push(RingPeer {
+                    peer,
+                    state: Vec::new(),
+                    ring: OutRing::new(),
+                });
+                i
+            }
+        }
+    }
+
+    /// Get-or-create the sending state for `(node, peer, prefix)`.
+    fn state_entry(&mut self, node: AsId, peer: AsId, prefix: Prefix) -> &mut PeerPrefixState {
+        match self {
+            OutStore::Reference(v) => v[node.index()].entry((peer, prefix)).or_default(),
+            OutStore::Ring { nodes, .. } => {
+                let slot = Self::ring_peer_slot(&mut nodes[node.index()], peer);
+                let rp = &mut nodes[node.index()].peers[slot as usize];
+                let i = match rp.state.iter().position(|&(p, _)| p == prefix) {
+                    Some(i) => i,
+                    None => {
+                        rp.state.push((prefix, PeerPrefixState::default()));
+                        rp.state.len() - 1
+                    }
+                };
+                &mut rp.state[i].1
+            }
+        }
+    }
+
+    /// The sending state if it exists (no creation).
+    fn state_get_mut(
+        &mut self,
+        node: AsId,
+        peer: AsId,
+        prefix: Prefix,
+    ) -> Option<&mut PeerPrefixState> {
+        match self {
+            OutStore::Reference(v) => v[node.index()].get_mut(&(peer, prefix)),
+            OutStore::Ring { nodes, .. } => {
+                let n = &mut nodes[node.index()];
+                let pos = n.peer_idx.binary_search_by_key(&peer, |&(p, _)| p).ok()?;
+                let slot = n.peer_idx[pos].1;
+                n.peers[slot as usize]
+                    .state
+                    .iter_mut()
+                    .find(|&&mut (p, _)| p == prefix)
+                    .map(|&mut (_, ref mut st)| st)
+            }
+        }
+    }
+
+    /// Drop all of `node`'s per-(peer, prefix) state for `prefix`
+    /// (origin-side cleanup on withdraw). Deferred timers stay queued and
+    /// fire harmlessly against recreated default state — both shapes
+    /// behave identically here, which the differential harness relies on.
+    fn remove_prefix(&mut self, node: AsId, prefix: Prefix) {
+        match self {
+            OutStore::Reference(v) => v[node.index()].retain(|(_, p), _| *p != prefix),
+            OutStore::Ring { nodes, .. } => {
+                for rp in &mut nodes[node.index()].peers {
+                    rp.state.retain(|&(p, _)| p != prefix);
+                }
+            }
+        }
+    }
+
+    /// Ring mode: enqueue a deferred update and arm its wheel timer.
+    /// `seq` must come from the engine's global event counter so fires
+    /// interleave with heap events exactly as Reference's MraiFire events
+    /// would.
+    fn defer(
+        &mut self,
+        node: AsId,
+        peer: AsId,
+        prefix: Prefix,
+        path: Option<PathId>,
+        ready: Time,
+        seq: u64,
+    ) {
+        match self {
+            OutStore::Reference(_) => unreachable!("Reference defers via heap events"),
+            OutStore::Ring { nodes, wheel } => {
+                let slot = Self::ring_peer_slot(&mut nodes[node.index()], peer);
+                let pos = nodes[node.index()].peers[slot as usize]
+                    .ring
+                    .push(prefix, path);
+                wheel.insert(
+                    ready,
+                    seq,
+                    FireKey {
+                        node: node.0,
+                        peer: slot,
+                        pos,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Earliest pending MRAI fire (Ring mode; Reference fires ride the
+    /// heap and report `None` here).
+    fn next_fire(&self) -> Option<(Time, u64)> {
+        match self {
+            OutStore::Reference(_) => None,
+            OutStore::Ring { wheel, .. } => wheel.peek(),
+        }
+    }
+
+    /// Pop the earliest pending fire, resolving it to `(node, peer,
+    /// prefix)` and retiring its ring slot.
+    fn pop_fire(&mut self) -> (AsId, AsId, Prefix) {
+        match self {
+            OutStore::Reference(_) => unreachable!("Reference has no wheel fires"),
+            OutStore::Ring { nodes, wheel } => {
+                let (_, _, key) = wheel.pop().expect("pop_fire on empty wheel");
+                let rp = &mut nodes[key.node as usize].peers[key.peer as usize];
+                let (prefix, _) = rp.ring.get(key.pos);
+                rp.ring.complete(key.pos);
+                (AsId(key.node), rp.peer, prefix)
+            }
+        }
+    }
+
+    /// True when no MRAI fires are pending outside the heap.
+    fn fires_idle(&self) -> bool {
+        match self {
+            OutStore::Reference(_) => true,
+            OutStore::Ring { wheel, .. } => wheel.is_empty(),
+        }
+    }
 }
 
 /// A selected route: the interned path for engine-internal comparison plus
@@ -159,8 +372,29 @@ struct Node {
     adj_in: ArenaRibIn,
     /// Selected route per prefix.
     loc: HashMap<Prefix, LocEntry>,
-    /// Per-(peer, prefix) sending state.
-    out: HashMap<(AsId, Prefix), PeerPrefixState>,
+}
+
+/// One UPDATE put on the wire, as recorded by the (test-only) update log
+/// — see [`DynamicSim::record_updates`]. The path is materialized so
+/// records compare byte-for-byte across simulations with independent
+/// interners.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateRecord {
+    /// Send time.
+    pub at: Time,
+    /// Sending AS.
+    pub from: AsId,
+    /// Receiving AS.
+    pub to: AsId,
+    /// Subject prefix.
+    pub prefix: Prefix,
+    /// Advertised path hops (nearest first); `None` withdraws.
+    pub path: Option<Vec<AsId>>,
+    /// True for origin-driven seed traffic (announce/withdraw/re-seed),
+    /// which bypasses the MRAI machinery; false for updates emitted by
+    /// the out-queue (`send_now`). Seeded sends are exempt from the
+    /// harness's MRAI lower-bound check.
+    pub seeded: bool,
 }
 
 /// Per-prefix measurement of one convergence epoch.
@@ -247,6 +481,11 @@ pub struct DynamicSim<'n> {
     link_epochs: HashMap<(AsId, AsId), u64>,
     /// Failures consulted by [`DynamicSim::walk`].
     pub failures: FailureSet,
+    /// Per-(peer, prefix) sending state, in the configured shape.
+    out: OutStore,
+    /// Update log for differential testing; `None` (the default) records
+    /// nothing.
+    log: Option<Vec<UpdateRecord>>,
     tele: DynamicTelemetry,
 }
 
@@ -260,6 +499,7 @@ impl<'n> DynamicSim<'n> {
     /// Fresh simulator reporting into `registry` instead of the global
     /// one (isolated observation in tests).
     pub fn with_registry(net: &'n Network, cfg: DynamicSimConfig, registry: &Registry) -> Self {
+        let out = OutStore::new(cfg.out_queue, net.len());
         DynamicSim {
             net,
             cfg,
@@ -274,8 +514,24 @@ impl<'n> DynamicSim<'n> {
             down_links: Vec::new(),
             link_epochs: HashMap::new(),
             failures: FailureSet::none(),
+            out,
+            log: None,
             tele: DynamicTelemetry::from_registry(registry),
         }
+    }
+
+    /// Toggle the update log (off by default). The log records every
+    /// UPDATE put on the wire in emission order; two simulations driven by
+    /// the same schedule must produce byte-identical logs regardless of
+    /// their [`OutQueue`] shape — the differential harness's core check.
+    pub fn record_updates(&mut self, on: bool) {
+        self.log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// The recorded update log (empty unless [`Self::record_updates`] was
+    /// enabled).
+    pub fn update_log(&self) -> &[UpdateRecord] {
+        self.log.as_deref().unwrap_or(&[])
     }
 
     fn link_up(&self, a: AsId, b: AsId) -> bool {
@@ -328,7 +584,7 @@ impl<'n> DynamicSim<'n> {
         let prefixes: Vec<Prefix> = self.specs.keys().copied().collect();
         for (node, peer) in [(a, b), (b, a)] {
             for prefix in &prefixes {
-                if let Some(st) = self.nodes[node.index()].out.get_mut(&(peer, *prefix)) {
+                if let Some(st) = self.out.state_get_mut(node, peer, *prefix) {
                     st.last_sent = None;
                 }
                 self.schedule_update(node, peer, *prefix);
@@ -351,16 +607,7 @@ impl<'n> DynamicSim<'n> {
         for (prefix, origin, nbr, id) in reseeds {
             let at = self.now + self.link_latency(origin, nbr);
             let epoch = self.link_epoch(origin, nbr);
-            self.push(
-                at,
-                Event::Recv {
-                    from: origin,
-                    to: nbr,
-                    prefix,
-                    path: Some(id),
-                    epoch,
-                },
-            );
+            self.push_recv(at, origin, nbr, prefix, Some(id), epoch, true);
         }
     }
 
@@ -414,7 +661,46 @@ impl<'n> DynamicSim<'n> {
         }));
     }
 
-    fn mrai_interval(&self, node: AsId, peer: AsId) -> u64 {
+    /// Put an UPDATE on the wire: enqueue its delivery and, when the
+    /// update log is on, record it. `seeded` marks origin-driven traffic
+    /// that bypasses the MRAI machinery.
+    #[allow(clippy::too_many_arguments)]
+    fn push_recv(
+        &mut self,
+        at: Time,
+        from: AsId,
+        to: AsId,
+        prefix: Prefix,
+        path: Option<PathId>,
+        epoch: u64,
+        seeded: bool,
+    ) {
+        if let Some(log) = &mut self.log {
+            log.push(UpdateRecord {
+                at: self.now,
+                from,
+                to,
+                prefix,
+                path: path.map(|p| self.paths.hops(p).collect()),
+                seeded,
+            });
+        }
+        self.push(
+            at,
+            Event::Recv {
+                from,
+                to,
+                prefix,
+                path,
+                epoch,
+            },
+        );
+    }
+
+    /// The (deterministically jittered) MRAI interval `node` applies to
+    /// announcements toward `peer`. Public so the differential harness can
+    /// assert the MRAI lower bound on observed update spacing.
+    pub fn mrai_interval(&self, node: AsId, peer: AsId) -> u64 {
         if !self.cfg.mrai_jitter {
             return self.cfg.mrai_ms;
         }
@@ -474,23 +760,11 @@ impl<'n> DynamicSim<'n> {
         for (nbr, id) in &seeds {
             let at = self.now + self.link_latency(spec.origin, *nbr);
             let epoch = self.link_epoch(spec.origin, *nbr);
-            self.push(
-                at,
-                Event::Recv {
-                    from: spec.origin,
-                    to: *nbr,
-                    prefix: spec.prefix,
-                    path: Some(*id),
-                    epoch,
-                },
-            );
+            self.push_recv(at, spec.origin, *nbr, spec.prefix, Some(*id), epoch, true);
             // Record the send in the origin's machinery state so duplicate
             // suppression and later MRAI flushes see what was actually
             // advertised.
-            let st = self.nodes[spec.origin.index()]
-                .out
-                .entry((*nbr, spec.prefix))
-                .or_default();
+            let st = self.out.state_entry(spec.origin, *nbr, spec.prefix);
             st.last_sent = Some(Some(*id));
             sent_to.push(*nbr);
         }
@@ -500,20 +774,8 @@ impl<'n> DynamicSim<'n> {
                 if !sent_to.contains(nbr) {
                     let at = self.now + self.link_latency(spec.origin, *nbr);
                     let epoch = self.link_epoch(spec.origin, *nbr);
-                    self.push(
-                        at,
-                        Event::Recv {
-                            from: spec.origin,
-                            to: *nbr,
-                            prefix: spec.prefix,
-                            path: None,
-                            epoch,
-                        },
-                    );
-                    let st = self.nodes[spec.origin.index()]
-                        .out
-                        .entry((*nbr, spec.prefix))
-                        .or_default();
+                    self.push_recv(at, spec.origin, *nbr, spec.prefix, None, epoch, true);
+                    let st = self.out.state_entry(spec.origin, *nbr, spec.prefix);
                     st.last_sent = Some(None);
                 }
             }
@@ -533,22 +795,43 @@ impl<'n> DynamicSim<'n> {
         // mis-time it. (Queued MraiFire events for the dropped state are
         // harmless: they re-create a default entry whose desired content is
         // already None.)
-        self.nodes[spec.origin.index()]
-            .out
-            .retain(|(_, p), _| *p != prefix);
+        self.out.remove_prefix(spec.origin, prefix);
         for (nbr, _) in &spec.seeds {
             let at = self.now + self.link_latency(spec.origin, *nbr);
             let epoch = self.link_epoch(spec.origin, *nbr);
-            self.push(
-                at,
-                Event::Recv {
-                    from: spec.origin,
-                    to: *nbr,
-                    prefix,
-                    path: None,
-                    epoch,
-                },
-            );
+            self.push_recv(at, spec.origin, *nbr, prefix, None, epoch, true);
+        }
+    }
+
+    /// The `(time, seq)` of the next pending event across both sources
+    /// (heap and, in Ring mode, the timer wheel), and whether it is a
+    /// wheel fire. Seqs come from one global counter, so the total order
+    /// is exact and matches what Reference mode sees on its single heap.
+    fn next_pending(&self) -> Option<(Time, u64, bool)> {
+        let heap = self.queue.peek().map(|Reverse(q)| (q.at, q.seq));
+        let fire = self.out.next_fire();
+        match (heap, fire) {
+            (None, None) => None,
+            (Some((t, s)), None) => Some((t, s, false)),
+            (None, Some((t, s))) => Some((t, s, true)),
+            (Some(h), Some(f)) => {
+                if f < h {
+                    Some((f.0, f.1, true))
+                } else {
+                    Some((h.0, h.1, false))
+                }
+            }
+        }
+    }
+
+    /// Process the next pending event (caller has set `self.now`).
+    fn step(&mut self, is_fire: bool) {
+        if is_fire {
+            let (node, peer, prefix) = self.out.pop_fire();
+            self.handle_mrai_fire(node, peer, prefix);
+        } else {
+            let Reverse(q) = self.queue.pop().expect("peeked event vanished");
+            self.handle(q.ev);
         }
     }
 
@@ -558,15 +841,14 @@ impl<'n> DynamicSim<'n> {
         let start = self.now;
         let mut last = self.now;
         let mut processed = false;
-        while let Some(Reverse(q)) = self.queue.peek().cloned() {
-            if q.at > deadline {
+        while let Some((at, _, is_fire)) = self.next_pending() {
+            if at > deadline {
                 break;
             }
-            self.queue.pop();
-            self.now = q.at;
-            last = q.at;
+            self.now = at;
+            last = at;
             processed = true;
-            self.handle(q.ev);
+            self.step(is_fire);
         }
         if processed {
             // Simulated time from entering the call to its last event: the
@@ -581,20 +863,19 @@ impl<'n> DynamicSim<'n> {
     /// A `t` in the past is a no-op: the clock never rewinds (MRAI
     /// bookkeeping and metrics timestamps rely on monotonic time).
     pub fn run_until(&mut self, t: Time) {
-        while let Some(Reverse(q)) = self.queue.peek().cloned() {
-            if q.at > t {
+        while let Some((at, _, is_fire)) = self.next_pending() {
+            if at > t {
                 break;
             }
-            self.queue.pop();
-            self.now = q.at;
-            self.handle(q.ev);
+            self.now = at;
+            self.step(is_fire);
         }
         self.now = self.now.max(t);
     }
 
     /// True when no events are pending.
     pub fn quiescent(&self) -> bool {
-        self.queue.is_empty()
+        self.queue.is_empty() && self.out.fires_idle()
     }
 
     fn handle(&mut self, ev: Event) {
@@ -606,15 +887,18 @@ impl<'n> DynamicSim<'n> {
                 path,
                 epoch,
             } => self.handle_recv(from, to, prefix, path, epoch),
-            Event::MraiFire { node, peer, prefix } => {
-                let st = self.nodes[node.index()]
-                    .out
-                    .entry((peer, prefix))
-                    .or_default();
-                st.fire_pending = false;
-                self.flush_to_peer(node, peer, prefix);
-            }
+            Event::MraiFire { node, peer, prefix } => self.handle_mrai_fire(node, peer, prefix),
         }
+    }
+
+    /// An MRAI timer expired (heap event in Reference mode, wheel pop in
+    /// Ring mode): clear the pending flag and flush whatever the deferred
+    /// update's content is *now* — the route may have changed (or become a
+    /// duplicate) since the deferral.
+    fn handle_mrai_fire(&mut self, node: AsId, peer: AsId, prefix: Prefix) {
+        let st = self.out.state_entry(node, peer, prefix);
+        st.fire_pending = false;
+        self.flush_to_peer(node, peer, prefix);
     }
 
     fn handle_recv(
@@ -754,10 +1038,7 @@ impl<'n> DynamicSim<'n> {
             return;
         }
         let desired = self.desired_content(node, peer, prefix);
-        let st = self.nodes[node.index()]
-            .out
-            .entry((peer, prefix))
-            .or_default();
+        let st = self.out.state_entry(node, peer, prefix);
         if st.last_sent == Some(desired) || (st.last_sent.is_none() && desired.is_none()) {
             return; // no change to advertise
         }
@@ -772,10 +1053,24 @@ impl<'n> DynamicSim<'n> {
         } else {
             // MRAI still running: the change waits for the timer (whether
             // this call queues the fire or an earlier one already did).
+            let need_fire = !st.fire_pending;
+            st.fire_pending = true;
             self.tele.mrai_deferrals.inc();
-            if !st.fire_pending {
-                st.fire_pending = true;
-                self.push(ready, Event::MraiFire { node, peer, prefix });
+            if need_fire {
+                match self.cfg.out_queue {
+                    OutQueue::Reference => {
+                        self.push(ready, Event::MraiFire { node, peer, prefix });
+                    }
+                    OutQueue::Ring => {
+                        // Allocate the fire's seq from the same counter
+                        // (at the same point) Reference's `push` would, so
+                        // the global (time, seq) event order — and with it
+                        // every downstream send — is bit-identical.
+                        self.seq += 1;
+                        let seq = self.seq;
+                        self.out.defer(node, peer, prefix, desired, ready, seq);
+                    }
+                }
             }
         }
         // If a fire is already pending it will pick up the latest content.
@@ -783,10 +1078,7 @@ impl<'n> DynamicSim<'n> {
 
     fn flush_to_peer(&mut self, node: AsId, peer: AsId, prefix: Prefix) {
         let desired = self.desired_content(node, peer, prefix);
-        let st = self.nodes[node.index()]
-            .out
-            .entry((peer, prefix))
-            .or_default();
+        let st = self.out.state_entry(node, peer, prefix);
         if st.last_sent == Some(desired) || (st.last_sent.is_none() && desired.is_none()) {
             return;
         }
@@ -795,10 +1087,7 @@ impl<'n> DynamicSim<'n> {
 
     fn send_now(&mut self, node: AsId, peer: AsId, prefix: Prefix, content: Option<PathId>) {
         let interval = self.mrai_interval(node, peer);
-        let st = self.nodes[node.index()]
-            .out
-            .entry((peer, prefix))
-            .or_default();
+        let st = self.out.state_entry(node, peer, prefix);
         st.last_sent = Some(content);
         if content.is_some() {
             st.mrai_ready_at = self.now + interval;
@@ -820,16 +1109,7 @@ impl<'n> DynamicSim<'n> {
         }
         let at = self.now + self.link_latency(node, peer);
         let epoch = self.link_epoch(node, peer);
-        self.push(
-            at,
-            Event::Recv {
-                from: node,
-                to: peer,
-                prefix,
-                path: content,
-                epoch,
-            },
-        );
+        self.push_recv(at, node, peer, prefix, content, epoch, false);
     }
 
     /// Data-plane walk over the *current* (possibly mid-convergence) tables.

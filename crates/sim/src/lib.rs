@@ -36,8 +36,8 @@ pub mod time;
 pub use announce::AnnouncementSpec;
 pub use compute::{RouteComputer, RouteTableCache, SharedRouteCache};
 pub use dataplane::{DataPlane, Fib, Walk, WalkOutcome};
-pub use dynamic::{DynamicSim, DynamicSimConfig, PrefixMetrics};
+pub use dynamic::{DynamicSim, DynamicSimConfig, OutQueue, PrefixMetrics, UpdateRecord};
 pub use failures::{Direction, Failure, FailureSet, NetElement};
 pub use network::{DirtyScope, MutationRecord, Network};
 pub use static_routes::{compute_routes, RouteTable};
-pub use time::Time;
+pub use time::{Time, TimerWheel};

@@ -27,6 +27,15 @@ pub enum DirtyScope {
     /// Only announcements carrying community attributes can change
     /// (community-stripping toggles).
     Communities,
+    /// A link was removed: only tables in which some selected route
+    /// traverses this link (as a consecutive hop pair, including the
+    /// holder-to-first-hop edge) can change — an offer over the link that
+    /// never won a selection cannot have shaped the fixed point.
+    LinkDown(AsId, AsId),
+    /// A link was added: only tables in which either endpoint has a route
+    /// can change — a link between two route-less ASes carries no
+    /// announcements in either direction.
+    LinkUp(AsId, AsId),
     /// Anything can change (path-content filters such as
     /// `reject_peers_in_customer_path` or `deny_transit`).
     Global,
@@ -193,6 +202,71 @@ impl Network {
         &self.peer_lists[a.index()]
     }
 
+    /// Remove the link `a`-`b` from the topology (no-op when absent).
+    ///
+    /// Scope: removal only deletes the candidate offers exchanged over the
+    /// link, and an offer that never won a selection cannot have shaped a
+    /// fixed point — so only tables in which some selected route traverses
+    /// `a`-`b` can change ([`DirtyScope::LinkDown`]). Exception: when the
+    /// link is a *peer* link and either endpoint runs the Cogent-style
+    /// `reject_peers_in_customer_path` filter, the peer-list change can
+    /// flip acceptance of unrelated paths at that endpoint, so the
+    /// mutation goes [`DirtyScope::Global`].
+    pub fn remove_link(&mut self, a: AsId, b: AsId) {
+        let Some(rel) = self.graph.relationship(a, b) else {
+            self.record_mutation(DirtyScope::Unchanged);
+            return;
+        };
+        self.graph = self.graph.without_link(a, b);
+        self.refresh_peer_lists(a, b);
+        let scope = self.link_scope(a, b, rel, DirtyScope::LinkDown(a, b));
+        self.record_mutation(scope);
+    }
+
+    /// Add the link `a`-`b` with `rel` being `a`'s view of `b` (no-op when
+    /// already adjacent, whatever the existing relationship).
+    ///
+    /// Scope: the new link carries announcements only once an endpoint has
+    /// a route to offer over it, so only tables in which `a` or `b` has a
+    /// route can change ([`DirtyScope::LinkUp`]); a table where the prefix
+    /// reaches neither endpoint is reusable as-is. The same peer-filter
+    /// exception as [`Self::remove_link`] applies.
+    pub fn add_link(&mut self, a: AsId, b: AsId, rel: lg_asmap::Relationship) {
+        if self.graph.relationship(a, b).is_some() {
+            self.record_mutation(DirtyScope::Unchanged);
+            return;
+        }
+        self.graph = self.graph.with_link(a, b, rel);
+        self.refresh_peer_lists(a, b);
+        let scope = self.link_scope(a, b, rel, DirtyScope::LinkUp(a, b));
+        self.record_mutation(scope);
+    }
+
+    /// The scope of a link mutation: `scoped` normally, `Global` when the
+    /// peer-list change can reach unrelated acceptance decisions.
+    fn link_scope(
+        &self,
+        a: AsId,
+        b: AsId,
+        rel: lg_asmap::Relationship,
+        scoped: DirtyScope,
+    ) -> DirtyScope {
+        let peer_sensitive = rel == lg_asmap::Relationship::Peer
+            && (self.policies[a.index()].reject_peers_in_customer_path
+                || self.policies[b.index()].reject_peers_in_customer_path);
+        if peer_sensitive {
+            DirtyScope::Global
+        } else {
+            scoped
+        }
+    }
+
+    /// Re-derive the cached peer lists of a link mutation's endpoints.
+    fn refresh_peer_lists(&mut self, a: AsId, b: AsId) {
+        self.peer_lists[a.index()] = self.graph.peers(a);
+        self.peer_lists[b.index()] = self.graph.peers(b);
+    }
+
     /// Deterministic one-way propagation delay for link `a`-`b`, in
     /// milliseconds (symmetric; 10..=49 ms, keyed on the unordered pair).
     pub fn link_delay_ms(&self, a: AsId, b: AsId) -> u64 {
@@ -339,6 +413,67 @@ mod tests {
         // A foreign network's generation: unknown.
         let other = net();
         assert_eq!(n.changes_since(other.generation()), None);
+    }
+
+    #[test]
+    fn link_mutations_record_scoped_dirt() {
+        let mut n = net();
+        let g0 = n.generation();
+
+        // Removing a present link: LinkDown, adjacency and peer caches
+        // updated in place.
+        n.remove_link(AsId(1), AsId(2));
+        assert!(!n.graph().are_adjacent(AsId(1), AsId(2)));
+        assert!(n.peers_of(AsId(1)).is_empty());
+        // Removing it again: structurally a no-op, scope Unchanged.
+        n.remove_link(AsId(1), AsId(2));
+        // Re-adding it: LinkUp, caches refreshed.
+        n.add_link(AsId(1), AsId(2), Relationship::Peer);
+        assert_eq!(
+            n.graph().relationship(AsId(1), AsId(2)),
+            Some(Relationship::Peer)
+        );
+        assert_eq!(n.peers_of(AsId(1)), &[AsId(2)]);
+        // Adding over an existing link: Unchanged.
+        n.add_link(AsId(2), AsId(1), Relationship::Peer);
+        assert_eq!(
+            n.changes_since(g0),
+            Some(vec![
+                DirtyScope::LinkDown(AsId(1), AsId(2)),
+                DirtyScope::Unchanged,
+                DirtyScope::LinkUp(AsId(1), AsId(2)),
+                DirtyScope::Unchanged,
+            ])
+        );
+    }
+
+    #[test]
+    fn peer_link_mutations_go_global_under_peer_filters() {
+        // An endpoint running the Cogent-style filter consults its peer
+        // list for unrelated paths, so peer-link surgery there cannot be
+        // scoped to the link.
+        let mut n = net();
+        n.set_policy(
+            AsId(2),
+            ImportPolicy {
+                reject_peers_in_customer_path: true,
+                ..ImportPolicy::standard()
+            },
+        );
+        let g0 = n.generation();
+        n.remove_link(AsId(1), AsId(2));
+        n.add_link(AsId(1), AsId(2), Relationship::Peer);
+        // A provider-customer link at the same endpoint stays scoped: the
+        // filter only reads *peer* lists.
+        n.remove_link(AsId(0), AsId(1));
+        assert_eq!(
+            n.changes_since(g0),
+            Some(vec![
+                DirtyScope::Global,
+                DirtyScope::Global,
+                DirtyScope::LinkDown(AsId(0), AsId(1)),
+            ])
+        );
     }
 
     #[test]

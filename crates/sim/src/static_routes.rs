@@ -172,6 +172,24 @@ impl RouteTable {
             .count()
     }
 
+    /// Does any selected route traverse the link `a`-`b` (either
+    /// direction)? Edges are consecutive hop pairs of a selected path,
+    /// including the holder-to-first-hop edge. Poisoned paths can name hop
+    /// pairs that are not physical adjacencies; counting those keeps the
+    /// check conservative for cache invalidation (never misses a user of
+    /// the link).
+    pub fn uses_link(&self, a: AsId, b: AsId) -> bool {
+        self.routes.iter().enumerate().any(|(i, r)| {
+            let Some(route) = r else { return false };
+            let mut prev = AsId(i as u32);
+            route.path.hops().iter().any(|&h| {
+                let hit = (prev == a && h == b) || (prev == b && h == a);
+                prev = h;
+                hit
+            })
+        })
+    }
+
     /// ASes whose selected path traverses `x` (origin excluded).
     pub fn ases_via(&self, x: AsId) -> Vec<AsId> {
         self.routes

@@ -1,0 +1,257 @@
+//! Randomized BGP churn schedules.
+//!
+//! A churn schedule is a deterministic (seeded) interleaving of the
+//! control-plane operations LIFEGUARD's repair loop can issue — announce
+//! (plain / prepended / poisoned), withdraw, session failure, session
+//! restoration — plus clock advances that land the operations inside or
+//! outside MRAI shadows. The same schedule applied to two simulators must
+//! drive them identically, which is what `tests/outqueue_differential.rs`
+//! exploits to pin the ring-buffer out-queue against the reference
+//! implementation, and what the `dynamic_churn` bench uses as a dense
+//! convergence workload.
+
+use lg_asmap::{AsId, TopologyConfig};
+use lg_bgp::Prefix;
+use lg_sim::{AnnouncementSpec, DynamicSim, Network};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The prefix every churn schedule operates on.
+pub fn churn_prefix() -> Prefix {
+    Prefix::from_octets(184, 164, 224, 0, 20)
+}
+
+/// A small hierarchical network for churn runs; same seed, same graph.
+pub fn churn_network(topology_seed: u64) -> Network {
+    Network::new(TopologyConfig::small(topology_seed).generate())
+}
+
+/// One operation of a churn schedule. Link indexes are resolved modulo
+/// the live/down link lists at application time, so any index is valid
+/// against any topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChurnOp {
+    /// (Re-)announce the prefix; the shape selector picks plain,
+    /// prepended, or poisoned.
+    Announce(u8),
+    /// Withdraw the prefix (no-op when nothing is announced).
+    Withdraw,
+    /// Fail the i-th (mod live) link.
+    Fail(usize),
+    /// Restore the i-th (mod down) currently-down link.
+    Restore(usize),
+    /// Advance the clock by this many milliseconds.
+    Advance(u64),
+}
+
+/// Schedule-generation knobs.
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// RNG seed; same seed, same schedule.
+    pub seed: u64,
+    /// Number of operations to generate.
+    pub ops: usize,
+    /// Upper bound on a single clock advance, in ms. Keep this below the
+    /// MRAI interval to land most operations inside MRAI shadows (the
+    /// dense-churn regime); raise it to let convergence complete between
+    /// operations.
+    pub advance_max_ms: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            seed: 1,
+            ops: 24,
+            advance_max_ms: 45_000,
+        }
+    }
+}
+
+/// Generate a churn schedule. Operation classes are weighted toward the
+/// interesting interleavings: announcements and link flaps dominate, with
+/// enough advances to spread them across MRAI phases.
+pub fn generate_ops(cfg: &ChurnConfig) -> Vec<ChurnOp> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    (0..cfg.ops)
+        .map(|_| match rng.gen_range(0..100u32) {
+            0..=29 => ChurnOp::Announce(rng.gen_range(0..3) as u8),
+            30..=39 => ChurnOp::Withdraw,
+            40..=59 => ChurnOp::Fail(rng.gen_range(0..1024usize)),
+            60..=74 => ChurnOp::Restore(rng.gen_range(0..1024usize)),
+            _ => ChurnOp::Advance(rng.gen_range(1..cfg.advance_max_ms)),
+        })
+        .collect()
+}
+
+/// The deterministic cast of one churn world: which AS originates, which
+/// AS gets poisoned, and the link list indexes name.
+pub struct ChurnWorld {
+    /// Originating (stub) AS.
+    pub origin: AsId,
+    /// Poison target for the poisoned announcement shape.
+    pub target: AsId,
+    /// All links as unordered pairs (a < b), in deterministic order.
+    pub links: Vec<(AsId, AsId)>,
+}
+
+impl ChurnWorld {
+    /// Derive the cast from a network: a multihomed stub origin when one
+    /// exists, a transit AS above its first provider as the poison target.
+    pub fn new(net: &Network) -> Self {
+        let origin = net
+            .graph()
+            .ases()
+            .find(|a| net.graph().is_stub(*a) && net.graph().providers(*a).len() >= 2)
+            .or_else(|| net.graph().ases().find(|a| net.graph().is_stub(*a)))
+            .expect("topology has stubs");
+        let providers = net.graph().providers(origin);
+        let above = net.graph().providers(providers[0]);
+        let target = if above.is_empty() {
+            providers[0]
+        } else {
+            above[0]
+        };
+        let mut links = Vec::new();
+        for a in net.graph().ases() {
+            for (b, _) in net.graph().neighbors(a) {
+                if a.0 < b.0 {
+                    links.push((a, *b));
+                }
+            }
+        }
+        ChurnWorld {
+            origin,
+            target,
+            links,
+        }
+    }
+
+    /// The announcement spec a shape selector denotes in this world.
+    pub fn spec(&self, net: &Network, shape: u8) -> AnnouncementSpec {
+        match shape % 3 {
+            0 => AnnouncementSpec::plain(net, churn_prefix(), self.origin),
+            1 => AnnouncementSpec::prepended(net, churn_prefix(), self.origin, 3),
+            _ => AnnouncementSpec::poisoned(net, churn_prefix(), self.origin, &[self.target]),
+        }
+    }
+}
+
+/// Applies a schedule to one simulator, tracking the evolving link state
+/// so `Fail`/`Restore` indexes resolve deterministically. Two runners fed
+/// the same ops issue bit-identical call sequences to their sims.
+pub struct ChurnRunner<'w> {
+    world: &'w ChurnWorld,
+    down: Vec<(AsId, AsId)>,
+    announced: Option<u8>,
+}
+
+impl<'w> ChurnRunner<'w> {
+    /// A runner over `world` with all links up and nothing announced.
+    pub fn new(world: &'w ChurnWorld) -> Self {
+        ChurnRunner {
+            world,
+            down: Vec::new(),
+            announced: None,
+        }
+    }
+
+    /// The last announced shape, if the prefix is currently announced.
+    pub fn announced(&self) -> Option<u8> {
+        self.announced
+    }
+
+    /// Links currently failed, in failure order.
+    pub fn down(&self) -> &[(AsId, AsId)] {
+        &self.down
+    }
+
+    /// Apply one operation to `sim`.
+    pub fn apply(&mut self, sim: &mut DynamicSim<'_>, net: &Network, op: &ChurnOp) {
+        match *op {
+            ChurnOp::Announce(shape) => {
+                sim.announce(&self.world.spec(net, shape));
+                self.announced = Some(shape);
+            }
+            ChurnOp::Withdraw => {
+                if self.announced.take().is_some() {
+                    sim.withdraw(churn_prefix());
+                }
+            }
+            ChurnOp::Fail(i) => {
+                let link = self.world.links[i % self.world.links.len()];
+                if !self.down.contains(&link) {
+                    self.down.push(link);
+                    sim.fail_link(link.0, link.1);
+                }
+            }
+            ChurnOp::Restore(i) => {
+                if !self.down.is_empty() {
+                    let link = self.down.remove(i % self.down.len());
+                    sim.restore_link(link.0, link.1);
+                }
+            }
+            ChurnOp::Advance(ms) => {
+                let t = sim.now() + ms;
+                sim.run_until(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let cfg = ChurnConfig {
+            seed: 42,
+            ..ChurnConfig::default()
+        };
+        assert_eq!(generate_ops(&cfg), generate_ops(&cfg));
+        let other = generate_ops(&ChurnConfig {
+            seed: 43,
+            ..cfg.clone()
+        });
+        assert_ne!(generate_ops(&cfg), other, "different seeds, same ops");
+    }
+
+    #[test]
+    fn schedule_mixes_operation_classes() {
+        let ops = generate_ops(&ChurnConfig {
+            seed: 7,
+            ops: 200,
+            advance_max_ms: 10_000,
+        });
+        let announces = ops
+            .iter()
+            .filter(|o| matches!(o, ChurnOp::Announce(_)))
+            .count();
+        let fails = ops.iter().filter(|o| matches!(o, ChurnOp::Fail(_))).count();
+        let advances = ops
+            .iter()
+            .filter(|o| matches!(o, ChurnOp::Advance(_)))
+            .count();
+        assert!(announces > 20, "too few announcements: {announces}");
+        assert!(fails > 10, "too few failures: {fails}");
+        assert!(advances > 10, "too few advances: {advances}");
+    }
+
+    #[test]
+    fn runner_drives_a_sim_to_quiescence() {
+        use lg_sim::{DynamicSimConfig, Time};
+        let net = churn_network(3);
+        let world = ChurnWorld::new(&net);
+        let mut sim = DynamicSim::new(&net, DynamicSimConfig::default());
+        let mut runner = ChurnRunner::new(&world);
+        for op in &generate_ops(&ChurnConfig {
+            seed: 3,
+            ..ChurnConfig::default()
+        }) {
+            runner.apply(&mut sim, &net, op);
+        }
+        sim.run_until_quiescent(sim.now() + Time::from_mins(600).millis());
+        assert!(sim.quiescent());
+    }
+}

@@ -17,13 +17,18 @@
 //! * [`scenarios`] — ground-truth failure scenario generation for the
 //!   isolation-accuracy and alternate-path studies (failure element, kind,
 //!   and direction drawn to match the paper's cited breakdowns).
+//! * [`churn`] — randomized, seeded control-plane churn schedules
+//!   (announce / withdraw / fail / restore / advance) used by the
+//!   out-queue differential harness and the dense-churn benchmarks.
 
 pub mod arrivals;
+pub mod churn;
 pub mod harvest;
 pub mod outages;
 pub mod scenarios;
 
 pub use arrivals::{ArrivalsConfig, OutageArrival};
+pub use churn::{ChurnConfig, ChurnOp, ChurnRunner, ChurnWorld};
 pub use harvest::harvest_poison_targets;
 pub use outages::{OutageStats, OutageTrace, OutageTraceConfig};
 pub use scenarios::{FailureScenario, ScenarioGen, ScenarioKind};

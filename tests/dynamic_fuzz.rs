@@ -9,7 +9,7 @@
 use lifeguard_repro::asmap::{AsId, TopologyConfig};
 use lifeguard_repro::bgp::Prefix;
 use lifeguard_repro::sim::{
-    compute_routes, AnnouncementSpec, DynamicSim, DynamicSimConfig, Network,
+    compute_routes, AnnouncementSpec, DynamicSim, DynamicSimConfig, Network, OutQueue,
 };
 use proptest::prelude::*;
 
@@ -91,7 +91,15 @@ proptest! {
     fn random_update_sequences_converge_to_static_fixed_point(
         seed in 1u64..10_000,
         raw_ops in proptest::collection::vec((0u8..11, 0usize..1024, 1u64..120_000), 1..24),
+        // Fuzz across the MRAI configuration space and both out-queue
+        // implementations: the fail/restore × MRAI interaction must reach
+        // the same fixed point regardless of shadow length, jitter, or
+        // which bookkeeping (ring/wheel vs flat map + heap) paces sends.
+        mrai_sel in 0usize..3,
+        mrai_jitter in any::<bool>(),
+        ring in any::<bool>(),
     ) {
+        let mrai_ms = [2_000u64, 10_000, 30_000][mrai_sel];
         let ops: Vec<Op> = raw_ops
             .iter()
             .map(|&(kind, index, ms)| decode(kind, index, ms))
@@ -101,7 +109,13 @@ proptest! {
         let target = pick_poison_target(&net, origin);
         let links = all_links(&net);
 
-        let mut sim = DynamicSim::new(&net, DynamicSimConfig::default());
+        let cfg = DynamicSimConfig {
+            mrai_ms,
+            mrai_jitter,
+            out_queue: if ring { OutQueue::Ring } else { OutQueue::Reference },
+            ..DynamicSimConfig::default()
+        };
+        let mut sim = DynamicSim::new(&net, cfg);
         let mut down: Vec<(AsId, AsId)> = Vec::new();
         let mut announced: Option<u8> = None;
 
