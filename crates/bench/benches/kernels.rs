@@ -81,10 +81,18 @@ fn bench_compute_layer(c: &mut Criterion) {
         b.iter(|| computer.compute_batch(&net, &specs));
     });
 
-    // The sharded shared cache on its hit path — must stay within 2x of the
-    // single-owner cache_hit_medium above (the cost of the shard lock).
+    // The sharded shared cache on its hit path. The default layout reads a
+    // published snapshot with no lock and must stay within 1.2x of the
+    // single-owner cache_hit_medium above (gated hard by the
+    // cache_hit_gate bench); the retained mutex-per-shard oracle is
+    // measured alongside so the lock's cost stays visible.
     group.bench_function("shared_cache_hit_medium", |b| {
         let cache = lg_sim::SharedRouteCache::new();
+        let _ = cache.compute(&net, &spec);
+        b.iter(|| cache.compute(&net, &spec));
+    });
+    group.bench_function("shared_cache_hit_locked_medium", |b| {
+        let cache = lg_sim::SharedRouteCache::locked();
         let _ = cache.compute(&net, &spec);
         b.iter(|| cache.compute(&net, &spec));
     });

@@ -139,8 +139,27 @@ impl<T> PrefixTrie<T> {
     }
 
     /// The most specific stored value covering `addr`.
+    ///
+    /// Equivalent to `matches(addr).first()` but walks the trie directly,
+    /// tracking the deepest stored value — no allocation. This runs once
+    /// per hop of every data-plane walk, where the `Vec` the general query
+    /// builds is pure overhead.
     pub fn lookup(&self, addr: u32) -> Option<&T> {
-        self.matches(addr).first().map(|(_, v)| *v)
+        let mut best = self.nodes[0].value.as_ref();
+        let mut idx = 0;
+        for depth in 0..32u8 {
+            let b = Self::bit(addr, depth);
+            match self.nodes[idx].children[b] {
+                Some(next) => {
+                    idx = next;
+                    if let Some(v) = self.nodes[idx].value.as_ref() {
+                        best = Some(v);
+                    }
+                }
+                None => break,
+            }
+        }
+        best
     }
 }
 
@@ -226,6 +245,25 @@ mod tests {
                 let expect = Prefix::lpm(q, linear.iter());
                 let got = trie.lookup(q).copied();
                 prop_assert_eq!(got, expect, "query {}", q);
+            }
+        }
+
+        /// The allocation-free `lookup` walk agrees with the most specific
+        /// entry of the allocating general query on arbitrary prefix sets
+        /// and addresses — including addresses under no stored prefix.
+        #[test]
+        fn prop_lookup_matches_matches_first(
+            entries in proptest::collection::vec((any::<u32>(), 0u8..=32), 0..40),
+            queries in proptest::collection::vec(any::<u32>(), 1..30),
+        ) {
+            let mut trie = PrefixTrie::new();
+            for (addr, len) in entries {
+                let pfx = Prefix::new(addr, len);
+                trie.insert(pfx, pfx);
+            }
+            for q in queries {
+                let via_matches = trie.matches(q).first().map(|(_, v)| *v).copied();
+                prop_assert_eq!(trie.lookup(q).copied(), via_matches, "query {}", q);
             }
         }
 

@@ -20,21 +20,31 @@
 //!   longer reaches (graph surgery, a different network, deep staleness)
 //!   flush wholesale, so a stale entry can never be served.
 //! * [`SharedRouteCache`] — the same cache behind `Arc`, sharded by spec
-//!   key with one lock per shard, so concurrent `Lifeguard` instances
-//!   evaluating repairs over one topology share fixed points instead of
-//!   each recomputing them.
+//!   key, so concurrent `Lifeguard` instances evaluating repairs over one
+//!   topology share fixed points instead of each recomputing them. The hit
+//!   path is *lock-free*: each shard publishes an immutable,
+//!   generation-stamped snapshot through a hand-rolled arc-swap
+//!   ([`crate::publish::ArcSlot`]); readers do one atomic load, compare the
+//!   stamp against the network generation, and clone an `Arc` — no mutex.
+//!   Writers (miss fill, invalidation replay, `clear`) serialize on a
+//!   per-shard writer mutex and republish; misses compute their fixed
+//!   point *outside* that mutex with an in-flight marker keeping the
+//!   compute-once-per-generation guarantee. The PR 2 mutex-per-shard
+//!   implementation is retained behind [`SharedRouteCache::locked`] as a
+//!   differential-testing oracle.
 
 use crate::announce::AnnouncementSpec;
 use crate::network::{DirtyScope, Network};
+use crate::publish::ArcSlot;
 use crate::static_routes::{compute_routes, RouteTable};
 use lg_asmap::AsId;
 use lg_bgp::{AsPath, Prefix};
 use lg_telemetry::{Counter, Gauge, Histogram, Registry};
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// Fans route computations for a batch of specs across threads.
@@ -138,15 +148,16 @@ impl SpecKey {
     /// seed path (poisons, prepends). A seeded neighbor that never appears
     /// in a path is *not* in the footprint — its loop detection counts its
     /// own occurrences, of which the candidate has none. Sorted and
-    /// deduplicated for binary search during invalidation.
-    fn footprint(&self) -> Box<[AsId]> {
+    /// deduplicated for binary search during invalidation; shared (`Arc`)
+    /// so snapshot publication clones entries by refcount, not content.
+    fn footprint(&self) -> Arc<[AsId]> {
         let mut ases: Vec<AsId> = vec![self.origin];
         for (_, path) in &self.seeds {
             ases.extend_from_slice(path.hops());
         }
         ases.sort_unstable();
         ases.dedup();
-        ases.into_boxed_slice()
+        ases.into()
     }
 }
 
@@ -227,6 +238,7 @@ struct CacheTelemetry {
     entries: Gauge,
     retention_pct: Gauge,
     shard_wait_us: Histogram,
+    snapshot_retries: Counter,
 }
 
 impl CacheTelemetry {
@@ -241,7 +253,12 @@ impl CacheTelemetry {
             evict_generation_lost: r.counter("cache.evictions.generation_lost"),
             entries: r.gauge("cache.entries"),
             retention_pct: r.gauge("cache.retention_pct"),
+            // On the snapshot path this histogram sees *writer*-lock waits
+            // only; the wait-free hit path never records into it.
             shard_wait_us: r.histogram("cache.shard_wait_us"),
+            // Hazard-pointer validation retries on snapshot loads: nonzero
+            // only when a publication raced a reader mid-handshake.
+            snapshot_retries: r.counter("cache.snapshot_retries"),
         }
     }
 
@@ -270,23 +287,30 @@ impl Default for CacheTelemetry {
 }
 
 /// A cached fixed point plus the dependency summary invalidation needs.
+/// Both payloads sit behind `Arc`s, so cloning an entry (and thereby a
+/// whole shard, for snapshot publication) is two refcount bumps.
 #[derive(Clone, Debug)]
 struct CachedTable {
     table: Arc<RouteTable>,
     /// See [`SpecKey::footprint`].
-    footprint: Box<[AsId]>,
+    footprint: Arc<[AsId]>,
     has_communities: bool,
 }
 
-/// One lockable slice of cached tables; the single-owner
-/// [`RouteTableCache`] is one shard, the concurrent [`SharedRouteCache`] is
-/// several. Each shard tracks the generation it last synced to
-/// independently, so shards invalidate lazily on their next access.
-#[derive(Debug, Default)]
+/// One slice of cached tables; the single-owner [`RouteTableCache`] is one
+/// shard, the concurrent [`SharedRouteCache`] hashes keys across several.
+/// Each shard tracks the generation it last synced to independently, so
+/// shards invalidate lazily on their next access.
+///
+/// Keys are `Arc<SpecKey>` (lookup still takes a plain `&SpecKey` via
+/// `Borrow`): with both keys and values refcounted, `clone()`ing a shard —
+/// how the shared cache freezes a publishable snapshot — is `O(entries)`
+/// pointer bumps with no deep copies.
+#[derive(Clone, Debug, Default)]
 struct CacheShard {
     /// Generation of the network the cached tables were computed over.
     generation: Option<u64>,
-    tables: HashMap<SpecKey, CachedTable>,
+    tables: HashMap<Arc<SpecKey>, CachedTable>,
 }
 
 impl CacheShard {
@@ -350,7 +374,7 @@ impl CacheShard {
         self.tables.get(key).map(|e| Arc::clone(&e.table))
     }
 
-    fn insert(&mut self, key: SpecKey, table: Arc<RouteTable>) {
+    fn insert(&mut self, key: Arc<SpecKey>, table: Arc<RouteTable>) {
         let footprint = key.footprint();
         let has_communities = !key.communities.is_empty();
         self.tables.insert(
@@ -460,7 +484,7 @@ impl RouteTableCache {
         self.misses += 1;
         self.tele.misses.inc();
         let table = Arc::new(compute_routes(net, spec));
-        self.shard.insert(key, Arc::clone(&table));
+        self.shard.insert(Arc::new(key), Arc::clone(&table));
         self.tele.entries.set(self.shard.tables.len() as u64);
         table
     }
@@ -495,7 +519,8 @@ impl RouteTableCache {
                 missing.iter().map(|&i| specs[i].clone()).collect();
             let tables = computer.compute_batch(net, &miss_specs);
             for (&i, table) in missing.iter().zip(tables) {
-                self.shard.insert(keys[i].clone(), Arc::new(table));
+                self.shard
+                    .insert(Arc::new(keys[i].clone()), Arc::new(table));
             }
             self.tele.entries.set(self.shard.tables.len() as u64);
         }
@@ -506,23 +531,204 @@ impl RouteTableCache {
 }
 
 /// Number of shards in a [`SharedRouteCache`]: enough that a handful of
-/// concurrent planners rarely contend on one lock, small enough that
-/// per-shard sync stays cheap.
+/// concurrent planners rarely contend on one writer lock, small enough
+/// that per-shard sync stays cheap.
 const DEFAULT_SHARDS: usize = 8;
 
+/// An immutable, generation-stamped view of one shard, published through
+/// an [`ArcSlot`] for the wait-free hit path. Structurally a frozen
+/// [`CacheShard`]: the stamp is `generation`, the payload a refcounted
+/// clone of the table map.
+type ShardSnapshot = CacheShard;
+
+/// How an in-flight computation ended, as seen by threads waiting on its
+/// [`InflightCell`].
+#[derive(Debug, Default)]
+enum FillState {
+    /// The owner is still computing.
+    #[default]
+    Pending,
+    /// The owner finished; waiters take the table as a hit.
+    Done(Arc<RouteTable>),
+    /// The owner unwound without producing a table (a panic inside
+    /// `compute_routes`); a waiter must take over the miss.
+    Abandoned,
+}
+
+/// Rendezvous cell an in-flight miss fills for the threads that found its
+/// marker and chose to wait rather than recompute.
+#[derive(Debug, Default)]
+struct InflightCell {
+    state: Mutex<FillState>,
+    ready: Condvar,
+}
+
+impl InflightCell {
+    fn fill(&self, outcome: Option<Arc<RouteTable>>) {
+        let mut state = self.state.lock().expect("inflight cell poisoned");
+        *state = match outcome {
+            Some(table) => FillState::Done(table),
+            None => FillState::Abandoned,
+        };
+        self.ready.notify_all();
+    }
+
+    /// Block until the owner fills the cell; `None` means it abandoned.
+    fn wait(&self) -> Option<Arc<RouteTable>> {
+        let mut state = self.state.lock().expect("inflight cell poisoned");
+        loop {
+            match &*state {
+                FillState::Pending => {
+                    state = self.ready.wait(state).expect("inflight cell poisoned");
+                }
+                FillState::Done(table) => return Some(Arc::clone(table)),
+                FillState::Abandoned => return None,
+            }
+        }
+    }
+}
+
+/// A miss being computed right now: which generation it is valid for and
+/// the cell its result lands in. Lives in the shard's writer-side marker
+/// map so a spec is computed at most once per generation even though
+/// computation runs outside the writer lock.
+#[derive(Debug)]
+struct Inflight {
+    generation: u64,
+    cell: Arc<InflightCell>,
+}
+
+/// Writer-side state of a snapshot shard: the authoritative table map the
+/// next snapshot is cloned from, plus the in-flight markers. Only ever
+/// touched under the shard's writer mutex.
+#[derive(Debug, Default)]
+struct ShardWriter {
+    shard: CacheShard,
+    inflight: HashMap<Arc<SpecKey>, Inflight>,
+}
+
+/// One shard of the snapshot store: readers load `published` with no lock;
+/// all mutation serializes on `writer` and republishes.
+#[derive(Debug)]
+struct SnapshotShard {
+    published: ArcSlot<ShardSnapshot>,
+    writer: Mutex<ShardWriter>,
+}
+
+impl Default for SnapshotShard {
+    fn default() -> Self {
+        SnapshotShard {
+            published: ArcSlot::new(Arc::new(ShardSnapshot::default())),
+            writer: Mutex::new(ShardWriter::default()),
+        }
+    }
+}
+
+/// The two shard layouts a [`SharedRouteCache`] can run on.
+#[derive(Debug)]
+enum Store {
+    /// Lock-free snapshot reads (the default): hits are one atomic load
+    /// plus a stamp check; writers republish behind a per-shard mutex.
+    Snapshot(Box<[SnapshotShard]>),
+    /// The original mutex-per-shard layout, retained as a differential-
+    /// testing oracle (the `OutQueue::Reference` pattern): every access
+    /// takes the shard mutex, misses compute under it.
+    Locked(Box<[Mutex<CacheShard>]>),
+}
+
+/// Unregisters an in-flight marker and releases its waiters if the owning
+/// thread unwinds out of `compute_routes` before publishing. On the happy
+/// path the owner disarms the guard after filling the cell itself; the
+/// `Drop` body then does nothing.
+struct FillGuard<'a> {
+    shard: &'a SnapshotShard,
+    key: &'a Arc<SpecKey>,
+    cell: &'a Arc<InflightCell>,
+    armed: bool,
+}
+
+impl Drop for FillGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // Unwinding mid-compute: drop the marker (only if it is still
+        // ours — a sharer on a diverged generation may have replaced it)
+        // and wake the waiters so one of them takes over the miss. Raw,
+        // poison-tolerant lock: this runs during a panic, where a second
+        // panic would abort the process.
+        if let Ok(mut w) = self.shard.writer.lock() {
+            let ours = w
+                .inflight
+                .get(&**self.key)
+                .is_some_and(|inf| Arc::ptr_eq(&inf.cell, self.cell));
+            if ours {
+                w.inflight.remove(&**self.key);
+            }
+        }
+        self.cell.fill(None);
+    }
+}
+
+/// The batch-path counterpart of [`FillGuard`]: unregisters every marker
+/// the batch planted but has not yet published (entries before `done` are
+/// handed over and skipped) and wakes their waiters, should the batch
+/// computation unwind.
+struct BatchFillGuard<'a> {
+    shards: &'a [SnapshotShard],
+    entries: Vec<(usize, Arc<SpecKey>, Arc<InflightCell>)>,
+    done: usize,
+}
+
+impl Drop for BatchFillGuard<'_> {
+    fn drop(&mut self) {
+        for (si, key, cell) in &self.entries[self.done..] {
+            if let Ok(mut w) = self.shards[*si].writer.lock() {
+                let ours = w
+                    .inflight
+                    .get(&**key)
+                    .is_some_and(|inf| Arc::ptr_eq(&inf.cell, cell));
+                if ours {
+                    w.inflight.remove(&**key);
+                }
+            }
+            cell.fill(None);
+        }
+    }
+}
+
 /// A concurrency-safe [`RouteTableCache`]: the table space is split across
-/// shards by spec-key hash, each shard behind its own mutex, so concurrent
-/// `Lifeguard` instances working one topology share fixed points with
-/// lock-per-shard granularity rather than lock-per-cache.
+/// shards by spec-key hash, so concurrent `Lifeguard` instances working
+/// one topology share fixed points.
+///
+/// The hit path is **wait-free**: each shard publishes an immutable,
+/// generation-stamped [`ShardSnapshot`] through an [`ArcSlot`]; a hit is
+/// one atomic snapshot load, one stamp comparison against
+/// [`Network::generation`], and an `Arc` clone — no mutex, so a stalled or
+/// descheduled writer can never block readers. Writers (miss fill,
+/// invalidation replay, [`clear`](Self::clear)) serialize on a per-shard
+/// writer mutex, mutate an authoritative copy, and publish a refcounted
+/// clone of it.
 ///
 /// Invalidation is per shard and lazy — a shard replays the network's
-/// mutation log the next time it is touched — with the same footprint
-/// rules as the single-owner cache. Misses compute *under the shard lock*:
-/// two threads missing the same spec concurrently serialize and the second
-/// gets a hit, so a fixed point is never computed twice for one generation.
+/// mutation log the next time its writer lock is taken — with the same
+/// footprint rules as the single-owner cache. A snapshot whose stamp
+/// trails the network's generation is simply bypassed (the slow path
+/// syncs and republishes), so a stale table can never be served.
+///
+/// Misses compute *outside* the writer lock: the computing thread plants
+/// an in-flight marker, releases the lock for the duration of the
+/// fixed-point computation (other keys in the shard keep hitting), and
+/// re-locks to publish. Threads that miss on the same spec meanwhile wait
+/// on the marker and count the handed-over table as a hit, preserving
+/// compute-at-most-once per spec and generation.
+///
+/// Construction defaults to the snapshot layout; [`SharedRouteCache::locked`]
+/// retains the original mutex-per-shard implementation as a differential-
+/// testing oracle.
 #[derive(Debug)]
 pub struct SharedRouteCache {
-    shards: Box<[Mutex<CacheShard>]>,
+    store: Store,
     hits: AtomicU64,
     misses: AtomicU64,
     evict_footprint: AtomicU64,
@@ -540,30 +746,61 @@ impl Default for SharedRouteCache {
 }
 
 impl SharedRouteCache {
-    /// A cache with the default shard count, reporting into the global
-    /// telemetry registry.
+    /// A snapshot-read cache with the default shard count, reporting into
+    /// the global telemetry registry.
     pub fn new() -> Self {
         Self::with_shards(DEFAULT_SHARDS)
     }
 
-    /// A cache with an explicit shard count (`shards >= 1`).
+    /// A snapshot-read cache with an explicit shard count (`shards >= 1`).
     pub fn with_shards(shards: usize) -> Self {
         Self::with_shards_in(shards, lg_telemetry::global())
     }
 
-    /// A cache reporting into `registry` instead of the global one
-    /// (isolated observation in tests).
+    /// A snapshot-read cache reporting into `registry` instead of the
+    /// global one (isolated observation in tests).
     pub fn with_registry(registry: &Registry) -> Self {
         Self::with_shards_in(DEFAULT_SHARDS, registry)
     }
 
-    /// Explicit shard count and telemetry registry.
+    /// Explicit shard count and telemetry registry (snapshot layout).
     pub fn with_shards_in(shards: usize, registry: &Registry) -> Self {
         assert!(shards >= 1, "SharedRouteCache needs at least one shard");
+        Self::with_store(
+            Store::Snapshot((0..shards).map(|_| SnapshotShard::default()).collect()),
+            registry,
+        )
+    }
+
+    /// The original mutex-per-shard cache (hits take the shard lock,
+    /// misses compute under it), retained as the differential-testing
+    /// oracle for the snapshot layout. Default shard count, global
+    /// registry.
+    pub fn locked() -> Self {
+        Self::locked_with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Mutex-per-shard oracle with an explicit shard count.
+    pub fn locked_with_shards(shards: usize) -> Self {
+        Self::locked_with_shards_in(shards, lg_telemetry::global())
+    }
+
+    /// Mutex-per-shard oracle with explicit shard count and registry.
+    pub fn locked_with_shards_in(shards: usize, registry: &Registry) -> Self {
+        assert!(shards >= 1, "SharedRouteCache needs at least one shard");
+        Self::with_store(
+            Store::Locked(
+                (0..shards)
+                    .map(|_| Mutex::new(CacheShard::default()))
+                    .collect(),
+            ),
+            registry,
+        )
+    }
+
+    fn with_store(store: Store, registry: &Registry) -> Self {
         SharedRouteCache {
-            shards: (0..shards)
-                .map(|_| Mutex::new(CacheShard::default()))
-                .collect(),
+            store,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evict_footprint: AtomicU64::new(0),
@@ -577,7 +814,16 @@ impl SharedRouteCache {
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        match &self.store {
+            Store::Snapshot(shards) => shards.len(),
+            Store::Locked(shards) => shards.len(),
+        }
+    }
+
+    /// True when hits run on the lock-free snapshot path (false for the
+    /// retained mutex oracle built by [`SharedRouteCache::locked`]).
+    pub fn is_lock_free(&self) -> bool {
+        matches!(self.store, Store::Snapshot(_))
     }
 
     /// Lookups served from cache since construction.
@@ -619,8 +865,11 @@ impl SharedRouteCache {
         }
     }
 
-    /// Acquire a shard lock, metering the wait in the shard-lock
-    /// wait-time histogram (the ROADMAP's contention measurement).
+    /// Acquire a locked-layout shard mutex, metering the wait in the
+    /// shard-lock wait-time histogram (the ROADMAP's contention
+    /// measurement). Every locked-layout acquisition — including
+    /// [`len`](Self::len)/[`stats`](Self::stats)/[`clear`](Self::clear) —
+    /// goes through here so no wait is invisible to the histogram.
     fn lock_shard<'a>(&self, shard: &'a Mutex<CacheShard>) -> MutexGuard<'a, CacheShard> {
         let t0 = Instant::now();
         let guard = shard.lock().expect("cache shard poisoned");
@@ -628,9 +877,28 @@ impl SharedRouteCache {
         guard
     }
 
-    /// Sync a locked shard and account its evictions.
-    fn sync_locked(&self, shard: &mut CacheShard, net: &Network) {
-        let ev = shard.sync(net);
+    /// Acquire a snapshot shard's writer mutex, metering the wait in the
+    /// same histogram — on the snapshot layout `cache.shard_wait_us` sees
+    /// *writer*-lock waits only (the wait-free hit path records nothing).
+    fn lock_writer<'a>(&self, shard: &'a SnapshotShard) -> MutexGuard<'a, ShardWriter> {
+        let t0 = Instant::now();
+        let guard = shard.writer.lock().expect("cache shard writer poisoned");
+        self.tele.shard_wait_us.record_elapsed_us(t0);
+        guard
+    }
+
+    fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.tele.hits.inc();
+    }
+
+    fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.tele.misses.inc();
+    }
+
+    /// Account a shard sync's evictions into counters and telemetry.
+    fn account_sync(&self, ev: &Evictions, entries: usize) {
         if ev.total() > 0 {
             self.evict_footprint
                 .fetch_add(ev.footprint, Ordering::Relaxed);
@@ -640,16 +908,69 @@ impl SharedRouteCache {
             self.evict_global.fetch_add(ev.global, Ordering::Relaxed);
             self.evict_generation_lost
                 .fetch_add(ev.generation_lost, Ordering::Relaxed);
-            self.tele.record_sync(&ev, shard.tables.len());
+            self.tele.record_sync(ev, entries);
         }
     }
 
-    /// Number of cached tables across all shards.
+    /// Sync a locked-layout shard and account its evictions.
+    fn sync_locked(&self, shard: &mut CacheShard, net: &Network) {
+        let ev = shard.sync(net);
+        self.account_sync(&ev, shard.tables.len());
+    }
+
+    /// Sync a snapshot shard's authoritative state to `net`'s generation.
+    /// When the stamp moves, the post-sync state is published immediately —
+    /// the refreshed stamp is what re-arms the lock-free hit path — and
+    /// in-flight markers planted against overtaken generations are pruned
+    /// so the next miss on those keys recomputes rather than adopting a
+    /// stale computation.
+    fn sync_writer(&self, shard: &SnapshotShard, w: &mut ShardWriter, net: &Network) {
+        let before = w.shard.generation;
+        let ev = w.shard.sync(net);
+        self.account_sync(&ev, w.shard.tables.len());
+        if w.shard.generation != before {
+            let current = w.shard.generation;
+            w.inflight.retain(|_, inf| Some(inf.generation) == current);
+            shard.published.store(Arc::new(w.shard.clone()));
+        }
+    }
+
+    /// Wait-free hit attempt on the snapshot layout: one atomic snapshot
+    /// load, one stamp check against the network generation, one map
+    /// probe. `None` means cold, stale, or absent — the writer path must
+    /// decide.
+    fn snapshot_lookup(
+        &self,
+        shard: &SnapshotShard,
+        net: &Network,
+        key: &SpecKey,
+    ) -> Option<Arc<RouteTable>> {
+        let (hit, stats) = shard.published.peek_counted(|snap| {
+            let stamp = snap.generation?;
+            // A snapshot is servable when its stamp is current or trails
+            // only by provably routing-irrelevant mutations.
+            if !net.unchanged_since(stamp) {
+                return None;
+            }
+            snap.lookup(key)
+        });
+        if stats.retries > 0 {
+            self.tele.snapshot_retries.add(stats.retries);
+        }
+        hit
+    }
+
+    /// Number of cached tables across all shards. Lock-free on the
+    /// snapshot layout (published snapshots are counted); metered shard
+    /// locks on the locked layout.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").tables.len())
-            .sum()
+        match &self.store {
+            Store::Snapshot(shards) => shards
+                .iter()
+                .map(|s| s.published.peek_counted(|snap| snap.tables.len()).0)
+                .sum(),
+            Store::Locked(shards) => shards.iter().map(|s| self.lock_shard(s).tables.len()).sum(),
+        }
     }
 
     /// True when no tables are cached.
@@ -657,44 +978,313 @@ impl SharedRouteCache {
         self.len() == 0
     }
 
-    /// Drop all cached tables (counters survive).
+    /// Drop all cached tables (counters survive). In-flight computations
+    /// are left to complete; their results land in the emptied shards and
+    /// remain valid for their generation.
     pub fn clear(&self) {
-        for shard in self.shards.iter() {
-            let mut shard = shard.lock().expect("cache shard poisoned");
-            shard.tables.clear();
-            shard.generation = None;
+        match &self.store {
+            Store::Snapshot(shards) => {
+                for shard in shards.iter() {
+                    let mut w = self.lock_writer(shard);
+                    w.shard.tables.clear();
+                    w.shard.generation = None;
+                    shard.published.store(Arc::new(w.shard.clone()));
+                }
+            }
+            Store::Locked(shards) => {
+                for shard in shards.iter() {
+                    let mut shard = self.lock_shard(shard);
+                    shard.tables.clear();
+                    shard.generation = None;
+                }
+            }
         }
     }
 
-    fn shard_for(&self, key: &SpecKey) -> &Mutex<CacheShard> {
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    fn shard_index(&self, key: &SpecKey) -> usize {
+        // FNV-1a over the identity fields. Shard choice only needs spread,
+        // not hash-flood robustness, and SipHashing the whole key here
+        // (the map probe hashes it again anyway) costs a measurable slice
+        // of the wait-free hit path.
+        fn mix(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
+        }
+        let mut h = mix(
+            0xcbf2_9ce4_8422_2325,
+            (u64::from(key.prefix.addr()) << 8) | u64::from(key.prefix.len()),
+        );
+        h = mix(h, u64::from(key.origin.0));
+        for (neighbor, path) in &key.seeds {
+            h = mix(h, u64::from(neighbor.0));
+            for hop in path.hops() {
+                h = mix(h, u64::from(hop.0));
+            }
+        }
+        for c in &key.communities {
+            h = mix(h, u64::from(*c));
+        }
+        (h as usize) % self.shard_count()
     }
 
     /// The converged table for `spec`, computed at most once per
     /// generation across all sharers.
+    ///
+    /// On the snapshot layout a warm lookup takes no lock at all; cold or
+    /// stale lookups fall to the per-shard writer path, and misses compute
+    /// the fixed point *outside* the writer mutex (an in-flight marker
+    /// preserves compute-once while other keys in the shard keep hitting).
     pub fn compute(&self, net: &Network, spec: &AnnouncementSpec) -> Arc<RouteTable> {
         let key = SpecKey::of(spec);
-        let mut shard = self.lock_shard(self.shard_for(&key));
-        self.sync_locked(&mut shard, net);
-        if let Some(table) = shard.lookup(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            self.tele.hits.inc();
-            return table;
+        match &self.store {
+            Store::Snapshot(shards) => {
+                let shard = &shards[self.shard_index(&key)];
+                self.compute_snapshot(shard, net, spec, key)
+            }
+            Store::Locked(shards) => {
+                let mut shard = self.lock_shard(&shards[self.shard_index(&key)]);
+                self.sync_locked(&mut shard, net);
+                if let Some(table) = shard.lookup(&key) {
+                    self.record_hit();
+                    return table;
+                }
+                self.record_miss();
+                let table = Arc::new(compute_routes(net, spec));
+                shard.insert(Arc::new(key), Arc::clone(&table));
+                table
+            }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.tele.misses.inc();
-        let table = Arc::new(compute_routes(net, spec));
-        shard.insert(key, Arc::clone(&table));
-        table
     }
 
-    /// Batch variant: probe all shards for hits, compute the deduplicated
-    /// misses in parallel on `computer` *without holding any lock*, then
-    /// insert. Returns tables in input order.
+    /// The snapshot-layout slow path: writer-lock sync, then hit, adopt,
+    /// or own the miss.
+    fn compute_snapshot(
+        &self,
+        shard: &SnapshotShard,
+        net: &Network,
+        spec: &AnnouncementSpec,
+        key: SpecKey,
+    ) -> Arc<RouteTable> {
+        if let Some(table) = self.snapshot_lookup(shard, net, &key) {
+            self.record_hit();
+            return table;
+        }
+        let key = Arc::new(key);
+        let current = net.generation();
+        loop {
+            let mut w = self.lock_writer(shard);
+            self.sync_writer(shard, &mut w, net);
+            if let Some(table) = w.shard.lookup(&key) {
+                drop(w);
+                self.record_hit();
+                return table;
+            }
+            let in_flight = match w.inflight.get(&*key) {
+                Some(inf) if inf.generation == current => Some(Arc::clone(&inf.cell)),
+                // A marker for an overtaken generation (possible when a
+                // diverged network clone planted it): replace it below;
+                // its owner recognizes the swap by cell identity and
+                // leaves ours alone.
+                _ => None,
+            };
+            if let Some(cell) = in_flight {
+                // Same spec, same generation, another thread is on it:
+                // wait for the handover and count it as a hit.
+                drop(w);
+                if let Some(table) = cell.wait() {
+                    self.record_hit();
+                    return table;
+                }
+                // The owner unwound without a result; retry (and likely
+                // take over the miss).
+                continue;
+            }
+            let cell = Arc::new(InflightCell::default());
+            w.inflight.insert(
+                Arc::clone(&key),
+                Inflight {
+                    generation: current,
+                    cell: Arc::clone(&cell),
+                },
+            );
+            drop(w);
+
+            // The miss: fixed point computed with no lock held, so every
+            // other key in this shard keeps hitting meanwhile. The guard
+            // unregisters the marker and wakes waiters if compute panics.
+            self.record_miss();
+            let mut fill = FillGuard {
+                shard,
+                key: &key,
+                cell: &cell,
+                armed: true,
+            };
+            let table = Arc::new(compute_routes(net, spec));
+
+            // Publish: re-sync (another sharer may have replayed newer
+            // mutations meanwhile), install, republish, hand over.
+            let mut w = self.lock_writer(shard);
+            self.sync_writer(shard, &mut w, net);
+            let ours = w
+                .inflight
+                .get(&*key)
+                .is_some_and(|inf| Arc::ptr_eq(&inf.cell, &cell));
+            if ours {
+                w.inflight.remove(&*key);
+            }
+            w.shard.insert(Arc::clone(&key), Arc::clone(&table));
+            shard.published.store(Arc::new(w.shard.clone()));
+            self.tele.entries.set(w.shard.tables.len() as u64);
+            drop(w);
+            fill.armed = false;
+            cell.fill(Some(Arc::clone(&table)));
+            return table;
+        }
+    }
+
+    /// Batch variant: resolve hits (lock-free on the snapshot layout),
+    /// compute the deduplicated misses in parallel on `computer` *without
+    /// holding any lock*, then insert. Returns tables in input order.
+    ///
+    /// Accounting: each unique spec contributes exactly one miss per
+    /// generation; in-batch duplicates of a missing key are *recounted as
+    /// hits* once the first instance resolves (pinned by
+    /// `batch_duplicate_keys_recount_as_hits`).
     pub fn compute_batch(
         &self,
+        computer: &RouteComputer,
+        net: &Network,
+        specs: &[AnnouncementSpec],
+    ) -> Vec<Arc<RouteTable>> {
+        match &self.store {
+            Store::Snapshot(shards) => self.compute_batch_snapshot(shards, computer, net, specs),
+            Store::Locked(shards) => self.compute_batch_locked(shards, computer, net, specs),
+        }
+    }
+
+    fn compute_batch_snapshot(
+        &self,
+        shards: &[SnapshotShard],
+        computer: &RouteComputer,
+        net: &Network,
+        specs: &[AnnouncementSpec],
+    ) -> Vec<Arc<RouteTable>> {
+        let keys: Vec<Arc<SpecKey>> = specs.iter().map(|s| Arc::new(SpecKey::of(s))).collect();
+        let mut out: Vec<Option<Arc<RouteTable>>> = vec![None; specs.len()];
+        // First-appearance index of every distinct key; duplicates resolve
+        // off it at the end.
+        let mut first: HashMap<&SpecKey, usize> = HashMap::new();
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            if first.contains_key(&**key) {
+                continue;
+            }
+            first.insert(key, i);
+            let shard = &shards[self.shard_index(key)];
+            match self.snapshot_lookup(shard, net, key) {
+                Some(table) => {
+                    self.record_hit();
+                    out[i] = Some(table);
+                }
+                None => pending.push(i),
+            }
+        }
+        // Writer pass over the unresolved first appearances: a post-sync
+        // hit, an adoption of someone else's in-flight computation, or a
+        // marker of our own.
+        let current = net.generation();
+        let mut adopted: Vec<(usize, Arc<InflightCell>)> = Vec::new();
+        let mut owned: Vec<usize> = Vec::new();
+        let mut guard = BatchFillGuard {
+            shards,
+            entries: Vec::new(),
+            done: 0,
+        };
+        for &i in &pending {
+            let si = self.shard_index(&keys[i]);
+            let shard = &shards[si];
+            let mut w = self.lock_writer(shard);
+            self.sync_writer(shard, &mut w, net);
+            if let Some(table) = w.shard.lookup(&keys[i]) {
+                self.record_hit();
+                out[i] = Some(table);
+                continue;
+            }
+            let in_flight = match w.inflight.get(&*keys[i]) {
+                Some(inf) if inf.generation == current => Some(Arc::clone(&inf.cell)),
+                _ => None,
+            };
+            if let Some(cell) = in_flight {
+                adopted.push((i, cell));
+                continue;
+            }
+            let cell = Arc::new(InflightCell::default());
+            w.inflight.insert(
+                Arc::clone(&keys[i]),
+                Inflight {
+                    generation: current,
+                    cell: Arc::clone(&cell),
+                },
+            );
+            guard.entries.push((si, Arc::clone(&keys[i]), cell));
+            owned.push(i);
+        }
+        // Our misses, computed in one parallel batch with no lock held.
+        self.misses.fetch_add(owned.len() as u64, Ordering::Relaxed);
+        self.tele.misses.add(owned.len() as u64);
+        if !owned.is_empty() {
+            let miss_specs: Vec<AnnouncementSpec> =
+                owned.iter().map(|&i| specs[i].clone()).collect();
+            let tables = computer.compute_batch(net, &miss_specs);
+            for (slot, (&i, table)) in owned.iter().zip(tables).enumerate() {
+                let table = Arc::new(table);
+                let (si, key, cell) = &guard.entries[slot];
+                let shard = &shards[*si];
+                let mut w = self.lock_writer(shard);
+                self.sync_writer(shard, &mut w, net);
+                let ours = w
+                    .inflight
+                    .get(&**key)
+                    .is_some_and(|inf| Arc::ptr_eq(&inf.cell, cell));
+                if ours {
+                    w.inflight.remove(&**key);
+                }
+                w.shard.insert(Arc::clone(key), Arc::clone(&table));
+                shard.published.store(Arc::new(w.shard.clone()));
+                drop(w);
+                cell.fill(Some(Arc::clone(&table)));
+                guard.done = slot + 1;
+                out[i] = Some(table);
+            }
+            self.tele.entries.set(self.len() as u64);
+        }
+        // Adopted computations: the handover counts as a hit; an abandoned
+        // owner (panic) degrades to a fresh single compute.
+        for (i, cell) in adopted {
+            let table = match cell.wait() {
+                Some(table) => {
+                    self.record_hit();
+                    table
+                }
+                None => self.compute(net, &specs[i]),
+            };
+            out[i] = Some(table);
+        }
+        // In-batch duplicates resolve off their first appearance, each
+        // recounted as a hit.
+        for (i, key) in keys.iter().enumerate() {
+            if out[i].is_none() {
+                out[i] = out[first[&**key]].clone();
+                self.record_hit();
+            }
+        }
+        out.into_iter()
+            .map(|t| t.expect("every slot resolved"))
+            .collect()
+    }
+
+    fn compute_batch_locked(
+        &self,
+        shards: &[Mutex<CacheShard>],
         computer: &RouteComputer,
         net: &Network,
         specs: &[AnnouncementSpec],
@@ -708,18 +1298,16 @@ impl SharedRouteCache {
             if let Some(&first) = queued.get(key) {
                 out[i] = out[first].clone();
                 if out[i].is_some() {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    self.tele.hits.inc();
+                    self.record_hit();
                 }
                 continue;
             }
             queued.insert(key, i);
-            let mut shard = self.lock_shard(self.shard_for(key));
+            let mut shard = self.lock_shard(&shards[self.shard_index(key)]);
             self.sync_locked(&mut shard, net);
             match shard.lookup(key) {
                 Some(table) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    self.tele.hits.inc();
+                    self.record_hit();
                     out[i] = Some(table);
                 }
                 None => missing.push(i),
@@ -737,12 +1325,12 @@ impl SharedRouteCache {
             let tables = computer.compute_batch(net, &miss_specs);
             for (&i, table) in missing.iter().zip(tables) {
                 let table = Arc::new(table);
-                let mut shard = self.lock_shard(self.shard_for(&keys[i]));
+                let mut shard = self.lock_shard(&shards[self.shard_index(&keys[i])]);
                 // Another sharer may have advanced the generation while we
                 // computed; re-sync so the insert lands against the stamp
                 // it was computed for, or gets dropped on the next sync.
                 self.sync_locked(&mut shard, net);
-                shard.insert(keys[i].clone(), Arc::clone(&table));
+                shard.insert(Arc::new(keys[i].clone()), Arc::clone(&table));
                 out[i] = Some(table);
             }
         }
@@ -751,8 +1339,7 @@ impl SharedRouteCache {
             if out[i].is_none() {
                 let first = queued[key];
                 out[i] = out[first].clone();
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                self.tele.hits.inc();
+                self.record_hit();
             }
         }
         out.into_iter()
@@ -1061,6 +1648,53 @@ mod tests {
         assert_eq!((cache.hits(), cache.misses()), (6, 2));
     }
 
+    /// A batch that is *nothing but* duplicates of one missing key computes
+    /// once and recounts every repeat as a hit — identically across the
+    /// single-owner cache and both shared layouts. This pins the accounting
+    /// invariant the callers rely on: `misses` == unique specs computed this
+    /// generation, `hits` == everything else, duplicates included.
+    #[test]
+    fn batch_duplicate_keys_recount_as_hits() {
+        let net = net();
+        let computer = RouteComputer::with_threads(2);
+        let spec = AnnouncementSpec::poisoned(&net, pfx(), AsId(0), &[AsId(2)]);
+        let batch = [spec.clone(), spec.clone(), spec.clone()];
+
+        let check = |tables: &[Arc<RouteTable>]| {
+            assert_eq!(tables.len(), 3);
+            assert!(Arc::ptr_eq(&tables[0], &tables[1]));
+            assert!(Arc::ptr_eq(&tables[0], &tables[2]));
+            assert!(same_table(
+                &tables[0],
+                &compute_routes(&net, &spec),
+                net.len()
+            ));
+        };
+
+        let mut owned = RouteTableCache::new();
+        check(&owned.compute_batch(&computer, &net, &batch));
+        assert_eq!((owned.hits(), owned.misses()), (2, 1));
+        owned.compute_batch(&computer, &net, &batch);
+        assert_eq!((owned.hits(), owned.misses()), (5, 1));
+
+        for shared in [SharedRouteCache::new(), SharedRouteCache::locked()] {
+            check(&shared.compute_batch(&computer, &net, &batch));
+            assert_eq!(
+                (shared.hits(), shared.misses()),
+                (2, 1),
+                "lock_free={}",
+                shared.is_lock_free()
+            );
+            shared.compute_batch(&computer, &net, &batch);
+            assert_eq!(
+                (shared.hits(), shared.misses()),
+                (5, 1),
+                "lock_free={}",
+                shared.is_lock_free()
+            );
+        }
+    }
+
     #[test]
     fn stats_pin_fifteen_of_sixteen_retained() {
         // The PR 2 bench claim (`dirty_invalidation_single_as`: one
@@ -1303,8 +1937,12 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter("cache.hits"), Some(2));
         assert_eq!(snap.counter("cache.misses"), Some(2));
-        // Every shared-cache op metered its shard-lock wait.
+        // The shared miss metered both writer-lock acquisitions (marker
+        // plant + publish); the snapshot hit took no lock and metered
+        // nothing.
         assert_eq!(snap.histogram("cache.shard_wait_us").unwrap().count, 2);
+        // Uncontended run: no reader ever raced a publication.
+        assert_eq!(snap.counter("cache.snapshot_retries"), Some(0));
     }
 
     #[test]

@@ -134,6 +134,30 @@ impl Network {
         )
     }
 
+    /// True when every mutation between generation `since` and now is
+    /// provably routing-irrelevant ([`DirtyScope::Unchanged`]), so tables
+    /// stamped `since` are still exact fixed points of the current
+    /// configuration. False when any logged scope could dirty a table *or*
+    /// the log no longer reaches `since` (a different network, a diverged
+    /// clone, deep staleness).
+    ///
+    /// This is the allocation-free stamp check the shared cache's lock-free
+    /// hit path runs on a trailing snapshot: a stamp that lags only by
+    /// no-op mutations (e.g. a policy overwritten with an identical one)
+    /// keeps serving hits without waking the shard writer.
+    pub fn unchanged_since(&self, since: u64) -> bool {
+        if since == self.generation {
+            return true;
+        }
+        let Some(start) = self.history.iter().position(|r| r.prev == since) else {
+            return false;
+        };
+        self.history
+            .iter()
+            .skip(start)
+            .all(|r| matches!(r.scope, DirtyScope::Unchanged))
+    }
+
     /// Mark `a` as stripping community attributes on export.
     ///
     /// Scope: community stripping only matters to announcements that carry
@@ -413,6 +437,38 @@ mod tests {
         // A foreign network's generation: unknown.
         let other = net();
         assert_eq!(n.changes_since(other.generation()), None);
+    }
+
+    #[test]
+    fn unchanged_since_accepts_only_noop_suffixes() {
+        let mut n = net();
+        let g0 = n.generation();
+        assert!(n.unchanged_since(g0), "current stamp is trivially clean");
+
+        // No-op mutations bump the generation but keep the stamp clean.
+        n.set_policy(AsId(0), ImportPolicy::standard());
+        n.set_strips_communities(AsId(1), false);
+        assert!(n.unchanged_since(g0), "Unchanged-only suffix stays clean");
+
+        // One dirtying mutation poisons every stamp before it...
+        let mid = n.generation();
+        n.set_policy(
+            AsId(1),
+            ImportPolicy {
+                loop_detection: LoopDetection::disabled(),
+                ..ImportPolicy::standard()
+            },
+        );
+        assert!(!n.unchanged_since(g0));
+        assert!(!n.unchanged_since(mid));
+        // ...but not stamps taken after it.
+        let late = n.generation();
+        n.set_policy(AsId(0), ImportPolicy::standard());
+        assert!(n.unchanged_since(late));
+
+        // Unknown generations are never clean.
+        assert!(!n.unchanged_since(u64::MAX));
+        assert!(!n.unchanged_since(net().generation()));
     }
 
     #[test]

@@ -1,0 +1,380 @@
+//! Lock-free publication of immutable snapshots: a hand-rolled, std-only
+//! arc-swap.
+//!
+//! [`ArcSlot`] holds one published `Arc<T>` behind an [`AtomicPtr`].
+//! Readers take a snapshot with a single atomic pointer load plus a
+//! *hazard-pointer* handshake (no mutex, no reader-side blocking); writers
+//! swap in a replacement and reclaim the old value once no reader can
+//! still be touching it. This is the publication primitive under the
+//! shared route cache's wait-free hit path: the cache publishes an
+//! immutable, generation-stamped shard snapshot here, and every cache hit
+//! is one `load()` plus a stamp comparison.
+//!
+//! # Protocol
+//!
+//! The classic hazard-pointer argument, specialized to a single slot:
+//!
+//! * **Readers** claim one of a fixed array of hazard slots (a CAS on a
+//!   null slot), publish the pointer they loaded into it, and then
+//!   *re-validate* that the slot still holds the currently published
+//!   pointer. If validation passes, the pointer cannot be freed — any
+//!   writer that unpublished it afterwards must scan the hazard array and
+//!   will see the claim. If validation fails (a writer swapped in
+//!   between), the reader re-publishes the new pointer and retries; each
+//!   retry implies a completed publication elsewhere, so the loop is
+//!   lock-free.
+//! * **Writers** swap the published pointer (serialized by the internal
+//!   reclamation mutex) and then scan the hazard array: an old pointer
+//!   seen in no slot is dropped immediately; a protected one parks in a
+//!   graveyard that is re-scanned on every later store. Readers never
+//!   take the mutex on the fast path, so writer-side blocking never
+//!   propagates to the hit path.
+//! * All cross-thread handshakes (`ptr` swap/load, hazard publish, hazard
+//!   scan) are `SeqCst`, so the "reader validates after publishing its
+//!   hazard" / "writer scans after unpublishing" pair cannot be reordered
+//!   into a use-after-free: in the single total order either the reader's
+//!   validation sees the swap (and retries) or the writer's scan sees the
+//!   hazard (and defers the drop).
+//!
+//! If every hazard slot is momentarily claimed (more concurrent readers
+//! than [`HAZARD_SLOTS`]), the reader falls back to cloning under the
+//! reclamation mutex — still correct, counted as a retry so the cache's
+//! `cache.snapshot_retries` telemetry exposes it.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of hazard slots per [`ArcSlot`]. Readers claim one slot each for
+/// the few instructions between load and refcount bump, so this bounds the
+/// number of *simultaneously mid-load* readers served lock-free — far more
+/// than the planner fan-outs the cache serves (and overflow degrades to a
+/// correct mutex fallback, not an error).
+const HAZARD_SLOTS: usize = 32;
+
+/// Outcome statistics of one [`ArcSlot::load`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Times the hazard validation had to re-run because a writer swapped
+    /// the published pointer mid-handshake (plus one per mutex fallback).
+    pub retries: u64,
+}
+
+/// A single `Arc<T>` published for lock-free reading. See the module docs
+/// for the protocol.
+#[derive(Debug)]
+pub struct ArcSlot<T> {
+    /// The currently published value. The slot owns one strong count of
+    /// it, transferred in/out via [`Arc::into_raw`]/[`Arc::from_raw`].
+    ptr: AtomicPtr<T>,
+    /// Hazard array: a non-null entry is a pointer some reader is between
+    /// loading and cloning. Null entries are claimable by CAS.
+    hazards: Box<[AtomicPtr<T>]>,
+    /// Retired pointers that were hazard-protected when unpublished (the
+    /// slot still owns their strong count), plus the writer/fallback
+    /// serialization point. Drained on every store.
+    graveyard: Mutex<Vec<*mut T>>,
+}
+
+// SAFETY: an `ArcSlot<T>` only hands out `Arc<T>` clones and only drops
+// `Arc<T>`s; the raw pointers it stores are all `Arc`-owned allocations.
+// It is therefore exactly as thread-mobile as `Arc<T>` itself.
+unsafe impl<T: Send + Sync> Send for ArcSlot<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcSlot<T> {}
+
+impl<T> ArcSlot<T> {
+    /// A slot initially publishing `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        ArcSlot {
+            ptr: AtomicPtr::new(Arc::into_raw(value) as *mut T),
+            hazards: (0..HAZARD_SLOTS)
+                .map(|_| AtomicPtr::new(ptr::null_mut()))
+                .collect(),
+            graveyard: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The currently published value.
+    pub fn load(&self) -> Arc<T> {
+        self.load_counted().0
+    }
+
+    /// The currently published value plus handshake statistics (how many
+    /// times a concurrent publication forced a retry).
+    pub fn load_counted(&self) -> (Arc<T>, LoadStats) {
+        let mut stats = LoadStats::default();
+        // Claim a hazard slot, publishing the pointer we intend to read as
+        // part of the claim.
+        let mut claimed: Option<&AtomicPtr<T>> = None;
+        for h in self.hazards.iter() {
+            let p = self.ptr.load(Ordering::SeqCst);
+            if h.compare_exchange(ptr::null_mut(), p, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                claimed = Some(h);
+                break;
+            }
+        }
+        let Some(h) = claimed else {
+            // Every slot busy: clone under the reclamation mutex. Sound
+            // because reclamation (graveyard drain, store-side drop) only
+            // ever happens while holding that mutex.
+            stats.retries += 1;
+            return (self.load_under_mutex(), stats);
+        };
+        loop {
+            // The pointer we published in our hazard slot (only we write
+            // this slot while claimed).
+            let p = h.load(Ordering::Relaxed);
+            if self.ptr.load(Ordering::SeqCst) == p {
+                // Validated: `p` is published *and* hazard-protected, so no
+                // writer can reclaim it before our slot clears.
+                // SAFETY: `p` came from `Arc::into_raw` and its strong
+                // count cannot reach zero while our hazard slot names it
+                // (writers scan hazards after unpublishing, and `p` is
+                // still published or parked in the graveyard). Bumping the
+                // count and re-materializing one `Arc` hands us an owned
+                // clone without disturbing the slot's own count.
+                let arc = unsafe {
+                    Arc::increment_strong_count(p);
+                    Arc::from_raw(p)
+                };
+                // Release: the refcount bump above must be visible to any
+                // writer that observes the cleared slot.
+                h.store(ptr::null_mut(), Ordering::Release);
+                return (arc, stats);
+            }
+            // A writer swapped between our load and the validation;
+            // re-publish the new pointer and re-validate.
+            stats.retries += 1;
+            let p2 = self.ptr.load(Ordering::SeqCst);
+            h.store(p2, Ordering::SeqCst);
+        }
+    }
+
+    /// Run `f` against the currently published value *without* cloning it:
+    /// the hazard slot (or, on overflow, the reclamation mutex) keeps the
+    /// value alive for exactly the duration of the call. This is the
+    /// cheapest read — callers that only need a borrow (the cache's hit
+    /// probe) skip `load`'s refcount round-trip entirely.
+    pub fn peek_counted<R>(&self, f: impl FnOnce(&T) -> R) -> (R, LoadStats) {
+        let mut stats = LoadStats::default();
+        let mut claimed: Option<&AtomicPtr<T>> = None;
+        for h in self.hazards.iter() {
+            let p = self.ptr.load(Ordering::SeqCst);
+            if h.compare_exchange(ptr::null_mut(), p, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                claimed = Some(h);
+                break;
+            }
+        }
+        let Some(h) = claimed else {
+            // Every slot busy: borrow under the reclamation mutex (see
+            // `load_under_mutex` for why this is sound).
+            stats.retries += 1;
+            let _guard = self.graveyard.lock().expect("ArcSlot graveyard poisoned");
+            let p = self.ptr.load(Ordering::SeqCst);
+            // SAFETY: reclamation only runs under the mutex we hold and
+            // `p` is currently published, so it is live for the call.
+            return (f(unsafe { &*p }), stats);
+        };
+        loop {
+            let p = h.load(Ordering::Relaxed);
+            if self.ptr.load(Ordering::SeqCst) == p {
+                // Clear the slot even if `f` unwinds — a leaked claim
+                // would pin its pointer (and shrink the lock-free reader
+                // budget) forever.
+                struct ClearOnDrop<'a, T>(&'a AtomicPtr<T>);
+                impl<T> Drop for ClearOnDrop<'_, T> {
+                    fn drop(&mut self) {
+                        self.0.store(ptr::null_mut(), Ordering::Release);
+                    }
+                }
+                let _clear = ClearOnDrop(h);
+                // SAFETY: `p` is published *and* hazard-protected (the
+                // same argument as `load_counted`); it cannot be dropped
+                // before our slot clears.
+                return (f(unsafe { &*p }), stats);
+            }
+            stats.retries += 1;
+            let p2 = self.ptr.load(Ordering::SeqCst);
+            h.store(p2, Ordering::SeqCst);
+        }
+    }
+
+    /// Publish `value`, retiring the previously published snapshot (dropped
+    /// now if unprotected, parked until a later store otherwise).
+    ///
+    /// Writers serialize on the internal reclamation mutex; callers that
+    /// already serialize (the cache's per-shard writer mutex) pay an
+    /// uncontended lock.
+    pub fn store(&self, value: Arc<T>) {
+        let new = Arc::into_raw(value) as *mut T;
+        let mut graveyard = self.graveyard.lock().expect("ArcSlot graveyard poisoned");
+        let old = self.ptr.swap(new, Ordering::SeqCst);
+        graveyard.push(old);
+        self.drain(&mut graveyard);
+    }
+
+    /// Drop every graveyard entry no hazard slot names. Must hold the
+    /// graveyard mutex (enforced by the `&mut` borrow of its guard).
+    fn drain(&self, graveyard: &mut Vec<*mut T>) {
+        graveyard.retain(|&p| {
+            if self.hazards.iter().any(|h| h.load(Ordering::SeqCst) == p) {
+                return true; // still protected: re-check on the next store
+            }
+            // SAFETY: `p` was unpublished (it sits in the graveyard, and
+            // the published pointer is never pushed there while current)
+            // and no hazard slot names it, so no reader can reach it
+            // anymore; dropping reclaims the slot's strong count.
+            unsafe { drop(Arc::from_raw(p)) };
+            false
+        });
+    }
+
+    /// Number of retired snapshots awaiting reclamation (readers were
+    /// still on them at their retirement). Testing/diagnostics.
+    pub fn graveyard_len(&self) -> usize {
+        self.graveyard
+            .lock()
+            .expect("ArcSlot graveyard poisoned")
+            .len()
+    }
+
+    fn load_under_mutex(&self) -> Arc<T> {
+        let _guard = self.graveyard.lock().expect("ArcSlot graveyard poisoned");
+        let p = self.ptr.load(Ordering::SeqCst);
+        // SAFETY: reclamation only runs under the graveyard mutex, which we
+        // hold, and `p` is currently published, so its strong count is live.
+        unsafe {
+            Arc::increment_strong_count(p);
+            Arc::from_raw(p)
+        }
+    }
+}
+
+impl<T> Drop for ArcSlot<T> {
+    fn drop(&mut self) {
+        // `&mut self`: no readers or writers remain, every pointer we own
+        // is reclaimable.
+        let graveyard = self
+            .graveyard
+            .get_mut()
+            .expect("ArcSlot graveyard poisoned");
+        for p in graveyard.drain(..) {
+            // SAFETY: graveyard entries own a strong count (see `store`).
+            unsafe { drop(Arc::from_raw(p)) };
+        }
+        let published = *self.ptr.get_mut();
+        // SAFETY: the slot owns one strong count of the published value.
+        unsafe { drop(Arc::from_raw(published)) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn load_returns_published_value() {
+        let slot = ArcSlot::new(Arc::new(7u64));
+        assert_eq!(*slot.load(), 7);
+        slot.store(Arc::new(8));
+        assert_eq!(*slot.load(), 8);
+        let (v, stats) = slot.load_counted();
+        assert_eq!(*v, 8);
+        assert_eq!(stats.retries, 0, "uncontended load never retries");
+    }
+
+    #[test]
+    fn peek_borrows_published_value_without_cloning() {
+        let slot = ArcSlot::new(Arc::new(41u64));
+        let (doubled, stats) = slot.peek_counted(|v| v * 2);
+        assert_eq!(doubled, 82);
+        assert_eq!(stats.retries, 0);
+        // No refcount was taken: publishing a replacement reclaims the
+        // old value eagerly (nothing parks in the graveyard).
+        slot.store(Arc::new(43));
+        assert_eq!(slot.graveyard_len(), 0);
+        assert_eq!(slot.peek_counted(|v| *v).0, 43);
+        // A panicking closure must not leak its hazard claim.
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            slot.peek_counted(|_| panic!("probe failed"));
+        }));
+        assert!(unwound.is_err());
+        slot.store(Arc::new(44));
+        assert_eq!(slot.graveyard_len(), 0, "hazard claim leaked by unwind");
+    }
+
+    #[test]
+    fn old_snapshots_survive_while_held() {
+        let slot = ArcSlot::new(Arc::new(String::from("first")));
+        let held = slot.load();
+        slot.store(Arc::new(String::from("second")));
+        slot.store(Arc::new(String::from("third")));
+        assert_eq!(held.as_str(), "first", "held clone outlives retirement");
+        assert_eq!(slot.load().as_str(), "third");
+    }
+
+    #[test]
+    fn drop_reclaims_graveyard_and_published() {
+        // Tracked payloads: every allocation must be dropped exactly once.
+        struct Tracked<'a>(&'a AtomicU64);
+        impl Drop for Tracked<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = AtomicU64::new(0);
+        {
+            let slot = ArcSlot::new(Arc::new(Tracked(&drops)));
+            for _ in 0..10 {
+                slot.store(Arc::new(Tracked(&drops)));
+            }
+            // 10 of the 11 allocations were retired and, with no readers,
+            // reclaimed eagerly.
+            assert_eq!(drops.load(Ordering::Relaxed), 10);
+            assert_eq!(slot.graveyard_len(), 0);
+        }
+        assert_eq!(
+            drops.load(Ordering::Relaxed),
+            11,
+            "published value freed on drop"
+        );
+    }
+
+    #[test]
+    fn concurrent_loads_and_stores_stay_coherent() {
+        // Readers must only ever observe fully-published pairs — a torn
+        // snapshot would break the (x, 2*x) invariant.
+        const WRITES: u64 = 2_000;
+        let slot = Arc::new(ArcSlot::new(Arc::new((0u64, 0u64))));
+        let stop = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let slot = Arc::clone(&slot);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    // Check-then-test order guarantees at least one load
+                    // even if this thread is scheduled only after the
+                    // writer finished (routine on a single-core box).
+                    loop {
+                        let pair = slot.load();
+                        assert_eq!(pair.1, pair.0 * 2, "torn snapshot observed");
+                        if stop.load(Ordering::Relaxed) != 0 {
+                            break;
+                        }
+                    }
+                });
+            }
+            for x in 1..=WRITES {
+                slot.store(Arc::new((x, x * 2)));
+            }
+            stop.store(1, Ordering::Relaxed);
+        });
+        let last = slot.load();
+        assert_eq!(*last, (WRITES, WRITES * 2));
+    }
+}

@@ -4,13 +4,18 @@
 //! counters, no deadlocks. CI runs this with a high `LG_SMOKE_ITERS` as a
 //! sanitizer-style gate; locally it defaults to a quick pass.
 //!
+//! Both shard layouts run the same schedules: the lock-free snapshot store
+//! (the default) and the retained mutex-per-shard oracle
+//! (`SharedRouteCache::locked`), mirroring the `OutQueue::Reference`
+//! differential pattern.
+//!
 //! (The toolchain here has no miri/loom; this test is the nightly-free
 //! stand-in: real OS threads, real contention, exact oracles.)
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use lg_asmap::TopologyConfig;
+use lg_asmap::{AsId, GraphBuilder, TopologyConfig};
 use lg_bgp::{ImportPolicy, LoopDetection, Prefix};
 use lg_sim::{compute_routes, AnnouncementSpec, Network, SharedRouteCache};
 
@@ -25,8 +30,7 @@ fn iterations() -> u64 {
         .unwrap_or(8)
 }
 
-#[test]
-fn concurrent_lookups_survive_mutation_generations() {
+fn smoke_lookups_survive_mutation_generations(cache: SharedRouteCache) {
     const THREADS: usize = 8;
 
     let mut net = Network::new(TopologyConfig::small(97).generate());
@@ -53,7 +57,7 @@ fn concurrent_lookups_survive_mutation_generations() {
         ]
     };
 
-    let cache = Arc::new(SharedRouteCache::new());
+    let cache = Arc::new(cache);
     let lookups = AtomicU64::new(0);
 
     // Alternate phases: 8 threads race lookups against a warm/cold cache,
@@ -108,4 +112,115 @@ fn concurrent_lookups_survive_mutation_generations() {
     // recompute, so misses grow with phases while hits dominate.
     assert!(cache.misses() >= specs.len() as u64);
     assert!(cache.hits() > 0);
+}
+
+#[test]
+fn concurrent_lookups_survive_mutation_generations() {
+    let cache = SharedRouteCache::new();
+    assert!(cache.is_lock_free());
+    smoke_lookups_survive_mutation_generations(cache);
+}
+
+#[test]
+fn concurrent_lookups_survive_mutation_generations_locked_oracle() {
+    let cache = SharedRouteCache::locked();
+    assert!(!cache.is_lock_free());
+    smoke_lookups_survive_mutation_generations(cache);
+}
+
+/// Snapshot-path stress with *exact* accounting: after every mutation, 8
+/// threads race all 16 poison specs — the first access per shard replays
+/// the invalidation under the writer lock and republishes while the other
+/// threads read the published snapshot with no lock. Two properties are
+/// pinned:
+///
+/// * **no torn reads** — every returned table equals a scratch fixed
+///   point of the current configuration, route for route;
+/// * **compute-once per generation** — each phase evicts exactly one entry
+///   (the poison whose footprint names the victim) and recomputes exactly
+///   once, no matter how many threads race the miss: the in-flight marker
+///   makes the recount deterministic.
+#[test]
+fn snapshot_readers_see_no_torn_state_and_compute_once() {
+    const THREADS: usize = 8;
+    const MIDDLES: u32 = 16;
+
+    // Star: origin 0 below middles 1..=16, all under top AS 17. The poison
+    // naming middle M is the only entry whose footprint contains M.
+    let mut g = GraphBuilder::with_ases(18);
+    for i in 1..=MIDDLES {
+        g.provider_customer(AsId(i), AsId(0));
+        g.provider_customer(AsId(17), AsId(i));
+    }
+    let mut net = Network::new(g.build());
+    let specs: Vec<AnnouncementSpec> = (1..=MIDDLES)
+        .map(|t| AnnouncementSpec::poisoned(&net, pfx(), AsId(0), &[AsId(t)]))
+        .collect();
+
+    let cache = Arc::new(SharedRouteCache::new());
+    assert!(cache.is_lock_free());
+    for spec in &specs {
+        cache.compute(&net, spec);
+    }
+    assert_eq!(cache.misses(), MIDDLES as u64, "cold fill is all misses");
+
+    let phases = iterations().max(4);
+    for phase in 0..phases {
+        let victim = AsId((phase % MIDDLES as u64) as u32 + 1);
+        // Alternate per full sweep, not per phase: each touch of an AS
+        // must differ from its previous policy or the write records
+        // `DirtyScope::Unchanged` and evicts nothing.
+        let lenient = (phase / MIDDLES as u64).is_multiple_of(2);
+        net.set_policy(
+            victim,
+            ImportPolicy {
+                loop_detection: if lenient {
+                    LoopDetection::max_occurrences(1)
+                } else {
+                    LoopDetection::standard()
+                },
+                ..ImportPolicy::standard()
+            },
+        );
+
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let cache = Arc::clone(&cache);
+                let net = &net;
+                let specs = &specs;
+                s.spawn(move || {
+                    for spec in specs.iter().cycle().skip(t).take(specs.len()) {
+                        let got = cache.compute(net, spec);
+                        let want = compute_routes(net, spec);
+                        for a in net.graph().ases() {
+                            assert_eq!(
+                                got.route(a),
+                                want.route(a),
+                                "phase {phase}: torn/stale route at {a}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+
+        // The loop-detection toggle at middle M is footprint-scoped: it
+        // evicts exactly the M-poison, and the in-flight marker lets
+        // exactly one of the 8 racing threads recompute it.
+        assert_eq!(
+            cache.misses(),
+            MIDDLES as u64 + phase + 1,
+            "phase {phase}: compute-once violated"
+        );
+    }
+
+    let stats = cache.stats();
+    assert_eq!(stats.evictions.footprint, phases, "one eviction per phase");
+    assert_eq!(stats.evictions.total(), phases, "no other scope fired");
+    assert_eq!(stats.entries, MIDDLES as usize, "every eviction refilled");
+    assert_eq!(
+        stats.hits + stats.misses,
+        MIDDLES as u64 + phases * (THREADS as u64 * MIDDLES as u64),
+        "every lookup accounted exactly once"
+    );
 }

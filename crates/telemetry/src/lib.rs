@@ -34,4 +34,6 @@ mod snapshot;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Span};
 pub use registry::{global, Registry};
-pub use snapshot::{emit_if_configured, MetricValue, TelemetrySnapshot, ENV_TELEMETRY_OUT};
+pub use snapshot::{
+    emit_if_configured, record_host_facts, MetricValue, TelemetrySnapshot, ENV_TELEMETRY_OUT,
+};

@@ -178,12 +178,28 @@ fn json_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Record facts about the host into the global registry as gauges,
+/// currently `host.available_parallelism`. Concurrency numbers are
+/// meaningless without this context — a 1-core container runs every
+/// multi-thread bench and smoke test serially, so contention and scaling
+/// claims cannot be checked there. Stamping the core count into every
+/// report makes that machine-checkable by consumers of the JSON.
+///
+/// Called automatically by [`emit_if_configured`]; bench mains that only
+/// print tables can call it directly.
+pub fn record_host_facts() {
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get() as u64);
+    global().gauge("host.available_parallelism").set(cores);
+}
+
 /// If `LG_TELEMETRY_OUT` names a path, write the global registry's
 /// snapshot there as JSON and return the path. Binaries and bench mains
 /// call this once at exit so any run can produce a `telemetry.json`
-/// report without code changes.
+/// report without code changes. Host facts ([`record_host_facts`]) are
+/// stamped into the report first.
 pub fn emit_if_configured() -> Option<PathBuf> {
     let path = PathBuf::from(std::env::var_os(ENV_TELEMETRY_OUT)?);
+    record_host_facts();
     let json = global().snapshot().to_json();
     match std::fs::write(&path, json) {
         Ok(()) => Some(path),

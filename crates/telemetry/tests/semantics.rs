@@ -4,6 +4,18 @@
 use lg_telemetry::{MetricValue, Registry};
 
 #[test]
+fn host_facts_stamp_available_parallelism() {
+    lg_telemetry::record_host_facts();
+    let snap = lg_telemetry::global().snapshot();
+    let cores = snap
+        .gauge("host.available_parallelism")
+        .expect("host gauge recorded");
+    // `available_parallelism` can fail (gauge 0) but any real box has at
+    // least one core — either way the gauge must exist in every report.
+    assert!(cores <= 4096, "implausible core count {cores}");
+}
+
+#[test]
 fn counter_and_gauge_basics() {
     let r = Registry::new();
     let c = r.counter("t.count");

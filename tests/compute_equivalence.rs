@@ -191,15 +191,24 @@ proptest! {
 
     /// The shared sharded cache is observationally identical to the scratch
     /// engine from 1, 2, and 8 concurrent threads, and reports the work as
-    /// hits/misses coherently (each unique spec computed exactly once).
+    /// hits/misses coherently (each unique spec computed exactly once) —
+    /// under both shard layouts: the lock-free snapshot store and the
+    /// retained mutex-per-shard oracle.
     #[test]
     fn shared_cache_matches_scratch_across_threads(seed in 1u64..10_000) {
         let net = Network::new(TopologyConfig::small(seed).generate());
         let origin = pick_origin(&net);
         let specs = spec_menu(&net, origin);
 
-        for threads in [1usize, 2, 8] {
-            let cache = Arc::new(SharedRouteCache::new());
+        let layouts = [
+            SharedRouteCache::new as fn() -> SharedRouteCache,
+            SharedRouteCache::locked,
+        ];
+        for (threads, make) in [1usize, 2, 8]
+            .into_iter()
+            .flat_map(|t| layouts.iter().map(move |m| (t, m)))
+        {
+            let cache = Arc::new(make());
             std::thread::scope(|s| {
                 for _ in 0..threads {
                     let cache = Arc::clone(&cache);
@@ -220,21 +229,24 @@ proptest! {
             prop_assert_eq!(
                 cache.misses(),
                 specs.len() as u64,
-                "each unique spec computes once ({} threads)",
-                threads
+                "each unique spec computes once ({} threads, lock_free={})",
+                threads,
+                cache.is_lock_free()
             );
             prop_assert_eq!(
                 cache.hits(),
                 ((threads - 1) * specs.len()) as u64,
-                "every other lookup is a hit ({} threads)",
-                threads
+                "every other lookup is a hit ({} threads, lock_free={})",
+                threads,
+                cache.is_lock_free()
             );
         }
     }
 
     /// Concurrent readers over a shared cache never observe a fixed point
     /// from before a mutation: after the network changes, every thread's
-    /// lookup matches a fresh scratch computation.
+    /// lookup matches a fresh scratch computation — under both shard
+    /// layouts.
     #[test]
     fn shared_cache_mutation_is_visible_to_all_threads(seed in 1u64..10_000) {
         let mut net = Network::new(TopologyConfig::small(seed).generate());
@@ -244,33 +256,36 @@ proptest! {
         let target = if above.is_empty() { providers[0] } else { above[0] };
         let specs = spec_menu(&net, origin);
 
-        let cache = Arc::new(SharedRouteCache::new());
-        for spec in &specs {
-            cache.compute(&net, spec);
-        }
-        net.set_policy(
-            target,
-            ImportPolicy {
-                loop_detection: LoopDetection::max_occurrences(1),
-                ..ImportPolicy::standard()
-            },
-        );
-
-        std::thread::scope(|s| {
-            for _ in 0..8 {
-                let cache = Arc::clone(&cache);
-                let net = &net;
-                let specs = &specs;
-                s.spawn(move || {
-                    for spec in specs {
-                        let got = cache.compute(net, spec);
-                        let want = compute_routes(net, spec);
-                        for a in net.graph().ases() {
-                            assert_eq!(got.route(a), want.route(a), "stale route at {a}");
-                        }
-                    }
-                });
+        let caches = [SharedRouteCache::new(), SharedRouteCache::locked()];
+        for cache in caches {
+            let cache = Arc::new(cache);
+            for spec in &specs {
+                cache.compute(&net, spec);
             }
-        });
+            net.set_policy(
+                target,
+                ImportPolicy {
+                    loop_detection: LoopDetection::max_occurrences(1),
+                    ..ImportPolicy::standard()
+                },
+            );
+
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    let cache = Arc::clone(&cache);
+                    let net = &net;
+                    let specs = &specs;
+                    s.spawn(move || {
+                        for spec in specs {
+                            let got = cache.compute(net, spec);
+                            let want = compute_routes(net, spec);
+                            for a in net.graph().ases() {
+                                assert_eq!(got.route(a), want.route(a), "stale route at {a}");
+                            }
+                        }
+                    });
+                }
+            });
+        }
     }
 }
