@@ -14,6 +14,7 @@
 //! tier-1 clique, a multi-tier transit hierarchy with preferential attachment,
 //! multi-homed stubs, and peering edges between same-tier networks.
 
+pub mod filters;
 pub mod gen;
 pub mod graph;
 pub mod ids;
@@ -22,6 +23,7 @@ pub mod policy;
 pub mod relationship;
 pub mod splice;
 
+pub use filters::{assign_filters, FilterAssignment, FilterDeployment};
 pub use gen::{TopologyConfig, TopologyKind};
 pub use graph::{next_generation, AsGraph, GraphBuilder};
 pub use ids::{AsId, RouterId};

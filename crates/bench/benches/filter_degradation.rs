@@ -1,0 +1,74 @@
+//! Regenerates the adversarial-filtering degradation curve: §5.1 repair
+//! efficacy (and §5.2 collateral disruption) rerun at calibrated filter
+//! deployment rates — Smith et al.'s feasibility mechanisms degrade
+//! LIFEGUARD-style repair but do not eliminate it.
+//!
+//! Emits the curve as JSON to the path in `LG_DEGRADATION_OUT` when set
+//! (CI uploads it as an artifact), and exits non-zero if the filter
+//! telemetry counters never moved — a filtered rerun in which no filter
+//! ever fired means the deployment wiring regressed.
+
+use lg_asmap::TopologyConfig;
+use lg_bench::degradation::{degradation_json, degradation_table, run_degradation};
+
+fn main() {
+    let rates = [0.0, 0.25, 0.5, 0.75, 1.0];
+    eprintln!(
+        "repair-planner sweep over a ~1000-AS topology at {} deployment rates ...",
+        rates.len()
+    );
+    let points = run_degradation(&TopologyConfig::medium(42), &rates, 6, 10);
+    degradation_table(&points).print();
+
+    let snap = lg_telemetry::global().snapshot();
+    let fired: u64 = [
+        "policy.filtered_path_len",
+        "policy.filtered_poisoned",
+        "policy.filtered_reserved",
+    ]
+    .iter()
+    .map(|c| snap.counter(c).unwrap_or(0))
+    .sum();
+    println!("policy.filtered_* total: {fired}");
+
+    if let Ok(path) = std::env::var("LG_DEGRADATION_OUT") {
+        std::fs::write(&path, degradation_json(&points)).expect("write degradation artifact");
+        println!("degradation curve written to {path}");
+    }
+
+    let clean = points.first().expect("rates non-empty");
+    let full = points.last().expect("rates non-empty");
+    let mut failed = false;
+    if fired == 0 {
+        eprintln!("FAIL: no policy.filtered_* counter moved during the filtered reruns");
+        failed = true;
+    }
+    if full.success_rate() >= clean.success_rate() {
+        eprintln!(
+            "FAIL: full deployment did not degrade repair success ({} vs {})",
+            full.success_rate(),
+            clean.success_rate()
+        );
+        failed = true;
+    }
+    // Degraded, not eliminated: some *partial* deployment rate must leave
+    // repair alive. (Total core deployment legitimately kills it — every
+    // tier-1/2 drops the poisoned announcement.)
+    if !points
+        .iter()
+        .any(|p| p.rate > 0.0 && p.success_rate() > 0.0)
+    {
+        eprintln!("FAIL: every filtered rate eliminated repair (paper: degrades, not kills)");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "degradation gate OK: repair success {:.2} -> {:.2} across deployment {:.2} -> {:.2}",
+        clean.success_rate(),
+        full.success_rate(),
+        clean.rate,
+        full.rate
+    );
+}

@@ -22,6 +22,7 @@
 pub mod accuracy;
 pub mod alternates;
 pub mod convergence;
+pub mod degradation;
 pub mod disruptive;
 pub mod efficacy;
 pub mod impact;

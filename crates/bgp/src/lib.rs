@@ -25,7 +25,7 @@ pub mod wire;
 
 pub use decision::{compare_routes, select_best};
 pub use path::{AsPath, PathId, PathInterner};
-pub use policy::{ImportPolicy, LoopDetection};
+pub use policy::{is_reserved_asn, ImportPolicy, LoopDetection, RejectReason};
 pub use prefix::Prefix;
 pub use rib::{AdjRibIn, ArenaRibIn, ArenaRoute};
 pub use route::Route;

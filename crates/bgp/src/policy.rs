@@ -48,6 +48,32 @@ impl LoopDetection {
     }
 }
 
+/// Why an import filter rejected a path. The variants map one-to-one onto
+/// the `policy.filtered_*` telemetry counters so the engines can attribute
+/// every rejection without re-deriving it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Loop detection: the receiver's own ASN occurred too often.
+    Loop,
+    /// Cogent-style peer-in-customer-path filter.
+    PeerInCustomerPath,
+    /// A deny-listed AS appeared as a transit hop.
+    DenyTransit,
+    /// The path exceeded the receiver's max-AS-path-length cap.
+    PathLenCap,
+    /// The path carried a poisoning signature (non-adjacent repeated ASN).
+    Poisoned,
+    /// The path contained a reserved/private ASN.
+    ReservedAsn,
+}
+
+/// Is `asn` reserved or private (RFC 6996, RFC 7300, AS_TRANS, AS 0)?
+/// Smith et al. observe large transit networks dropping announcements whose
+/// paths carry such ASNs — which catches poisons minted from private space.
+pub fn is_reserved_asn(asn: AsId) -> bool {
+    matches!(asn.0, 0 | 23_456 | 64_512..=65_535 | 4_200_000_000..)
+}
+
 /// Full import policy of one AS.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ImportPolicy {
@@ -63,6 +89,24 @@ pub struct ImportPolicy {
     /// still accepted — the filter refuses to route *through* it, not *to*
     /// it.
     pub deny_transit: Vec<AsId>,
+    /// Max-AS-path-length cap (Smith et al.): reject any path longer than
+    /// this many hops, prepends included. `None` disables the cap. Long
+    /// poison+prepend announcements are the first casualty.
+    pub max_path_len: Option<u8>,
+    /// Drop announcements carrying a poisoning signature: an ASN repeated
+    /// *non-adjacently* in the path. Legitimate prepending repeats an ASN
+    /// in adjacent positions only; LIFEGUARD's `O-A-O` splits the origin
+    /// around the poison, which this filter detects at large transit ASes.
+    pub drop_poisoned: bool,
+    /// Drop announcements whose path contains a reserved/private ASN
+    /// (see [`is_reserved_asn`]).
+    pub drop_reserved_asn: bool,
+    /// This AS points a default route at a provider. Defaults do not affect
+    /// import filtering or route selection — they matter to *reachability*:
+    /// an AS with a default still forwards toward its provider when it holds
+    /// no route, which throttles poisoning (traffic keeps flowing along the
+    /// old path). Consumed by the data-plane reachability helpers.
+    pub default_route: bool,
 }
 
 impl ImportPolicy {
@@ -84,16 +128,22 @@ impl ImportPolicy {
         self.accepts_hops(own, peers, rel_to_sender, hops.iter().copied(), hops.len())
     }
 
+    /// [`Self::accepts_hops`], reporting *why* a path was rejected.
+    pub fn evaluate(
+        &self,
+        own: AsId,
+        peers: &[AsId],
+        rel_to_sender: Relationship,
+        path: &AsPath,
+    ) -> Option<RejectReason> {
+        let hops = path.hops();
+        self.evaluate_hops(own, peers, rel_to_sender, hops.iter().copied(), hops.len())
+    }
+
     /// [`Self::accepts`] over a hop iterator (nearest-first, `hops_len`
     /// total hops), for callers that represent paths without materializing
     /// a `Vec` — the static route engine's hot loop checks candidates
     /// straight out of its path arena through this.
-    ///
-    /// All three filters run in a single pass: loop detection counts
-    /// occurrences of `own`, the Cogent-style filter scans for peers on
-    /// customer-learned paths, and the transit deny list checks every hop
-    /// except the last (the origin — we refuse to route *through* a denied
-    /// AS, not *to* it).
     pub fn accepts_hops<I>(
         &self,
         own: AsId,
@@ -105,25 +155,73 @@ impl ImportPolicy {
     where
         I: IntoIterator<Item = AsId>,
     {
+        self.evaluate_hops(own, peers, rel_to_sender, hops, hops_len)
+            .is_none()
+    }
+
+    /// The filter core: every predicate runs in a single pass over the hop
+    /// iterator. Loop detection counts occurrences of `own`, the
+    /// Cogent-style filter scans for peers on customer-learned paths, the
+    /// transit deny list checks every hop except the last (the origin — we
+    /// refuse to route *through* a denied AS, not *to* it), the length cap
+    /// short-circuits before the scan, the reserved-ASN filter checks each
+    /// hop, and the poison filter tracks the previous hop plus a seen-set
+    /// (allocated only when the filter is on) to catch non-adjacent repeats
+    /// while letting adjacent prepending through. Returns the first reason
+    /// to fire, or `None` when the path is accepted.
+    pub fn evaluate_hops<I>(
+        &self,
+        own: AsId,
+        peers: &[AsId],
+        rel_to_sender: Relationship,
+        hops: I,
+        hops_len: usize,
+    ) -> Option<RejectReason>
+    where
+        I: IntoIterator<Item = AsId>,
+    {
+        if let Some(cap) = self.max_path_len {
+            if hops_len > cap as usize {
+                return Some(RejectReason::PathLenCap);
+            }
+        }
         let check_peers =
             self.reject_peers_in_customer_path && rel_to_sender == Relationship::Customer;
         let reject_at = self.loop_detection.reject_at as u64;
         let mut own_count: u64 = 0;
+        let mut prev: Option<AsId> = None;
+        let mut seen: Vec<AsId> = if self.drop_poisoned {
+            Vec::with_capacity(hops_len)
+        } else {
+            Vec::new()
+        };
         for (idx, h) in hops.into_iter().enumerate() {
             if h == own {
                 own_count += 1;
                 if own_count >= reject_at {
-                    return false;
+                    return Some(RejectReason::Loop);
                 }
             }
             if check_peers && peers.contains(&h) {
-                return false;
+                return Some(RejectReason::PeerInCustomerPath);
             }
             if idx + 1 < hops_len && self.deny_transit.contains(&h) {
-                return false;
+                return Some(RejectReason::DenyTransit);
+            }
+            if self.drop_reserved_asn && is_reserved_asn(h) {
+                return Some(RejectReason::ReservedAsn);
+            }
+            if self.drop_poisoned {
+                if prev != Some(h) {
+                    if seen.contains(&h) {
+                        return Some(RejectReason::Poisoned);
+                    }
+                    seen.push(h);
+                }
+                prev = Some(h);
             }
         }
-        true
+        None
     }
 }
 
@@ -210,5 +308,90 @@ mod tests {
         };
         let p = AsPath::from_hops(vec![AsId(1), ME]);
         assert!(!policy.accepts(ME, &[], Relationship::Customer, &p));
+    }
+
+    #[test]
+    fn path_len_cap_rejects_long_paths_only() {
+        let policy = ImportPolicy {
+            max_path_len: Some(3),
+            ..ImportPolicy::default()
+        };
+        let short = AsPath::from_hops(vec![AsId(1), AsId(2), AsId(3)]);
+        let long = AsPath::from_hops(vec![AsId(1), AsId(2), AsId(3), AsId(4)]);
+        assert!(policy.accepts(ME, &[], Relationship::Provider, &short));
+        assert!(!policy.accepts(ME, &[], Relationship::Provider, &long));
+        assert_eq!(
+            policy.evaluate(ME, &[], Relationship::Provider, &long),
+            Some(RejectReason::PathLenCap)
+        );
+        // Prepends count toward the cap — the Smith et al. failure mode:
+        // a poison plus prepending silently exceeds a neighbor's cap.
+        let prepended = AsPath::prepended_baseline(AsId(9), 4);
+        assert!(!policy.accepts(ME, &[], Relationship::Customer, &prepended));
+    }
+
+    #[test]
+    fn poison_filter_drops_split_origins_but_not_prepends() {
+        let policy = ImportPolicy {
+            drop_poisoned: true,
+            ..ImportPolicy::default()
+        };
+        // O-A-O: the poisoning signature — origin repeated non-adjacently.
+        let poisoned = AsPath::poisoned(AsId(100), &[AsId(7)]);
+        assert_eq!(
+            policy.evaluate(ME, &[], Relationship::Customer, &poisoned),
+            Some(RejectReason::Poisoned)
+        );
+        // O-O-O prepending repeats adjacently: legitimate, accepted.
+        let prepended = AsPath::prepended_baseline(AsId(100), 3);
+        assert!(policy.accepts(ME, &[], Relationship::Customer, &prepended));
+        // Prepending by a transit hop mid-path is also adjacent: accepted.
+        let transit_prepend = AsPath::from_hops(vec![AsId(3), AsId(3), AsId(2), AsId(1)]);
+        assert!(policy.accepts(ME, &[], Relationship::Customer, &transit_prepend));
+        // Double poison O-A-A-O still has the non-adjacent origin repeat.
+        let double = AsPath::poisoned(AsId(100), &[AsId(7), AsId(7)]);
+        assert!(!policy.accepts(ME, &[], Relationship::Customer, &double));
+    }
+
+    #[test]
+    fn reserved_asn_filter() {
+        let policy = ImportPolicy {
+            drop_reserved_asn: true,
+            ..ImportPolicy::default()
+        };
+        for bad in [0u32, 23_456, 64_512, 65_534, 65_535, 4_200_000_000] {
+            let p = AsPath::from_hops(vec![AsId(1), AsId(bad), AsId(2)]);
+            assert_eq!(
+                policy.evaluate(ME, &[], Relationship::Provider, &p),
+                Some(RejectReason::ReservedAsn),
+                "ASN {bad} should be reserved"
+            );
+        }
+        let clean = AsPath::from_hops(vec![AsId(1), AsId(64_511), AsId(2)]);
+        assert!(policy.accepts(ME, &[], Relationship::Provider, &clean));
+    }
+
+    #[test]
+    fn default_route_flag_does_not_affect_import() {
+        let policy = ImportPolicy {
+            default_route: true,
+            ..ImportPolicy::default()
+        };
+        let p = AsPath::poisoned(AsId(100), &[AsId(7)]);
+        assert_eq!(
+            policy.evaluate(ME, &[], Relationship::Customer, &p),
+            ImportPolicy::default().evaluate(ME, &[], Relationship::Customer, &p)
+        );
+    }
+
+    #[test]
+    fn zero_filter_policy_is_the_default_policy() {
+        // The byte-identity guarantee hinges on the new fields defaulting
+        // to "off": a freshly constructed policy must equal `standard()`.
+        let p = ImportPolicy::default();
+        assert_eq!(p.max_path_len, None);
+        assert!(!p.drop_poisoned);
+        assert!(!p.drop_reserved_asn);
+        assert!(!p.default_route);
     }
 }

@@ -19,7 +19,7 @@
 use crate::config::LifeguardConfig;
 use lg_asmap::AsId;
 use lg_locate::Blame;
-use lg_sim::{AnnouncementSpec, Network, SharedRouteCache};
+use lg_sim::{effective_path, AnnouncementSpec, Network, SharedRouteCache};
 
 /// A concrete repair: the announcement to make and what it should achieve.
 #[derive(Clone, Debug)]
@@ -43,6 +43,61 @@ fn providers_of(net: &Network, cfg: &LifeguardConfig) -> Vec<AsId> {
             .collect()
     } else {
         cfg.providers.clone()
+    }
+}
+
+/// Does the repair announcement survive import at at least one provider?
+///
+/// A poisoned path can trip the *providers' own* filters before it ever
+/// propagates: the split origin `O-A-O` is exactly the signature a
+/// poisoned-announcement drop matches, a doubled poison (`O-A-A-O`, for
+/// lenient loop detection) can exceed a provider's max-path-length cap,
+/// and an unlucky culprit ASN can hit a reserved-ASN drop. When *every*
+/// provider rejects the seed the repair never enters the routing system
+/// at all; that is a different failure from "no alternate path exists"
+/// and the operator needs to know which one happened.
+fn providers_accept(net: &Network, spec: &AnnouncementSpec) -> Result<(), String> {
+    let mut rejections = Vec::new();
+    for (nbr, path) in &spec.seeds {
+        let Some(rel) = net.graph().relationship(*nbr, spec.origin) else {
+            continue;
+        };
+        match net
+            .policy(*nbr)
+            .evaluate(*nbr, net.peers_of(*nbr), rel, path)
+        {
+            None => return Ok(()),
+            Some(reason) => rejections.push(format!("{nbr} ({reason:?})")),
+        }
+    }
+    Err(format!(
+        "repair announcement filtered at every provider: {}",
+        rejections.join(", ")
+    ))
+}
+
+/// Can `target` actually deliver traffic to the origin while avoiding
+/// `culprit`, in the predicted post-repair fixed point? Checks the
+/// data-plane chain ([`effective_path`]), not mere route presence: a
+/// target whose BGP route vanished may still forward over default routes
+/// (and then the repair works), or may forward *into the culprit* over a
+/// default route (and then the repair silently fails — Smith et al.'s
+/// default-route throttling of poisoning).
+fn target_repaired(
+    net: &Network,
+    table: &lg_sim::RouteTable,
+    target: AsId,
+    culprit: AsId,
+) -> Result<(), String> {
+    match effective_path(net, table, target) {
+        None => Err(format!(
+            "no alternate policy-compliant path for {target} avoiding {culprit}"
+        )),
+        Some(path) if path.contains(&culprit) => Err(format!(
+            "{target} still forwards through {culprit} over a default route; \
+             poisoning cannot repair it"
+        )),
+        Some(_) => Ok(()),
     }
 }
 
@@ -104,11 +159,8 @@ pub fn plan_repair_cached(
         if table.has_route(culprit) {
             continue; // poison did not stick (lenient loop detection)
         }
-        if !table.has_route(target) {
-            return Err(format!(
-                "no alternate policy-compliant path for {target} avoiding {culprit}"
-            ));
-        }
+        providers_accept(net, &spec)?;
+        target_repaired(net, &table, target, culprit)?;
         return Ok(RepairPlan {
             spec,
             poisoned: culprit,
@@ -160,7 +212,19 @@ fn try_selective(
         if a_path.contains(&b) {
             continue;
         }
-        if !table.has_route(target) {
+        // The *target's* forwarding chain must avoid the failed link too.
+        // Steering `a` off `a`-`b` does not stop the target from reaching
+        // the origin over the dead adjacency from the other side (e.g. via
+        // `b`'s customer-cone route through `a`), and route presence alone
+        // cannot see that: the selective plan would predict success while
+        // the target's traffic dies on the failed link.
+        let Some(t_path) = effective_path(net, &table, target) else {
+            continue;
+        };
+        if t_path
+            .windows(2)
+            .any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a))
+        {
             continue;
         }
         return Some(RepairPlan {
@@ -321,6 +385,166 @@ mod tests {
         let plan = plan.unwrap();
         assert!(!plan.selective);
         assert_eq!(plan.poisoned, AsId(1));
+    }
+
+    #[test]
+    fn surfaces_repair_filtered_at_every_provider() {
+        // Poison-drop filters at both providers: the split-origin repair
+        // announcement never enters the routing system. The planner must
+        // say *that*, not the misleading "no alternate path".
+        let mut net = fig3();
+        for p in [AsId(1), AsId(2)] {
+            net.set_policy(
+                p,
+                ImportPolicy {
+                    drop_poisoned: true,
+                    ..ImportPolicy::standard()
+                },
+            );
+        }
+        let c = cfg(AsId(0), vec![AsId(1), AsId(2)]);
+        let err = plan_repair(&net, &c, Blame::As(AsId(3)), AsId(5)).unwrap_err();
+        assert!(err.contains("filtered at every provider"), "{err}");
+        assert!(err.contains("Poisoned"), "{err}");
+    }
+
+    #[test]
+    fn cap_blocks_doubled_poison_and_is_reported() {
+        // A lenient culprit (§7.1) needs the doubled poison O-A-A-O, but
+        // that path is one hop longer than the single poison — and here it
+        // exceeds the sole provider's max-path-length cap. The cap must not
+        // pass unnoticed: the planner reports the repair as filtered.
+        let mut net = fig2();
+        net.set_policy(
+            AsId(1),
+            ImportPolicy {
+                loop_detection: LoopDetection::max_occurrences(1),
+                ..ImportPolicy::standard()
+            },
+        );
+        net.set_policy(
+            AsId(2),
+            ImportPolicy {
+                max_path_len: Some(3),
+                ..ImportPolicy::standard()
+            },
+        );
+        let c = cfg(AsId(0), vec![]);
+        let err = plan_repair(&net, &c, Blame::As(AsId(1)), AsId(5)).unwrap_err();
+        assert!(err.contains("filtered at every provider"), "{err}");
+        assert!(err.contains("PathLenCap"), "{err}");
+    }
+
+    #[test]
+    fn selective_plan_must_keep_target_off_the_failed_link() {
+        // O(0) multihomed under X(1) and A(2); B(3) above A; T(4) behind B;
+        // Top(5) above X and B. The A-B link fails, target is T.
+        //
+        // Poisoning A via X only looks selective-perfect: A keeps its
+        // direct customer route to O (avoiding B), and T still *has* a
+        // route — but that route is B's customer-cone path through A, so
+        // T's traffic crosses the dead A-B link. The planner must reject
+        // that candidate and fall back to the global poison, which reroutes
+        // T via Top - X.
+        let mut g = GraphBuilder::with_ases(6);
+        g.provider_customer(AsId(1), AsId(0));
+        g.provider_customer(AsId(2), AsId(0));
+        g.provider_customer(AsId(3), AsId(2));
+        g.provider_customer(AsId(3), AsId(4));
+        g.provider_customer(AsId(5), AsId(1));
+        g.provider_customer(AsId(5), AsId(3));
+        let net = Network::new(g.build());
+        let c = cfg(AsId(0), vec![AsId(1), AsId(2)]);
+        let plan = plan_repair(&net, &c, Blame::Link(AsId(2), AsId(3)), AsId(4)).unwrap();
+        assert!(
+            !plan.selective,
+            "selective plan would leave T forwarding over the dead link"
+        );
+        assert_eq!(plan.poisoned, AsId(2));
+        let table = compute_routes(&net, &plan.spec);
+        assert!(!table.has_route(AsId(2)));
+        let t_path = effective_path(&net, &table, AsId(4)).unwrap();
+        assert_eq!(
+            t_path,
+            vec![AsId(4), AsId(3), AsId(5), AsId(1), AsId(0)],
+            "T reroutes around the failure via Top and X"
+        );
+    }
+
+    #[test]
+    fn default_route_into_culprit_is_a_failed_repair() {
+        // O(0) under P1(1) and P2(2); culprit C(3) above P1; stub T(4)
+        // under C; Top(5) above C and P2. T defaults at C and C defaults
+        // up to Top. Poisoning C removes every BGP route through it, but
+        // T's *traffic* still enters C on the default chain — the repair
+        // does not restore T and must not be reported as a success.
+        let mut g = GraphBuilder::with_ases(6);
+        g.provider_customer(AsId(1), AsId(0));
+        g.provider_customer(AsId(2), AsId(0));
+        g.provider_customer(AsId(3), AsId(1));
+        g.provider_customer(AsId(3), AsId(4));
+        g.provider_customer(AsId(5), AsId(3));
+        g.provider_customer(AsId(5), AsId(2));
+        let mut net = Network::new(g.build());
+        for a in [AsId(3), AsId(4)] {
+            net.set_policy(
+                a,
+                ImportPolicy {
+                    default_route: true,
+                    ..ImportPolicy::standard()
+                },
+            );
+        }
+        let c = cfg(AsId(0), vec![AsId(1), AsId(2)]);
+        let err = plan_repair(&net, &c, Blame::As(AsId(3)), AsId(4)).unwrap_err();
+        assert!(err.contains("still forwards through"), "{err}");
+        assert!(err.contains("default route"), "{err}");
+    }
+
+    #[test]
+    fn default_route_chain_can_rescue_a_repair() {
+        // G(7) under D(4) drops poisoned announcements, so it (and its stub
+        // T(8)) holds no BGP route for the repaired prefix. But both point
+        // defaults upward, and the default chain reaches D's repaired route
+        // without touching the culprit C(3): the repair *works* on the data
+        // plane. Requiring `has_route` would wrongly refuse it.
+        let mut g = GraphBuilder::with_ases(9);
+        g.provider_customer(AsId(2), AsId(0));
+        g.provider_customer(AsId(3), AsId(2));
+        g.provider_customer(AsId(1), AsId(2));
+        g.provider_customer(AsId(4), AsId(3));
+        g.provider_customer(AsId(5), AsId(1));
+        g.provider_customer(AsId(5), AsId(4));
+        g.provider_customer(AsId(6), AsId(1));
+        g.provider_customer(AsId(4), AsId(7));
+        g.provider_customer(AsId(7), AsId(8));
+        let mut net = Network::new(g.build());
+        net.set_policy(
+            AsId(7),
+            ImportPolicy {
+                drop_poisoned: true,
+                default_route: true,
+                ..ImportPolicy::standard()
+            },
+        );
+        net.set_policy(
+            AsId(8),
+            ImportPolicy {
+                default_route: true,
+                ..ImportPolicy::standard()
+            },
+        );
+        let c = cfg(AsId(0), vec![]);
+        let plan = plan_repair(&net, &c, Blame::As(AsId(3)), AsId(8)).unwrap();
+        assert!(!plan.selective);
+        assert_eq!(plan.poisoned, AsId(3));
+        let table = compute_routes(&net, &plan.spec);
+        assert!(!table.has_route(AsId(8)), "T holds no BGP route");
+        let t_path = effective_path(&net, &table, AsId(8)).unwrap();
+        assert!(
+            !t_path.contains(&AsId(3)),
+            "default chain avoids the culprit: {t_path:?}"
+        );
     }
 
     #[test]

@@ -353,6 +353,30 @@ impl CacheShard {
                             self.tables.retain(|_, e| !e.table.uses_link(a, b));
                             ev.link += (before - self.tables.len()) as u64;
                         }
+                        DirtyScope::PeerLinkDown(a, b) => {
+                            // A peer link disappeared under a Cogent-style
+                            // filter at an endpoint: besides routes over the
+                            // link, the departed peer leaving the filter's
+                            // peer list can newly admit paths that *contain*
+                            // it — which only matters to specs whose seed
+                            // footprint names the peer or whose tables route
+                            // through it. Consult the *current* policies:
+                            // any later filter edit logs its own (Global)
+                            // scope, so this cannot under-evict.
+                            let a_filters = net.policy(a).reject_peers_in_customer_path;
+                            let b_filters = net.policy(b).reject_peers_in_customer_path;
+                            self.tables.retain(|_, e| {
+                                if e.table.uses_link(a, b) {
+                                    return false;
+                                }
+                                let hits = |peer: AsId| {
+                                    e.footprint.binary_search(&peer).is_ok()
+                                        || e.table.routes_via(peer)
+                                };
+                                !(a_filters && hits(b) || b_filters && hits(a))
+                            });
+                            ev.link += (before - self.tables.len()) as u64;
+                        }
                         DirtyScope::LinkUp(a, b) => {
                             self.tables
                                 .retain(|_, e| !e.table.has_route(a) && !e.table.has_route(b));
@@ -1845,11 +1869,14 @@ mod tests {
     }
 
     #[test]
-    fn peer_filter_endpoints_force_global_link_eviction() {
-        // Soundness guard for the scoped link invalidation: a peer-link
-        // mutation at an AS running reject_peers_in_customer_path changes
-        // that AS's peer list, which can flip unrelated acceptance
-        // decisions — the scope degrades to Global and everything goes.
+    fn peer_filter_link_addition_stays_link_scoped() {
+        // Peer-link addition at an AS running
+        // reject_peers_in_customer_path used to degrade to a Global flush
+        // (the AS's peer list feeds unrelated acceptance decisions). The
+        // LinkUp endpoint predicate already covers that: a flipped
+        // rejection at the filtering AS requires it to hold a route, and
+        // every hop on a selected path holds the suffix route itself — so
+        // no entry escapes the has_route check.
         let mut net = net();
         net.set_policy(
             AsId(4),
@@ -1867,13 +1894,64 @@ mod tests {
         net.add_link(AsId(4), AsId(1), lg_asmap::Relationship::Peer);
         cache.compute(&net, &batch[0]);
         let s = cache.stats();
-        assert_eq!(s.evictions.global, 4, "peer filter forces a full flush");
-        assert_eq!(s.evictions.link, 0);
+        assert_eq!(s.evictions.global, 0, "no full flush under the filter");
+        assert_eq!(s.evictions.link, 4, "AS1 routes in every cached table");
         assert_eq!(cache.invalidations(), evicted_before + 4);
         for spec in &batch {
             let t = cache.compute(&net, spec);
             assert!(same_table(&t, &compute_routes(&net, spec), net.len()));
         }
+    }
+
+    #[test]
+    fn peer_link_removal_under_filter_retains_fifteen_of_sixteen() {
+        // Satellite of the PR 4 caveat: removing a *peer* link whose
+        // endpoint runs reject_peers_in_customer_path used to flush the
+        // whole cache (Global). PeerLinkDown keeps it link-precise: only
+        // tables that route over the link, route through the departed
+        // peer, or poison it in the seed can change. Middle 15 filters
+        // and peers with middle 16; nothing ever selects the peer link
+        // (both middles reach the origin directly) and nothing routes
+        // through middle 16, so only the middle-16 poison — whose seed
+        // footprint names the departed peer — is evicted.
+        let mut net = star_net();
+        net.set_policy(
+            AsId(15),
+            ImportPolicy {
+                reject_peers_in_customer_path: true,
+                ..ImportPolicy::standard()
+            },
+        );
+        net.add_link(AsId(15), AsId(16), lg_asmap::Relationship::Peer);
+        let mut cache = RouteTableCache::new();
+        let sweep = poison_sweep(&net);
+        for spec in &sweep {
+            cache.compute(&net, spec);
+        }
+        assert_eq!(cache.stats().entries, 16);
+
+        net.remove_link(AsId(15), AsId(16));
+        cache.compute(&net, &sweep[15]);
+        let s = cache.stats();
+        assert_eq!(s.entries, 16, "15 retained + the recomputed miss");
+        assert_eq!(
+            s.evictions,
+            Evictions {
+                link: 1,
+                ..Evictions::default()
+            },
+            "only the middle-16 poison names the departed peer"
+        );
+        assert_eq!((s.hits, s.misses), (0, 17));
+        // The evicted entry really did change: with 16 off 15's peer
+        // list, middle 15 accepts the poisoned seed again.
+        let t = cache.compute(&net, &sweep[15]);
+        assert!(t.has_route(AsId(15)), "filter no longer rejects the seed");
+        for spec in &sweep {
+            let t = cache.compute(&net, spec);
+            assert!(same_table(&t, &compute_routes(&net, spec), net.len()));
+        }
+        assert_eq!(cache.misses(), 17, "no retained table was recomputed");
     }
 
     #[test]

@@ -52,6 +52,14 @@ struct DynamicTelemetry {
     /// Simulated milliseconds from entering `run_until_quiescent` to its
     /// last processed event, per call that processed anything.
     quiescence_ms: Histogram,
+    /// Updates rejected by a max-path-length cap. Shares its name (and so
+    /// its global-registry handle) with the static engine's counter: the
+    /// `policy.filtered_*` family aggregates across both engines.
+    filtered_path_len: Counter,
+    /// Updates rejected by a poisoned-announcement filter.
+    filtered_poisoned: Counter,
+    /// Updates rejected by a reserved-ASN filter.
+    filtered_reserved: Counter,
 }
 
 impl DynamicTelemetry {
@@ -63,6 +71,9 @@ impl DynamicTelemetry {
             mrai_deferrals: r.counter("dynamic.mrai_deferrals"),
             loc_rib_changes: r.counter("dynamic.loc_rib_changes"),
             quiescence_ms: r.histogram("dynamic.quiescence_ms"),
+            filtered_path_len: r.counter("policy.filtered_path_len"),
+            filtered_poisoned: r.counter("policy.filtered_poisoned"),
+            filtered_reserved: r.counter("policy.filtered_reserved"),
         }
     }
 }
@@ -924,15 +935,21 @@ impl<'n> DynamicSim<'n> {
         self.tele.updates_received.inc();
         match path {
             Some(p) => {
-                let accepted = self.net.policy(to).accepts_hops(
+                let rejected = self.net.policy(to).evaluate_hops(
                     to,
                     self.net.peers_of(to),
                     rel,
                     self.paths.hops(p),
                     self.paths.len(p),
                 );
+                match rejected {
+                    Some(lg_bgp::RejectReason::PathLenCap) => self.tele.filtered_path_len.inc(),
+                    Some(lg_bgp::RejectReason::Poisoned) => self.tele.filtered_poisoned.inc(),
+                    Some(lg_bgp::RejectReason::ReservedAsn) => self.tele.filtered_reserved.inc(),
+                    _ => {}
+                }
                 let node = &mut self.nodes[to.index()];
-                if accepted {
+                if rejected.is_none() {
                     node.adj_in.insert(ArenaRoute {
                         prefix,
                         path: p,

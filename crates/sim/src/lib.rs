@@ -40,5 +40,5 @@ pub use dataplane::{DataPlane, Fib, Walk, WalkOutcome};
 pub use dynamic::{DynamicSim, DynamicSimConfig, OutQueue, PrefixMetrics, UpdateRecord};
 pub use failures::{Direction, Failure, FailureSet, NetElement};
 pub use network::{DirtyScope, MutationRecord, Network};
-pub use static_routes::{compute_routes, RouteTable};
+pub use static_routes::{compute_routes, effective_path, RouteTable};
 pub use time::{Time, TimerWheel};

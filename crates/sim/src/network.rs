@@ -35,9 +35,27 @@ pub enum DirtyScope {
     /// A link was added: only tables in which either endpoint has a route
     /// can change — a link between two route-less ASes carries no
     /// announcements in either direction.
+    ///
+    /// This predicate stays sufficient even when an endpoint runs the
+    /// Cogent-style peer filter: in the static fixed point an AS finalizes
+    /// on the *first* candidate its import filter accepts, so the new peer
+    /// entry in `a`'s list can only flip `a`'s selection if `a`'s cached
+    /// selection itself contains `b` — and then `a` has a route and the
+    /// predicate already evicts. New offers over the link require a route
+    /// at an endpoint as usual.
     LinkUp(AsId, AsId),
-    /// Anything can change (path-content filters such as
-    /// `reject_peers_in_customer_path` or `deny_transit`).
+    /// A *peer* link was removed while an endpoint runs the Cogent-style
+    /// `reject_peers_in_customer_path` filter, so `b` leaving `a`'s peer
+    /// list (or vice versa) can newly *admit* paths that contain the
+    /// departed peer as a hop. Candidates evaluated at any AS are only
+    /// seed paths and neighbors' selected paths, so a table can change
+    /// only if it routes through the removed link (the `LinkDown`
+    /// predicate) **or** the departed peer appears in the spec footprint
+    /// or on some selected path of the cached table.
+    PeerLinkDown(AsId, AsId),
+    /// Anything can change (path-content filter edits such as
+    /// `reject_peers_in_customer_path`, `deny_transit`, `max_path_len`,
+    /// `drop_poisoned`, `drop_reserved_asn`).
     Global,
 }
 
@@ -201,23 +219,69 @@ impl Network {
     /// Replace the import policy of `a` (loop-detection quirks, Cogent-style
     /// filters — §7.1).
     ///
-    /// Scope: an identical policy dirties nothing; a change confined to
-    /// `loop_detection` dirties only announcements whose seed footprint
-    /// contains `a` (loop detection at `a` counts occurrences of `a`, and a
-    /// candidate evaluated by a not-yet-finalized `a` contains `a` only if
-    /// a seed path does); any path-content filter change is global.
+    /// Scope: an identical policy dirties nothing, and neither does a
+    /// change confined to `default_route` (defaults affect data-plane
+    /// reachability queries, never the computed fixed point); a change
+    /// confined to `loop_detection` dirties only announcements whose seed
+    /// footprint contains `a` (loop detection at `a` counts occurrences of
+    /// `a`, and a candidate evaluated by a not-yet-finalized `a` contains
+    /// `a` only if a seed path does); any path-content filter change is
+    /// global.
     pub fn set_policy(&mut self, a: AsId, policy: ImportPolicy) {
-        let old = &self.policies[a.index()];
-        let scope = if *old == policy {
+        let scope = Self::policy_scope(a, &self.policies[a.index()], &policy);
+        self.policies[a.index()] = policy;
+        self.record_mutation(scope);
+    }
+
+    /// Classify a policy replacement at `a` (see [`Self::set_policy`]).
+    fn policy_scope(a: AsId, old: &ImportPolicy, new: &ImportPolicy) -> DirtyScope {
+        let path_content_equal = old.reject_peers_in_customer_path
+            == new.reject_peers_in_customer_path
+            && old.deny_transit == new.deny_transit
+            && old.max_path_len == new.max_path_len
+            && old.drop_poisoned == new.drop_poisoned
+            && old.drop_reserved_asn == new.drop_reserved_asn;
+        if path_content_equal && old.loop_detection == new.loop_detection {
+            // Identical, or differing only in `default_route`.
             DirtyScope::Unchanged
-        } else if old.reject_peers_in_customer_path == policy.reject_peers_in_customer_path
-            && old.deny_transit == policy.deny_transit
-        {
+        } else if path_content_equal {
             DirtyScope::Footprint(a)
         } else {
             DirtyScope::Global
-        };
-        self.policies[a.index()] = policy;
+        }
+    }
+
+    /// Apply a tier-aware filter deployment drawn by
+    /// [`lg_asmap::assign_filters`]: merge each AS's assigned filters into
+    /// its import policy, preserving unrelated fields (loop-detection
+    /// quirks, deny lists).
+    ///
+    /// Recorded as a *single* mutation — [`DirtyScope::Unchanged`] when no
+    /// routing-relevant field actually changed (in particular for a
+    /// zero-filter assignment), [`DirtyScope::Global`] otherwise.
+    pub fn apply_filter_assignment(&mut self, fa: &lg_asmap::FilterAssignment) {
+        assert_eq!(
+            fa.max_path_len.len(),
+            self.policies.len(),
+            "assignment drawn over a different graph"
+        );
+        let mut scope = DirtyScope::Unchanged;
+        for i in 0..self.policies.len() {
+            let old = &self.policies[i];
+            let new = ImportPolicy {
+                max_path_len: fa.max_path_len[i],
+                drop_poisoned: fa.drop_poisoned[i],
+                drop_reserved_asn: fa.drop_reserved_asn[i],
+                default_route: fa.default_route[i],
+                ..old.clone()
+            };
+            if *old != new {
+                if Self::policy_scope(AsId(i as u32), old, &new) != DirtyScope::Unchanged {
+                    scope = DirtyScope::Global;
+                }
+                self.policies[i] = new;
+            }
+        }
         self.record_mutation(scope);
     }
 
@@ -231,19 +295,27 @@ impl Network {
     /// Scope: removal only deletes the candidate offers exchanged over the
     /// link, and an offer that never won a selection cannot have shaped a
     /// fixed point — so only tables in which some selected route traverses
-    /// `a`-`b` can change ([`DirtyScope::LinkDown`]). Exception: when the
-    /// link is a *peer* link and either endpoint runs the Cogent-style
+    /// `a`-`b` can change ([`DirtyScope::LinkDown`]). When the link is a
+    /// *peer* link and either endpoint runs the Cogent-style
     /// `reject_peers_in_customer_path` filter, the peer-list change can
-    /// flip acceptance of unrelated paths at that endpoint, so the
-    /// mutation goes [`DirtyScope::Global`].
+    /// also newly admit paths containing the departed peer, so the scope
+    /// widens to [`DirtyScope::PeerLinkDown`] — still link-precise, no
+    /// longer a global flush.
     pub fn remove_link(&mut self, a: AsId, b: AsId) {
         let Some(rel) = self.graph.relationship(a, b) else {
             self.record_mutation(DirtyScope::Unchanged);
             return;
         };
+        let peer_sensitive = rel == lg_asmap::Relationship::Peer
+            && (self.policies[a.index()].reject_peers_in_customer_path
+                || self.policies[b.index()].reject_peers_in_customer_path);
         self.graph = self.graph.without_link(a, b);
         self.refresh_peer_lists(a, b);
-        let scope = self.link_scope(a, b, rel, DirtyScope::LinkDown(a, b));
+        let scope = if peer_sensitive {
+            DirtyScope::PeerLinkDown(a, b)
+        } else {
+            DirtyScope::LinkDown(a, b)
+        };
         self.record_mutation(scope);
     }
 
@@ -253,8 +325,10 @@ impl Network {
     /// Scope: the new link carries announcements only once an endpoint has
     /// a route to offer over it, so only tables in which `a` or `b` has a
     /// route can change ([`DirtyScope::LinkUp`]); a table where the prefix
-    /// reaches neither endpoint is reusable as-is. The same peer-filter
-    /// exception as [`Self::remove_link`] applies.
+    /// reaches neither endpoint is reusable as-is. This holds even under
+    /// peer filters at the endpoints — see the [`DirtyScope::LinkUp`]
+    /// soundness note — so peer-link additions no longer degrade to a
+    /// global flush.
     pub fn add_link(&mut self, a: AsId, b: AsId, rel: lg_asmap::Relationship) {
         if self.graph.relationship(a, b).is_some() {
             self.record_mutation(DirtyScope::Unchanged);
@@ -262,27 +336,7 @@ impl Network {
         }
         self.graph = self.graph.with_link(a, b, rel);
         self.refresh_peer_lists(a, b);
-        let scope = self.link_scope(a, b, rel, DirtyScope::LinkUp(a, b));
-        self.record_mutation(scope);
-    }
-
-    /// The scope of a link mutation: `scoped` normally, `Global` when the
-    /// peer-list change can reach unrelated acceptance decisions.
-    fn link_scope(
-        &self,
-        a: AsId,
-        b: AsId,
-        rel: lg_asmap::Relationship,
-        scoped: DirtyScope,
-    ) -> DirtyScope {
-        let peer_sensitive = rel == lg_asmap::Relationship::Peer
-            && (self.policies[a.index()].reject_peers_in_customer_path
-                || self.policies[b.index()].reject_peers_in_customer_path);
-        if peer_sensitive {
-            DirtyScope::Global
-        } else {
-            scoped
-        }
+        self.record_mutation(DirtyScope::LinkUp(a, b));
     }
 
     /// Re-derive the cached peer lists of a link mutation's endpoints.
@@ -301,6 +355,16 @@ impl Network {
         x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         x ^= x >> 31;
         10 + x % 40
+    }
+
+    /// The provider `a` points its default route at, when `a`'s policy has
+    /// `default_route` set: deterministically the lowest-numbered provider.
+    /// `None` when `a` has no default or no provider survives in the graph.
+    pub fn default_provider(&self, a: AsId) -> Option<AsId> {
+        if !self.policies[a.index()].default_route {
+            return None;
+        }
+        self.graph.providers(a).into_iter().min_by_key(|p| p.0)
     }
 
     /// Would `holder` export a route learned over `learned_rel` to `to`?
@@ -504,10 +568,12 @@ mod tests {
     }
 
     #[test]
-    fn peer_link_mutations_go_global_under_peer_filters() {
+    fn peer_link_mutations_stay_scoped_under_peer_filters() {
         // An endpoint running the Cogent-style filter consults its peer
-        // list for unrelated paths, so peer-link surgery there cannot be
-        // scoped to the link.
+        // list for unrelated paths. Peer-link *removal* there widens to
+        // the link-precise PeerLinkDown scope (the departed peer can newly
+        // pass the filter); *addition* keeps the plain LinkUp predicate —
+        // neither degrades to a global flush anymore.
         let mut n = net();
         n.set_policy(
             AsId(2),
@@ -525,11 +591,90 @@ mod tests {
         assert_eq!(
             n.changes_since(g0),
             Some(vec![
-                DirtyScope::Global,
-                DirtyScope::Global,
+                DirtyScope::PeerLinkDown(AsId(1), AsId(2)),
+                DirtyScope::LinkUp(AsId(1), AsId(2)),
                 DirtyScope::LinkDown(AsId(0), AsId(1)),
             ])
         );
+    }
+
+    #[test]
+    fn filter_policy_edits_classify_scopes() {
+        let mut n = net();
+        let g0 = n.generation();
+        // default_route-only change: fixed point untouched.
+        n.set_policy(
+            AsId(1),
+            ImportPolicy {
+                default_route: true,
+                ..ImportPolicy::standard()
+            },
+        );
+        // Path-content filters: global.
+        n.set_policy(
+            AsId(1),
+            ImportPolicy {
+                default_route: true,
+                max_path_len: Some(4),
+                ..ImportPolicy::standard()
+            },
+        );
+        n.set_policy(
+            AsId(2),
+            ImportPolicy {
+                drop_poisoned: true,
+                ..ImportPolicy::standard()
+            },
+        );
+        assert_eq!(
+            n.changes_since(g0),
+            Some(vec![
+                DirtyScope::Unchanged,
+                DirtyScope::Global,
+                DirtyScope::Global,
+            ])
+        );
+    }
+
+    #[test]
+    fn filter_assignment_applies_and_scopes() {
+        use lg_asmap::FilterAssignment;
+        let mut n = net();
+        let g0 = n.generation();
+        // Zero assignment: one Unchanged record, policies untouched.
+        n.apply_filter_assignment(&FilterAssignment::none(3));
+        assert_eq!(n.changes_since(g0), Some(vec![DirtyScope::Unchanged]));
+        // A real deployment: single Global record, fields merged in.
+        let mut fa = FilterAssignment::none(3);
+        fa.max_path_len[1] = Some(5);
+        fa.default_route[2] = true;
+        n.apply_filter_assignment(&fa);
+        assert_eq!(n.policy(AsId(1)).max_path_len, Some(5));
+        assert!(n.policy(AsId(2)).default_route);
+        assert_eq!(
+            n.changes_since(g0),
+            Some(vec![DirtyScope::Unchanged, DirtyScope::Global])
+        );
+        // Re-applying the same assignment: nothing changes.
+        let g1 = n.generation();
+        n.apply_filter_assignment(&fa);
+        assert_eq!(n.changes_since(g1), Some(vec![DirtyScope::Unchanged]));
+    }
+
+    #[test]
+    fn default_provider_is_deterministic() {
+        let mut n = net();
+        assert_eq!(n.default_provider(AsId(1)), None, "no default configured");
+        n.set_policy(
+            AsId(1),
+            ImportPolicy {
+                default_route: true,
+                ..ImportPolicy::standard()
+            },
+        );
+        assert_eq!(n.default_provider(AsId(1)), Some(AsId(0)));
+        n.remove_link(AsId(0), AsId(1));
+        assert_eq!(n.default_provider(AsId(1)), None, "provider gone");
     }
 
     #[test]

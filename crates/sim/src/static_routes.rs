@@ -18,7 +18,7 @@
 use crate::announce::AnnouncementSpec;
 use crate::network::Network;
 use lg_asmap::{AsId, Relationship};
-use lg_bgp::{AsPath, Prefix, Route};
+use lg_bgp::{AsPath, Prefix, RejectReason, Route};
 use lg_telemetry::{Counter, Histogram};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -38,6 +38,14 @@ struct ComputeMetrics {
     arena_nodes: Counter,
     /// Per-spec wall time, microseconds.
     wall_us: Histogram,
+    /// Candidates rejected by a max-path-length cap (`policy.filtered_*`
+    /// counters are shared by name with the dynamic engine, so they
+    /// aggregate filter activity across both engines).
+    filtered_path_len: Counter,
+    /// Candidates rejected by a poisoned-announcement filter.
+    filtered_poisoned: Counter,
+    /// Candidates rejected by a reserved-ASN filter.
+    filtered_reserved: Counter,
 }
 
 fn compute_metrics() -> &'static ComputeMetrics {
@@ -49,6 +57,9 @@ fn compute_metrics() -> &'static ComputeMetrics {
             candidates: r.counter("compute.candidates"),
             arena_nodes: r.counter("compute.arena_nodes"),
             wall_us: r.histogram("compute.wall_us"),
+            filtered_path_len: r.counter("policy.filtered_path_len"),
+            filtered_poisoned: r.counter("policy.filtered_poisoned"),
+            filtered_reserved: r.counter("policy.filtered_reserved"),
         }
     })
 }
@@ -190,6 +201,18 @@ impl RouteTable {
         })
     }
 
+    /// Does `x` appear as a hop on any selected path? Holding a route is
+    /// *not* enough: a peer-in-customer-path filter only ever sees hop
+    /// sequences, so an AS that routes but sits on nobody's path cannot
+    /// flip an acceptance decision. The cheap boolean the cache's
+    /// peer-link eviction predicate runs per entry — [`Self::ases_via`]
+    /// allocates, this doesn't.
+    pub fn routes_via(&self, x: AsId) -> bool {
+        self.routes
+            .iter()
+            .any(|r| r.as_ref().is_some_and(|route| route.traverses(x)))
+    }
+
     /// ASes whose selected path traverses `x` (origin excluded).
     pub fn ases_via(&self, x: AsId) -> Vec<AsId> {
         self.routes
@@ -259,6 +282,10 @@ impl PartialOrd for Candidate {
 pub fn compute_routes(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
     let started = Instant::now();
     let mut popped: u64 = 0;
+    // Local tally of filter rejections [path-len, poisoned, reserved-ASN];
+    // flushed to the `policy.filtered_*` counters at return so the hot
+    // loop stays atomics-free.
+    let mut filtered = [0u64; 3];
     let n = net.len();
     let mut routes: Vec<Option<Route>> = vec![None; n];
     let mut arena = PathArena::with_capacity(n + spec.seeds.len() * 4);
@@ -310,14 +337,20 @@ pub fn compute_routes(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
             continue; // already selected a better (or equal-popped-first) route
         }
         // Import policy: loop detection and filters, straight off the arena.
-        let accepted = net.policy(to).accepts_hops(
+        let rejected = net.policy(to).evaluate_hops(
             to,
             net.peers_of(to),
             cand.rel,
             arena.hops(cand.path),
             cand.len as usize,
         );
-        if !accepted {
+        if let Some(reason) = rejected {
+            match reason {
+                RejectReason::PathLenCap => filtered[0] += 1,
+                RejectReason::Poisoned => filtered[1] += 1,
+                RejectReason::ReservedAsn => filtered[2] += 1,
+                _ => {}
+            }
             continue;
         }
         let route = Route {
@@ -367,6 +400,9 @@ pub fn compute_routes(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
     m.candidates.add(popped);
     m.arena_nodes.add(arena.nodes.len() as u64);
     m.wall_us.record_elapsed_us(started);
+    m.filtered_path_len.add(filtered[0]);
+    m.filtered_poisoned.add(filtered[1]);
+    m.filtered_reserved.add(filtered[2]);
 
     // The origin's self-route must not leak out as a normal route.
     RouteTable {
@@ -374,6 +410,40 @@ pub fn compute_routes(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
         origin: spec.origin,
         routes,
     }
+}
+
+/// The effective data-plane path of `a` toward the table's origin, default
+/// routes included: an AS holding no BGP route still forwards toward its
+/// default provider (Smith et al. — defaults are one of the mechanisms
+/// that throttle poisoning, because traffic keeps flowing along a chain
+/// the poison never touched). Returns the AS-level hop sequence from `a`
+/// (inclusive) to the origin (inclusive), or `None` when `a` cannot reach
+/// the prefix at all.
+///
+/// The chain follows deterministic default providers
+/// ([`Network::default_provider`]) until some AS holds a route, then walks
+/// that AS's selected next hops. The repair planner runs this instead of
+/// [`RouteTable::has_route`] so a "repaired" target that still reaches the
+/// culprit through a default route is reported as unrepaired.
+pub fn effective_path(net: &Network, table: &RouteTable, a: AsId) -> Option<Vec<AsId>> {
+    let mut hops = vec![a];
+    let mut cur = a;
+    while !table.has_route(cur) {
+        let next = net.default_provider(cur)?;
+        if hops.contains(&next) {
+            return None; // defensive: a default-route loop goes nowhere
+        }
+        hops.push(next);
+        cur = next;
+    }
+    while let Some(nh) = table.next_hop(cur) {
+        if hops.contains(&nh) {
+            return None;
+        }
+        hops.push(nh);
+        cur = nh;
+    }
+    (cur == table.origin).then_some(hops)
 }
 
 /// Reference candidate for [`compute_routes_reference`]: owns its path and

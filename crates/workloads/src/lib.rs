@@ -20,15 +20,20 @@
 //! * [`churn`] — randomized, seeded control-plane churn schedules
 //!   (announce / withdraw / fail / restore / advance) used by the
 //!   out-queue differential harness and the dense-churn benchmarks.
+//! * [`filters`] — the named filter-deployment matrix (Smith et al.'s
+//!   path-length caps, core poison drops, stub defaults) the differential
+//!   harnesses sweep and the feasibility reruns calibrate against.
 
 pub mod arrivals;
 pub mod churn;
+pub mod filters;
 pub mod harvest;
 pub mod outages;
 pub mod scenarios;
 
 pub use arrivals::{ArrivalsConfig, OutageArrival};
 pub use churn::{ChurnConfig, ChurnOp, ChurnRunner, ChurnWorld};
+pub use filters::FilterMatrix;
 pub use harvest::harvest_poison_targets;
 pub use outages::{OutageStats, OutageTrace, OutageTraceConfig};
 pub use scenarios::{FailureScenario, ScenarioGen, ScenarioKind};

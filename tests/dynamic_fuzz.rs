@@ -11,6 +11,7 @@ use lifeguard_repro::bgp::Prefix;
 use lifeguard_repro::sim::{
     compute_routes, AnnouncementSpec, DynamicSim, DynamicSimConfig, Network, OutQueue,
 };
+use lifeguard_repro::workloads::FilterMatrix;
 use proptest::prelude::*;
 
 fn pfx() -> Prefix {
@@ -98,13 +99,19 @@ proptest! {
         mrai_sel in 0usize..3,
         mrai_jitter in any::<bool>(),
         ring in any::<bool>(),
+        // Sweep the adversarial filter deployments too: import-time
+        // filtering must not break dynamic/static agreement.
+        filter_sel in 0usize..4,
     ) {
         let mrai_ms = [2_000u64, 10_000, 30_000][mrai_sel];
+        let matrix = FilterMatrix::ALL[filter_sel];
         let ops: Vec<Op> = raw_ops
             .iter()
             .map(|&(kind, index, ms)| decode(kind, index, ms))
             .collect();
-        let net = Network::new(TopologyConfig::small(seed).generate());
+        let mut net = Network::new(TopologyConfig::small(seed).generate());
+        let filter_assignment = matrix.apply(&mut net, seed);
+        let net = net;
         let origin = pick_origin(&net);
         let target = pick_poison_target(&net, origin);
         let links = all_links(&net);
@@ -167,7 +174,9 @@ proptest! {
             }
             Some(shape) => {
                 // The surviving topology's static fixed point is the ground
-                // truth for the last announced shape.
+                // truth for the last announced shape. `Network::new` starts
+                // with clean policies, so the oracle must re-apply the
+                // *identical* filter assignment the dynamic run used.
                 let cut_net;
                 let static_net = if down.is_empty() {
                     &net
@@ -176,7 +185,9 @@ proptest! {
                     for (a, b) in &down[1..] {
                         g = g.without_link(*a, *b);
                     }
-                    cut_net = Network::new(g);
+                    let mut cut = Network::new(g);
+                    cut.apply_filter_assignment(&filter_assignment);
+                    cut_net = cut;
                     &cut_net
                 };
                 let table =
@@ -188,9 +199,10 @@ proptest! {
                     prop_assert_eq!(
                         sim.loc_route(a, pfx()).map(|r| r.learned_from),
                         table.next_hop(a),
-                        "{} disagrees with the static fixed point (shape {}, down {:?})",
+                        "{} disagrees with the static fixed point (shape {}, matrix {}, down {:?})",
                         a,
                         shape,
+                        matrix.label(),
                         &down
                     );
                 }

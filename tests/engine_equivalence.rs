@@ -125,6 +125,41 @@ fn policy_quirks_agree_across_engines() {
 }
 
 #[test]
+fn filtered_policies_agree_across_engines() {
+    use lifeguard_repro::workloads::FilterMatrix;
+    // Every filter-matrix point: import-time filtering (path-length caps,
+    // poison drops, reserved-ASN drops) must produce the same fixed point
+    // in both engines, for plain, prepended, and poisoned announcements.
+    for matrix in FilterMatrix::ALL {
+        for seed in [5u64, 29] {
+            let graph = TopologyConfig::small(seed).generate();
+            let mut net = Network::new(graph);
+            matrix.apply(&mut net, seed);
+            let origin = net
+                .graph()
+                .ases()
+                .find(|a| net.graph().is_stub(*a) && net.graph().providers(*a).len() >= 2)
+                .unwrap();
+            let prefix = Prefix::from_octets(184, 164, 224, 0, 20);
+            let transit = net.graph().providers(origin)[0];
+            let above = net.graph().providers(transit);
+            let poison_target = if above.is_empty() { transit } else { above[0] };
+            let specs = vec![
+                AnnouncementSpec::plain(&net, prefix, origin),
+                AnnouncementSpec::prepended(&net, prefix, origin, 4),
+                AnnouncementSpec::poisoned(&net, prefix, origin, &[poison_target]),
+                AnnouncementSpec::prepended(&net, prefix, origin, 8),
+            ];
+            println!(
+                "engine equivalence: matrix {} seed {seed} origin {origin}",
+                matrix.label()
+            );
+            check_equivalence(&net, &specs);
+        }
+    }
+}
+
+#[test]
 fn withdrawals_clear_state_in_both_engines() {
     let graph = TopologyConfig::small(23).generate();
     let net = Network::new(graph);

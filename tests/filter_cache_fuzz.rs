@@ -1,0 +1,174 @@
+//! Mutation fuzz for the route-table cache under filter-policy churn.
+//!
+//! The scoped invalidation machinery (`DirtyScope`) decides, per mutation,
+//! which cached fixed points can still be trusted. The filter layer raised
+//! the stakes: policy edits classify as Unchanged / Footprint / Global,
+//! peer-link surgery under `reject_peers_in_customer_path` uses the
+//! link-precise `PeerLinkDown` / `LinkUp` predicates, and
+//! `apply_filter_assignment` batches a whole deployment into one record.
+//! Any under-eviction is silent route corruption, so this harness drives
+//! randomized interleavings of filter edits, deployment draws, link
+//! surgery, and cache lookups, and checks every cache answer against a
+//! fresh `compute_routes` *and* the verbatim `compute_routes_reference`
+//! oracle. Failures print the offending `(seed, op index)` for replay.
+
+use lifeguard_repro::asmap::{AsId, Relationship, TopologyConfig};
+use lifeguard_repro::bgp::Prefix;
+use lifeguard_repro::sim::static_routes::compute_routes_reference;
+use lifeguard_repro::sim::{compute_routes, AnnouncementSpec, Network, RouteTableCache};
+use lifeguard_repro::workloads::FilterMatrix;
+
+fn pfx() -> Prefix {
+    Prefix::from_octets(184, 164, 224, 0, 20)
+}
+
+/// splitmix64 — deterministic op stream per seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.0;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn pick_origin(net: &Network) -> AsId {
+    net.graph()
+        .ases()
+        .find(|a| net.graph().is_stub(*a) && net.graph().providers(*a).len() >= 2)
+        .or_else(|| net.graph().ases().find(|a| net.graph().is_stub(*a)))
+        .expect("generated topology has stubs")
+}
+
+fn all_links(net: &Network) -> Vec<(AsId, AsId, Relationship)> {
+    let mut links = Vec::new();
+    for a in net.graph().ases() {
+        for (b, rel) in net.graph().neighbors(a) {
+            if a.0 < b.0 {
+                links.push((a, *b, *rel));
+            }
+        }
+    }
+    links
+}
+
+fn spec_for(net: &Network, rng: &mut Rng, origin: AsId) -> AnnouncementSpec {
+    let n = net.len() as u64;
+    match rng.below(4) {
+        0 => AnnouncementSpec::plain(net, pfx(), origin),
+        1 => AnnouncementSpec::prepended(net, pfx(), origin, 1 + rng.below(6) as usize),
+        2 => AnnouncementSpec::poisoned(net, pfx(), origin, &[AsId(rng.below(n) as u32)]),
+        _ => {
+            let t1 = AsId(rng.below(n) as u32);
+            let t2 = AsId(rng.below(n) as u32);
+            AnnouncementSpec::poisoned(net, pfx(), origin, &[t1, t2])
+        }
+    }
+}
+
+/// One random filter-field edit at one AS, preserving the rest of its
+/// policy (the way the planner and the scenario knobs edit policies).
+fn edit_policy(net: &mut Network, rng: &mut Rng) {
+    let a = AsId(rng.below(net.len() as u64) as u32);
+    let mut p = net.policy(a).clone();
+    match rng.below(5) {
+        0 => {
+            p.max_path_len = match p.max_path_len {
+                Some(_) => None,
+                None => Some(3 + rng.below(6) as u8),
+            }
+        }
+        1 => p.drop_poisoned = !p.drop_poisoned,
+        2 => p.drop_reserved_asn = !p.drop_reserved_asn,
+        3 => p.reject_peers_in_customer_path = !p.reject_peers_in_customer_path,
+        _ => p.default_route = !p.default_route,
+    }
+    net.set_policy(a, p);
+}
+
+fn check(
+    seed: u64,
+    op: usize,
+    net: &Network,
+    cache: &mut RouteTableCache,
+    origin: AsId,
+    rng: &mut Rng,
+) {
+    let spec = spec_for(net, rng, origin);
+    let cached = cache.compute(net, &spec);
+    let scratch = compute_routes(net, &spec);
+    let reference = compute_routes_reference(net, &spec);
+    for a in net.graph().ases() {
+        assert_eq!(
+            cached.route(a),
+            scratch.route(a),
+            "seed {seed} op {op}: cache diverges from scratch at {a} \
+             (spec origin {origin}, path {:?})",
+            spec.seeds.first().map(|(_, p)| p),
+        );
+        assert_eq!(
+            scratch.route(a),
+            reference.route(a),
+            "seed {seed} op {op}: static engine diverges from reference at {a}",
+        );
+    }
+}
+
+#[test]
+fn cache_survives_randomized_filter_and_link_churn() {
+    // ~1k seeds keep the default suite fast; CI's filter-matrix job (and
+    // local hunting) cranks the sweep via LG_FUZZ_SEEDS.
+    let seeds: u64 = std::env::var("LG_FUZZ_SEEDS")
+        .ok()
+        .map(|v| v.parse().expect("LG_FUZZ_SEEDS must be an integer"))
+        .unwrap_or(1000);
+    let mut divergence_free_checks = 0u64;
+    for seed in 0..seeds {
+        let mut rng = Rng(seed.wrapping_mul(0x5851_F42D_4C95_7F2D) ^ 0xFEED);
+        let mut net = Network::new(TopologyConfig::small(1 + seed % 16).generate());
+        FilterMatrix::ALL[(seed % 4) as usize].apply(&mut net, seed);
+        let origin = pick_origin(&net);
+        let live = all_links(&net);
+        let mut down: Vec<(AsId, AsId, Relationship)> = Vec::new();
+        let mut cache = RouteTableCache::new();
+
+        for op in 0..40 {
+            match rng.below(8) {
+                0 | 1 => edit_policy(&mut net, &mut rng),
+                2 => {
+                    let matrix = FilterMatrix::ALL[rng.below(4) as usize];
+                    matrix.apply(&mut net, rng.next());
+                }
+                3 => {
+                    let (a, b, rel) = live[rng.below(live.len() as u64) as usize];
+                    if !down.iter().any(|&(x, y, _)| (x, y) == (a, b)) {
+                        net.remove_link(a, b);
+                        down.push((a, b, rel));
+                    }
+                }
+                4 => {
+                    if !down.is_empty() {
+                        let (a, b, rel) = down.remove(rng.below(down.len() as u64) as usize);
+                        net.add_link(a, b, rel);
+                    }
+                }
+                _ => {
+                    check(seed, op, &net, &mut cache, origin, &mut rng);
+                    divergence_free_checks += 1;
+                }
+            }
+        }
+    }
+    // The sweep must actually exercise cache reuse, not recompute always.
+    assert!(
+        divergence_free_checks > 500,
+        "sweep ran suspiciously few checks: {divergence_free_checks}"
+    );
+}

@@ -13,6 +13,11 @@
 //! Seeds: the schedule space is swept from a base seed, overridable with
 //! `LG_CHURN_SEED=<u64>` (CI runs two fixed bases plus one random one).
 //! Every failure message carries the offending schedule seed for replay.
+//!
+//! Filter matrices: the sweep also runs under the adversarial filter
+//! deployments of [`FilterMatrix`] — `LG_FILTER_MATRIX` selects the point
+//! for the big sweep, and a dedicated test covers all four points at a
+//! reduced schedule count. Replay = same seed + same `LG_FILTER_MATRIX`.
 
 use std::collections::HashMap;
 
@@ -22,6 +27,7 @@ use lifeguard_repro::sim::{DynamicSim, DynamicSimConfig, OutQueue, Time, UpdateR
 use lifeguard_repro::workloads::churn::{
     churn_network, churn_prefix, generate_ops, ChurnConfig, ChurnRunner, ChurnWorld,
 };
+use lifeguard_repro::workloads::FilterMatrix;
 
 /// Schedules per sweep. CI runs the sweep three times (two fixed bases,
 /// one random), so the per-run count stays modest while total coverage
@@ -72,8 +78,9 @@ struct Outcome {
     log: Vec<UpdateRecord>,
 }
 
-fn run_one(seed: u64, out_queue: OutQueue) -> Outcome {
-    let net = churn_network(seed ^ 0xA5A5);
+fn run_one(seed: u64, out_queue: OutQueue, matrix: FilterMatrix) -> Outcome {
+    let mut net = churn_network(seed ^ 0xA5A5);
+    matrix.apply(&mut net, seed);
     let world = ChurnWorld::new(&net);
     let ops = generate_ops(&ChurnConfig {
         seed,
@@ -161,13 +168,14 @@ fn check_invariants(seed: u64, sim_cfg: &DynamicSimConfig, net_seed: u64, log: &
     }
 }
 
-fn diff_one(seed: u64) {
-    let ring = run_one(seed, OutQueue::Ring);
-    let reference = run_one(seed, OutQueue::Reference);
+fn diff_one(seed: u64, matrix: FilterMatrix) {
+    let tag = format!("seed {seed} matrix {}", matrix.label());
+    let ring = run_one(seed, OutQueue::Ring, matrix);
+    let reference = run_one(seed, OutQueue::Reference, matrix);
 
     assert!(
         ring.quiescent && reference.quiescent,
-        "seed {seed}: run did not quiesce (ring {}, reference {})",
+        "{tag}: run did not quiesce (ring {}, reference {})",
         ring.quiescent,
         reference.quiescent
     );
@@ -177,22 +185,19 @@ fn diff_one(seed: u64) {
     for i in 0..n {
         assert_eq!(
             ring.log[i], reference.log[i],
-            "seed {seed}: update logs diverge at record #{i}"
+            "{tag}: update logs diverge at record #{i}"
         );
     }
     assert_eq!(
         ring.log.len(),
         reference.log.len(),
-        "seed {seed}: update logs differ in length after agreeing on {n} records"
+        "{tag}: update logs differ in length after agreeing on {n} records"
     );
-    assert_eq!(
-        ring.loc_ribs, reference.loc_ribs,
-        "seed {seed}: Loc-RIBs diverge"
-    );
+    assert_eq!(ring.loc_ribs, reference.loc_ribs, "{tag}: Loc-RIBs diverge");
     assert_eq!(
         (ring.quiesce_at, ring.now),
         (reference.quiesce_at, reference.now),
-        "seed {seed}: quiescence ticks diverge"
+        "{tag}: quiescence ticks diverge"
     );
 
     check_invariants(
@@ -206,19 +211,42 @@ fn diff_one(seed: u64) {
 #[test]
 fn ring_out_queue_matches_reference_across_randomized_churn() {
     let base = base_seed();
-    println!("outqueue differential sweep: base seed {base} (override with LG_CHURN_SEED)");
+    let matrix = FilterMatrix::from_env().unwrap_or(FilterMatrix::None);
+    println!(
+        "outqueue differential sweep: base seed {base} matrix {} \
+         (override with LG_CHURN_SEED / LG_FILTER_MATRIX)",
+        matrix.label()
+    );
     let mut total_updates = 0usize;
     for i in 0..SCHEDULES {
         let seed = schedule_seed(base, i);
-        let ring = run_one(seed, OutQueue::Ring);
+        let ring = run_one(seed, OutQueue::Ring, matrix);
         total_updates += ring.log.len();
-        diff_one(seed);
+        diff_one(seed, matrix);
     }
     // The sweep must actually exercise the machinery, not no-op through.
     assert!(
         total_updates > 10_000,
         "sweep produced suspiciously little churn: {total_updates} updates"
     );
+}
+
+#[test]
+fn ring_out_queue_matches_reference_across_filter_matrix() {
+    // All four filter-deployment points at a reduced schedule count: the
+    // big sweep covers one point exhaustively (selected by
+    // LG_FILTER_MATRIX); this one guarantees every point is exercised on
+    // every run.
+    let base = base_seed() ^ 0xF1173;
+    for matrix in FilterMatrix::ALL {
+        println!(
+            "filter-matrix differential: matrix {} base seed {base}",
+            matrix.label()
+        );
+        for i in 0..40 {
+            diff_one(schedule_seed(base, i), matrix);
+        }
+    }
 }
 
 #[test]
