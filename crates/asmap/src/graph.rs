@@ -1,4 +1,10 @@
 //! The AS-level graph: adjacency with business relationships.
+//!
+//! Adjacency is stored in CSR (compressed sparse row) form: one flat
+//! `(neighbor, relationship)` array plus per-AS offsets. Neighbor lookups
+//! return contiguous slices, so a 75k-AS graph costs two cache-friendly
+//! allocations instead of 75k small `Vec`s, and `relationship` is a binary
+//! search instead of a linear scan.
 
 use crate::ids::AsId;
 use crate::relationship::Relationship;
@@ -20,13 +26,19 @@ pub fn next_generation() -> u64 {
 
 /// An immutable AS-level topology with per-edge business relationships.
 ///
-/// Adjacency is stored per AS as `(neighbor, relationship-from-this-AS's-
-/// viewpoint)`. The graph is always relationship-consistent: if `a` lists `b`
-/// as a customer then `b` lists `a` as a provider. Use [`GraphBuilder`] to
-/// construct one.
+/// Adjacency is exposed per AS as `(neighbor, relationship-from-this-AS's-
+/// viewpoint)` slices, sorted by neighbor id. The graph is always
+/// relationship-consistent: if `a` lists `b` as a customer then `b` lists `a`
+/// as a provider. Use [`GraphBuilder`] to construct one.
 #[derive(Clone, Debug)]
 pub struct AsGraph {
-    adj: Vec<Vec<(AsId, Relationship)>>,
+    /// CSR row offsets: neighbors of AS `i` live at
+    /// `flat[offsets[i] as usize..offsets[i + 1] as usize]`. Always has
+    /// `len() + 1` entries; `u32` suffices because the flat array holds
+    /// `2 * edge_count` entries and the whole Internet is ~500k edges.
+    offsets: Vec<u32>,
+    /// Flat adjacency, sorted by neighbor id within each AS's row.
+    flat: Vec<(AsId, Relationship)>,
     /// Tier annotation from the generator (1 = tier-1 clique); 0 when unknown.
     tiers: Vec<u8>,
     edge_count: usize,
@@ -38,12 +50,12 @@ pub struct AsGraph {
 impl AsGraph {
     /// Number of ASes.
     pub fn len(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// True when the graph has no ASes.
     pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
+        self.len() == 0
     }
 
     /// Number of undirected AS-level links.
@@ -56,22 +68,32 @@ impl AsGraph {
         self.generation
     }
 
-    /// All AS ids, in index order.
-    pub fn ases(&self) -> impl Iterator<Item = AsId> + '_ {
-        (0..self.adj.len() as u32).map(AsId)
+    /// Approximate heap footprint of the adjacency structure in bytes.
+    /// Used by the scalability bench to report per-size memory budgets.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.flat.len() * std::mem::size_of::<(AsId, Relationship)>()
+            + self.tiers.len()
     }
 
-    /// Neighbors of `a` with the relationship from `a`'s point of view.
+    /// All AS ids, in index order.
+    pub fn ases(&self) -> impl Iterator<Item = AsId> + '_ {
+        (0..self.len() as u32).map(AsId)
+    }
+
+    /// Neighbors of `a` with the relationship from `a`'s point of view,
+    /// sorted by neighbor id.
     pub fn neighbors(&self, a: AsId) -> &[(AsId, Relationship)] {
-        &self.adj[a.index()]
+        let i = a.index();
+        &self.flat[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// The relationship of `a` toward `b`, if they are adjacent.
     pub fn relationship(&self, a: AsId, b: AsId) -> Option<Relationship> {
-        self.adj[a.index()]
-            .iter()
-            .find(|(n, _)| *n == b)
-            .map(|(_, r)| *r)
+        let row = self.neighbors(a);
+        row.binary_search_by_key(&b, |(n, _)| *n)
+            .ok()
+            .map(|i| row[i].1)
     }
 
     /// True when `a` and `b` share a link.
@@ -81,7 +103,7 @@ impl AsGraph {
 
     /// Neighbors of `a` filtered by relationship.
     pub fn neighbors_with(&self, a: AsId, rel: Relationship) -> impl Iterator<Item = AsId> + '_ {
-        self.adj[a.index()]
+        self.neighbors(a)
             .iter()
             .filter(move |(_, r)| *r == rel)
             .map(|(n, _)| *n)
@@ -104,7 +126,8 @@ impl AsGraph {
 
     /// True when `a` has no customers (it is an edge/stub network).
     pub fn is_stub(&self, a: AsId) -> bool {
-        !self.adj[a.index()]
+        !self
+            .neighbors(a)
             .iter()
             .any(|(_, r)| *r == Relationship::Customer)
     }
@@ -116,7 +139,7 @@ impl AsGraph {
 
     /// Total degree of `a`.
     pub fn degree(&self, a: AsId) -> usize {
-        self.adj[a.index()].len()
+        (self.offsets[a.index() + 1] - self.offsets[a.index()]) as usize
     }
 
     /// All transit ASes (those with at least one customer).
@@ -124,55 +147,98 @@ impl AsGraph {
         self.ases().filter(|a| !self.is_stub(*a)).collect()
     }
 
+    /// Rebuild the CSR arrays keeping only entries for which
+    /// `keep(owner, neighbor)` holds. Relationship consistency is preserved
+    /// when `keep` is symmetric. O(V + E), same cost as the old deep clone.
+    fn filtered(&self, keep: impl Fn(AsId, AsId) -> bool) -> AsGraph {
+        let mut offsets = Vec::with_capacity(self.offsets.len());
+        let mut flat = Vec::with_capacity(self.flat.len());
+        offsets.push(0u32);
+        for a in self.ases() {
+            flat.extend(
+                self.neighbors(a)
+                    .iter()
+                    .filter(|(n, _)| keep(a, *n))
+                    .copied(),
+            );
+            offsets.push(flat.len() as u32);
+        }
+        let edge_count = flat.len() / 2;
+        AsGraph {
+            offsets,
+            flat,
+            tiers: self.tiers.clone(),
+            edge_count,
+            generation: next_generation(),
+        }
+    }
+
     /// A copy of the graph without the link `a`-`b` (no-op when absent).
     /// Used by the paper's §5.1 simulation methodology of removing links
     /// and re-checking reachability.
     pub fn without_link(&self, a: AsId, b: AsId) -> AsGraph {
-        let mut g = self.clone();
-        let before = g.adj[a.index()].len();
-        g.adj[a.index()].retain(|(n, _)| *n != b);
-        g.adj[b.index()].retain(|(n, _)| *n != a);
-        if g.adj[a.index()].len() != before {
-            g.edge_count -= 1;
+        if !self.are_adjacent(a, b) {
+            let mut g = self.clone();
+            g.generation = next_generation();
+            return g;
         }
-        g.generation = next_generation();
-        g
+        self.filtered(|x, n| !((x == a && n == b) || (x == b && n == a)))
     }
 
     /// A copy of the graph with the link `a`-`b` added, `rel` being `a`'s
     /// view of `b` (no-op when already adjacent). The repair studies re-add
     /// links that earlier surgery removed.
     pub fn with_link(&self, a: AsId, b: AsId, rel: Relationship) -> AsGraph {
-        let mut g = self.clone();
-        if !g.are_adjacent(a, b) {
-            assert_ne!(a, b, "self-link on {a}");
-            g.adj[a.index()].push((b, rel));
-            g.adj[b.index()].push((a, rel.reverse()));
-            g.adj[a.index()].sort_unstable_by_key(|(n, _)| *n);
-            g.adj[b.index()].sort_unstable_by_key(|(n, _)| *n);
-            g.edge_count += 1;
+        if self.are_adjacent(a, b) {
+            let mut g = self.clone();
+            g.generation = next_generation();
+            return g;
         }
-        g.generation = next_generation();
-        g
+        assert_ne!(a, b, "self-link on {a}");
+        let mut offsets = Vec::with_capacity(self.offsets.len());
+        let mut flat = Vec::with_capacity(self.flat.len() + 2);
+        offsets.push(0u32);
+        for x in self.ases() {
+            let row = self.neighbors(x);
+            let insert = if x == a {
+                Some((b, rel))
+            } else if x == b {
+                Some((a, rel.reverse()))
+            } else {
+                None
+            };
+            match insert {
+                Some(entry) => {
+                    // Keep the row sorted by splicing at the right spot.
+                    let pos = row.partition_point(|(n, _)| *n < entry.0);
+                    flat.extend_from_slice(&row[..pos]);
+                    flat.push(entry);
+                    flat.extend_from_slice(&row[pos..]);
+                }
+                None => flat.extend_from_slice(row),
+            }
+            offsets.push(flat.len() as u32);
+        }
+        AsGraph {
+            offsets,
+            flat,
+            tiers: self.tiers.clone(),
+            edge_count: self.edge_count + 1,
+            generation: next_generation(),
+        }
     }
 
     /// A copy of the graph with every link of `a` removed ("remove all of
     /// A's links from the topology", §5.1).
     pub fn without_as(&self, a: AsId) -> AsGraph {
-        let mut g = self.clone();
-        let removed = g.adj[a.index()].len();
-        let neighbors: Vec<AsId> = g.adj[a.index()].iter().map(|(n, _)| *n).collect();
-        g.adj[a.index()].clear();
-        for n in neighbors {
-            g.adj[n.index()].retain(|(x, _)| *x != a);
-        }
-        g.edge_count -= removed;
-        g.generation = next_generation();
-        g
+        self.filtered(|x, n| x != a && n != a)
     }
 }
 
 /// Mutable builder for [`AsGraph`]; enforces relationship consistency.
+///
+/// The builder keeps per-AS `Vec`s for cheap appends; [`GraphBuilder::build`]
+/// flattens them into the CSR layout.
 #[derive(Default, Debug)]
 pub struct GraphBuilder {
     adj: Vec<Vec<(AsId, Relationship)>>,
@@ -185,7 +251,7 @@ impl GraphBuilder {
     /// AS to a generated topology).
     pub fn from_graph(g: &AsGraph) -> Self {
         GraphBuilder {
-            adj: g.adj.clone(),
+            adj: g.ases().map(|a| g.neighbors(a).to_vec()).collect(),
             tiers: g.tiers.clone(),
             edge_count: g.edge_count,
         }
@@ -253,13 +319,27 @@ impl GraphBuilder {
         self.adj[a.index()].iter().any(|(n, _)| *n == b)
     }
 
-    /// Finish building; sorts adjacency for deterministic iteration.
+    /// Degree of `a` so far (used by generators for preferential attachment).
+    pub fn degree(&self, a: AsId) -> usize {
+        self.adj[a.index()].len()
+    }
+
+    /// Finish building; flattens into CSR with each row sorted by neighbor
+    /// id for deterministic iteration.
     pub fn build(mut self) -> AsGraph {
         for nbrs in &mut self.adj {
             nbrs.sort_unstable_by_key(|(n, _)| *n);
         }
+        let mut offsets = Vec::with_capacity(self.adj.len() + 1);
+        let mut flat = Vec::with_capacity(self.edge_count * 2);
+        offsets.push(0u32);
+        for nbrs in &self.adj {
+            flat.extend_from_slice(nbrs);
+            offsets.push(flat.len() as u32);
+        }
         AsGraph {
-            adj: self.adj,
+            offsets,
+            flat,
             tiers: self.tiers,
             edge_count: self.edge_count,
             generation: next_generation(),
@@ -387,5 +467,45 @@ mod tests {
         assert_eq!(b.add_as(), AsId(0));
         assert_eq!(b.add_as(), AsId(1));
         assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn csr_surgery_keeps_rows_sorted_and_consistent() {
+        // A denser graph exercises the filtered-rebuild paths.
+        let mut b = GraphBuilder::with_ases(6);
+        b.provider_customer(AsId(0), AsId(2));
+        b.provider_customer(AsId(0), AsId(3));
+        b.provider_customer(AsId(1), AsId(3));
+        b.provider_customer(AsId(1), AsId(4));
+        b.peer(AsId(0), AsId(1));
+        b.peer(AsId(2), AsId(3));
+        b.provider_customer(AsId(3), AsId(5));
+        let g = b.build();
+        for derived in [
+            g.without_link(AsId(0), AsId(3)),
+            g.without_as(AsId(3)),
+            g.with_link(AsId(4), AsId(5), Peer),
+        ] {
+            let mut seen = 0;
+            for a in derived.ases() {
+                let row = derived.neighbors(a);
+                assert!(
+                    row.windows(2).all(|w| w[0].0 < w[1].0),
+                    "row sorted, no dups"
+                );
+                for (n, r) in row {
+                    assert_eq!(derived.relationship(*n, a), Some(r.reverse()));
+                    seen += 1;
+                }
+            }
+            assert_eq!(seen, derived.edge_count() * 2);
+        }
+    }
+
+    #[test]
+    fn memory_bytes_tracks_csr_arrays() {
+        let g = triangle();
+        // 4 offsets * 4B + 6 flat entries * 8B + 3 tier bytes.
+        assert_eq!(g.memory_bytes(), 4 * 4 + 6 * 8 + 3);
     }
 }

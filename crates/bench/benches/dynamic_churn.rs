@@ -18,7 +18,9 @@ use std::time::Instant;
 
 use criterion::{criterion_group, Criterion};
 use lg_sim::{DynamicSim, DynamicSimConfig, OutQueue, Time};
-use lg_workloads::churn::{churn_network, generate_ops, ChurnConfig, ChurnRunner, ChurnWorld};
+use lg_workloads::churn::{
+    churn_network, churn_network_sized, generate_ops, ChurnConfig, ChurnRunner, ChurnWorld,
+};
 
 /// Dense-churn schedule: advances of at most 2 s against a 30 s MRAI.
 fn dense_cfg(seed: u64) -> ChurnConfig {
@@ -110,9 +112,37 @@ fn compare_sweep() {
     }
 }
 
+/// One dense schedule on a calibrated 10k-AS world, both out-queue
+/// implementations: the scale re-run of the differential check. A single
+/// timed pass each (a 10k churn run is far above scheduler noise); ring
+/// and reference must agree on the quiescence tick exactly.
+fn compare_10k() {
+    let net = churn_network_sized(10_000, 7);
+    let world = ChurnWorld::new(&net);
+    let ops = generate_ops(&dense_cfg(7));
+    let mut ticks = Vec::new();
+    for (label, out_queue) in [("ring", OutQueue::Ring), ("reference", OutQueue::Reference)] {
+        let t0 = Instant::now();
+        let mut sim = DynamicSim::new(&net, sim_cfg(out_queue));
+        let mut runner = ChurnRunner::new(&world);
+        for op in &ops {
+            runner.apply(&mut sim, &net, op);
+        }
+        let q = sim.run_until_quiescent(sim.now() + Time::from_mins(600).millis());
+        assert!(sim.quiescent(), "10k churn ({label}) did not quiesce");
+        println!("dynamic_churn 10k {label}: {:.1?}", t0.elapsed());
+        ticks.push(q);
+    }
+    assert_eq!(
+        ticks[0], ticks[1],
+        "10k: implementations disagree on quiescence tick"
+    );
+}
+
 fn main() {
     benches();
     compare_sweep();
+    compare_10k();
 
     // The runs above pushed every update through the dynamic engine; the
     // dynamic.* counters must all have moved.

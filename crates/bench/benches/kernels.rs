@@ -19,6 +19,10 @@ fn bench_route_computation(c: &mut Criterion) {
         ("small_~50as", TopologyConfig::small(1)),
         ("medium_~1000as", TopologyConfig::medium(1)),
         ("large_~10000as", TopologyConfig::large(1)),
+        // The Internet-calibrated shape: same AS count as `large` but
+        // power-law degrees and a deep stub fringe — the frontier
+        // engine's target workload.
+        ("calibrated_10000as", TopologyConfig::calibrated_10k(1)),
     ] {
         let net = Network::new(cfg.generate());
         let origin = net

@@ -1,9 +1,19 @@
 //! Regenerates §5.4: atlas refresh economics (amortized probe cost via the
-//! convergence cache) and isolation latency/probe budget.
+//! convergence cache), isolation latency/probe budget, and the
+//! Internet-scale size curve (calibrated 1k..25k topologies, 75k with
+//! `LG_SCALE_MAX`) through generation, preprocessing, and the frontier
+//! fixed point.
+//!
+//! Emits the size curve as JSON to the path in `LG_SCALABILITY_OUT` when
+//! set; the CI `scalability` job validates it (monotone sizes,
+//! sub-quadratic fixed-point growth) and uploads it as an artifact.
 
 use lg_bench::accuracy::{run_accuracy, AccuracyConfig};
 use lg_bench::report::Table;
-use lg_bench::scalability::{refresh_table, run_refresh, RefreshConfig};
+use lg_bench::scalability::{
+    refresh_table, run_refresh, run_scale_curve, scale_json, scale_sizes, scale_table,
+    RefreshConfig,
+};
 
 fn main() {
     eprintln!("atlas refresh rounds ...");
@@ -26,5 +36,32 @@ fn main() {
         format!("{:.0}", acc.mean_probes()),
     ]);
     t.print();
+
+    let sizes = scale_sizes();
+    eprintln!("control-plane size curve over {sizes:?} ASes ...");
+    let points = run_scale_curve(&sizes, 54);
+    scale_table(&points).print();
+
+    // Sub-quadratic gate, also re-checked by CI from the JSON: doubling-ish
+    // the AS count must not quadruple-ish the fixed-point time. Compared
+    // end-to-end (1k vs the largest size) to ride over per-point noise.
+    let (first, last) = (&points[0], &points[points.len() - 1]);
+    let growth = last.fixed_point_ms / first.fixed_point_ms.max(1e-6);
+    let quad = ((last.n as f64) / (first.n as f64)).powi(2);
+    println!(
+        "fixed-point growth {}k -> {}k: {growth:.1}x (quadratic would be {quad:.0}x)",
+        first.n / 1000,
+        last.n / 1000
+    );
+    if growth >= quad {
+        eprintln!("FAIL: fixed point grew at least quadratically in AS count");
+        std::process::exit(1);
+    }
+
+    if let Ok(path) = std::env::var("LG_SCALABILITY_OUT") {
+        std::fs::write(&path, scale_json(&points)).expect("write scalability artifact");
+        println!("size curve written to {path}");
+    }
+
     lg_telemetry::emit_if_configured();
 }

@@ -1,4 +1,5 @@
-//! §5.4 Scalability: atlas refresh economics and isolation cost.
+//! §5.4 Scalability: atlas refresh economics, isolation cost, and the
+//! control-plane size curve.
 //!
 //! The paper reports the path atlas refreshing 225 reverse paths per minute
 //! on average (502 peak) at an amortized ~10 IP-option probes per path
@@ -6,6 +7,14 @@
 //! completing in ~140 s with ~280 probes. The refresh side is reproduced by
 //! running the scheduler over a monitored mesh and accounting probes; the
 //! isolation side comes from the §5.3 study.
+//!
+//! The size curve extends the study to Internet scale: calibrated
+//! topologies from 1k to 75k ASes through generation, `Network`
+//! preprocessing, and the frontier fixed point, with memory budgets read
+//! off the CSR layout and the engine's own counters. CI asserts the
+//! fixed-point curve grows sub-quadratically in the AS count.
+
+use std::time::Instant;
 
 use crate::report::Table;
 use crate::worlds::{mesh_world, MeshWorld};
@@ -13,7 +22,8 @@ use lg_asmap::TopologyConfig;
 use lg_atlas::{Atlas, RefreshScheduler, RefreshStats, ResponsivenessDb};
 use lg_probe::Prober;
 use lg_sim::dataplane::DataPlane;
-use lg_sim::Time;
+use lg_sim::static_routes::compute_routes_reference;
+use lg_sim::{AnnouncementSpec, Network, Time};
 
 /// Outcome of the refresh study.
 #[derive(Clone, Copy, Debug, Default)]
@@ -157,6 +167,188 @@ pub fn refresh_table(r: &RefreshEconomics) -> Table {
     t
 }
 
+/// One point on the Internet-scale size curve.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalePoint {
+    /// AS count.
+    pub n: usize,
+    /// Undirected link count.
+    pub edges: usize,
+    /// Topology generation wall time.
+    pub gen_ms: f64,
+    /// `Network::new` preprocessing wall time (policy tables, caches).
+    pub preprocess_ms: f64,
+    /// Frontier fixed-point wall time (min over reps).
+    pub fixed_point_ms: f64,
+    /// Reference-engine wall time; 0.0 where the oracle was skipped
+    /// (it is only cross-checked up to 10k ASes).
+    pub reference_ms: f64,
+    /// CSR topology footprint in bytes (`AsGraph::memory_bytes`).
+    pub graph_bytes: usize,
+    /// Path-arena nodes at the fixed point.
+    pub arena_nodes: usize,
+    /// Peak simultaneous entries in the delta queue.
+    pub peak_pending: usize,
+    /// Estimated peak RSS of one fixed-point computation, in bytes.
+    pub est_peak_rss_bytes: usize,
+}
+
+/// The curve's sizes: 1k/5k/10k/25k always; 75k opt-in via `LG_SCALE_MAX`
+/// (it needs ~a minute and real memory, so CI runs it only on demand).
+pub fn scale_sizes() -> Vec<usize> {
+    let mut sizes = vec![1_000, 5_000, 10_000, 25_000];
+    if std::env::var("LG_SCALE_MAX").is_ok() {
+        sizes.push(75_000);
+    }
+    sizes
+}
+
+/// Per-AS route-table slot plus the frontier engine's `best`-key slot,
+/// in bytes — the linear part of the fixed point's working set. The
+/// constants are deliberately round upper bounds, not `size_of` readings:
+/// the estimate must stay stable across layout tweaks so the CI budget
+/// assertions mean the same thing from run to run.
+const RSS_PER_AS: usize = 64;
+/// Per arena node: `(AsId, u32, u32)` plus its dedup-map entry.
+const RSS_PER_ARENA_NODE: usize = 64;
+/// Per pending delta-queue entry (heap slot + bucket overhead).
+const RSS_PER_PENDING: usize = 32;
+
+/// Run the size curve: per size, generate a calibrated topology, build the
+/// network, and time the frontier fixed point on the paper's prepended
+/// baseline announcement, cross-checking against the reference engine at
+/// sizes where the oracle is affordable.
+pub fn run_scale_curve(sizes: &[usize], seed: u64) -> Vec<ScalePoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let t0 = Instant::now();
+            let graph = TopologyConfig::calibrated(n, seed).generate();
+            let gen_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let t0 = Instant::now();
+            let net = Network::new(graph);
+            let preprocess_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let origin = net
+                .graph()
+                .ases()
+                .find(|a| net.graph().is_stub(*a) && net.graph().providers(*a).len() >= 2)
+                .or_else(|| net.graph().ases().find(|a| net.graph().is_stub(*a)))
+                .expect("calibrated topologies have stubs");
+            let prefix = lg_bgp::Prefix::from_octets(184, 164, 224, 0, 20);
+            let spec = AnnouncementSpec::prepended(&net, prefix, origin, 3);
+
+            // Min-of-reps: the minimum of a CPU-bound loop is a robust
+            // noise-free estimator; more reps at small sizes where a
+            // single run is sub-millisecond.
+            let reps = (25_000 / n).clamp(1, 9);
+            let mut fixed_point_ms = f64::MAX;
+            let mut stats = None;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let (table, s) = lg_sim::static_routes::compute_routes_with_stats(&net, &spec);
+                fixed_point_ms = fixed_point_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                assert_eq!(table.origin, spec.origin, "table for the wrong spec");
+                stats = Some(s);
+            }
+            let stats = stats.expect("at least one rep");
+
+            let mut reference_ms = 0.0;
+            if n <= 10_000 {
+                let t0 = Instant::now();
+                let oracle = compute_routes_reference(&net, &spec);
+                reference_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let frontier = lg_sim::compute_routes(&net, &spec);
+                for a in net.graph().ases() {
+                    assert_eq!(
+                        frontier.route(a),
+                        oracle.route(a),
+                        "frontier diverged from reference at {a} (n={n})"
+                    );
+                }
+            }
+
+            let graph_bytes = net.graph().memory_bytes();
+            ScalePoint {
+                n,
+                edges: net.graph().edge_count(),
+                gen_ms,
+                preprocess_ms,
+                fixed_point_ms,
+                reference_ms,
+                graph_bytes,
+                arena_nodes: stats.arena_nodes,
+                peak_pending: stats.peak_pending,
+                est_peak_rss_bytes: graph_bytes
+                    + n * RSS_PER_AS
+                    + stats.arena_nodes * RSS_PER_ARENA_NODE
+                    + stats.peak_pending * RSS_PER_PENDING,
+            }
+        })
+        .collect()
+}
+
+/// The §5.4 size-curve table.
+pub fn scale_table(points: &[ScalePoint]) -> Table {
+    let mut t = Table::new(
+        "§5.4 Scalability: control-plane size curve (calibrated topologies)",
+        &[
+            "ASes",
+            "links",
+            "gen ms",
+            "preproc ms",
+            "fixed-point ms",
+            "reference ms",
+            "graph KiB",
+            "est peak RSS MiB",
+        ],
+    );
+    for p in points {
+        t.row(&[
+            p.n.to_string(),
+            p.edges.to_string(),
+            format!("{:.1}", p.gen_ms),
+            format!("{:.1}", p.preprocess_ms),
+            format!("{:.2}", p.fixed_point_ms),
+            if p.reference_ms > 0.0 {
+                format!("{:.2}", p.reference_ms)
+            } else {
+                "-".into()
+            },
+            format!("{}", p.graph_bytes / 1024),
+            format!("{:.1}", p.est_peak_rss_bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+    }
+    t
+}
+
+/// The curve as a JSON artifact (CI uploads this; no serde in-tree, so
+/// rows are emitted by hand — every field is a plain number).
+pub fn scale_json(points: &[ScalePoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "  {{\"n\": {}, \"edges\": {}, \"gen_ms\": {:.3}, \"preprocess_ms\": {:.3}, \
+                 \"fixed_point_ms\": {:.4}, \"reference_ms\": {:.4}, \"graph_bytes\": {}, \
+                 \"arena_nodes\": {}, \"peak_pending\": {}, \"est_peak_rss_bytes\": {}}}",
+                p.n,
+                p.edges,
+                p.gen_ms,
+                p.preprocess_ms,
+                p.fixed_point_ms,
+                p.reference_ms,
+                p.graph_bytes,
+                p.arena_nodes,
+                p.peak_pending,
+                p.est_peak_rss_bytes,
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +365,27 @@ mod tests {
         );
         // In the paper's band: well under the from-scratch cost.
         assert!(r.steady_state_probes_per_path < 15.0);
+    }
+
+    #[test]
+    fn scale_curve_runs_and_serializes() {
+        // Test-sized points; the CI job runs the real 1k..25k curve.
+        let points = run_scale_curve(&[200, 400], 5);
+        assert_eq!(points.len(), 2);
+        assert!(points.windows(2).all(|w| w[0].n < w[1].n));
+        for p in &points {
+            assert!(p.edges > p.n, "calibrated graphs are denser than a tree");
+            assert!(p.fixed_point_ms > 0.0 && p.fixed_point_ms < f64::MAX);
+            assert!(p.reference_ms > 0.0, "oracle must run at small sizes");
+            // One node per accepting AS plus the interned seed paths (a
+            // multihomed stub announces a 4-hop prepend via up to 3
+            // providers).
+            assert!(p.arena_nodes <= p.n + 16, "arena past one node per AS");
+            assert!(p.est_peak_rss_bytes > p.graph_bytes);
+        }
+        let json = scale_json(&points);
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert_eq!(json.matches("\"fixed_point_ms\"").count(), 2);
+        assert_eq!(json.matches("\"est_peak_rss_bytes\"").count(), 2);
     }
 }

@@ -448,6 +448,27 @@ mod tests {
     }
 
     #[test]
+    fn deep_parent_chains_never_recurse() {
+        // Scale-audit regression: every parent-chain walk (hops, len,
+        // count, materialize, cmp_content) must be iterative. A 200k-hop
+        // chain — deeper than any thread stack could take recursively at
+        // ~75k ASes with prepending — proves none of them overflow.
+        let mut it = PathInterner::new();
+        let mut id = it.intern(&AsPath::origin_only(AsId(0)));
+        for i in 1..200_000u32 {
+            id = it.prepend(id, AsId(i % 70_000));
+        }
+        assert_eq!(it.len(id), 200_000);
+        assert_eq!(it.hops(id).count(), 200_000);
+        assert_eq!(it.first(id), Some(AsId(199_999 % 70_000)));
+        assert!(it.count(id, AsId(0)) >= 1);
+        let owned = it.materialize(id);
+        assert_eq!(owned.len(), 200_000);
+        // Content self-comparison walks both chains to the end.
+        assert_eq!(it.cmp_content(id, id), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
     fn interner_content_ordering_matches_owned_ord() {
         let mut it = PathInterner::new();
         let paths = [

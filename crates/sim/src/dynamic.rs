@@ -221,16 +221,49 @@ enum OutStore {
 }
 
 impl OutStore {
-    fn new(kind: OutQueue, n: usize) -> Self {
+    fn new(kind: OutQueue, net: &Network) -> Self {
+        let n = net.len();
         match kind {
             OutQueue::Reference => OutStore::Reference((0..n).map(|_| HashMap::new()).collect()),
+            // Ring peer slots are pre-populated from the (sorted) adjacency
+            // instead of allocated on first contact: lazily inserting into
+            // the sorted `peer_idx` vec was O(degree²) memmove per node,
+            // which a 75k-AS graph with thousand-customer transit hubs
+            // turns into a real setup cost. Prefill is one pass, slots are
+            // adjacency order, and `OutRing::new` allocates nothing until
+            // a first deferred push. Slot numbering is internal — event
+            // order comes from the global `seq` counter — so differential
+            // byte-identity with Reference is unaffected.
             OutQueue::Ring => OutStore::Ring {
-                nodes: (0..n).map(|_| RingNode::default()).collect(),
+                nodes: net
+                    .graph()
+                    .ases()
+                    .map(|a| {
+                        let nbrs = net.graph().neighbors(a);
+                        RingNode {
+                            peer_idx: nbrs
+                                .iter()
+                                .enumerate()
+                                .map(|(i, (p, _))| (*p, i as u32))
+                                .collect(),
+                            peers: nbrs
+                                .iter()
+                                .map(|(p, _)| RingPeer {
+                                    peer: *p,
+                                    state: Vec::new(),
+                                    ring: OutRing::new(),
+                                })
+                                .collect(),
+                        }
+                    })
+                    .collect(),
                 wheel: Box::new(TimerWheel::new()),
             },
         }
     }
 
+    /// Slot lookup with a lazy-insert fallback for peers that were not in
+    /// the adjacency at construction (links added mid-simulation).
     fn ring_peer_slot(node: &mut RingNode, peer: AsId) -> u32 {
         match node.peer_idx.binary_search_by_key(&peer, |&(p, _)| p) {
             Ok(pos) => node.peer_idx[pos].1,
@@ -510,7 +543,7 @@ impl<'n> DynamicSim<'n> {
     /// Fresh simulator reporting into `registry` instead of the global
     /// one (isolated observation in tests).
     pub fn with_registry(net: &'n Network, cfg: DynamicSimConfig, registry: &Registry) -> Self {
-        let out = OutStore::new(cfg.out_queue, net.len());
+        let out = OutStore::new(cfg.out_queue, net);
         DynamicSim {
             net,
             cfg,
@@ -1742,5 +1775,50 @@ mod tests {
         let b = sim.mrai_interval(AsId(1), AsId(2));
         assert_eq!(a, b);
         assert!((22_500..=30_000).contains(&a));
+    }
+
+    #[test]
+    fn ring_peer_slots_are_prepopulated_from_adjacency() {
+        // Regression for the O(degree²) lazy-slot setup: slots used to be
+        // allocated on first contact via sorted-vec insert, so a
+        // thousand-customer hub paid a quadratic memmove bill during
+        // warm-up. Slots now exist (in adjacency order) before any traffic
+        // — on the old code `peer_idx` starts empty and this fails.
+        let net = Network::new(lg_asmap::gen::TopologyConfig::medium(13).generate());
+        let mut out = OutStore::new(OutQueue::Ring, &net);
+        let OutStore::Ring { ref nodes, .. } = out else {
+            panic!("expected ring store");
+        };
+        for a in net.graph().ases() {
+            let node = &nodes[a.index()];
+            assert_eq!(node.peer_idx.len(), net.graph().degree(a), "slots for {a}");
+            assert!(
+                node.peer_idx.windows(2).all(|w| w[0].0 < w[1].0),
+                "peer_idx must stay sorted for binary search"
+            );
+        }
+        // Looking up every neighbor of the busiest node allocates nothing.
+        let hub = net
+            .graph()
+            .ases()
+            .max_by_key(|a| net.graph().degree(*a))
+            .unwrap();
+        let before = {
+            let OutStore::Ring { ref nodes, .. } = out else {
+                unreachable!()
+            };
+            nodes[hub.index()].peers.len()
+        };
+        let neighbors: Vec<AsId> = net.graph().neighbors(hub).iter().map(|(p, _)| *p).collect();
+        for p in neighbors {
+            let OutStore::Ring { ref mut nodes, .. } = out else {
+                unreachable!()
+            };
+            OutStore::ring_peer_slot(&mut nodes[hub.index()], p);
+        }
+        let OutStore::Ring { ref nodes, .. } = out else {
+            unreachable!()
+        };
+        assert_eq!(nodes[hub.index()].peers.len(), before);
     }
 }

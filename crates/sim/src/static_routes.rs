@@ -229,21 +229,20 @@ impl RouteTable {
     }
 }
 
-/// A candidate route awaiting selection, path stored as an arena node id.
+/// A pending candidate inside one [`DeltaQueue`] bucket; its `(class, len)`
+/// prefix is the bucket coordinate, so only the tiebreak tail is stored.
 ///
-/// The ordering key must reproduce [`compute_routes_reference`]'s, which
-/// ends in a comparison of path *content*. Arena node ids stand in for that
-/// final tiebreak: they are assigned in content-sorted order for seeds (see
-/// the sort in [`compute_routes`]) and in pop order for exports — and two
-/// distinct exported candidates can never tie on `(class, len, to,
+/// The global pop order must reproduce [`compute_routes_reference`]'s key
+/// `(class, len, to, learned_from, path-content)`. Arena node ids stand in
+/// for the content tiebreak: they are assigned in content-sorted order for
+/// seeds (see the sort in the fixed point) and in pop order for exports —
+/// and two distinct exported candidates can never tie on `(class, len, to,
 /// learned_from)`, because each AS exports at most once and the origin
 /// (whose duplicate seeds are the only same-`(to, learned_from)` pairs)
 /// never re-exports. So the id comparison either never fires or agrees
 /// with the content comparison.
 #[derive(PartialEq, Eq)]
-struct Candidate {
-    class: u8,
-    len: u32,
+struct Pending {
     to: AsId,
     learned_from: AsId,
     path: u32,
@@ -253,21 +252,123 @@ struct Candidate {
     with_communities: bool,
 }
 
-impl Ord for Candidate {
+impl Ord for Pending {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.class
-            .cmp(&other.class)
-            .then_with(|| self.len.cmp(&other.len))
-            .then_with(|| self.to.cmp(&other.to))
+        self.to
+            .cmp(&other.to)
             .then_with(|| self.learned_from.cmp(&other.learned_from))
             .then_with(|| self.path.cmp(&other.path))
     }
 }
 
-impl PartialOrd for Candidate {
+impl PartialOrd for Pending {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// Frontier delta-queue: candidates bucketed by `(class, len)`, a min-heap
+/// of tiebreak tails per bucket.
+///
+/// The old engine kept every candidate in one global `BinaryHeap`, paying
+/// `O(log total)` per operation on a key whose first two fields are tiny
+/// integers. Gao-Rexford export monotonicity (a candidate popped at
+/// `(class, len)` only ever produces exports at `(class, len + 1)` or a
+/// higher class) means the bucket coordinate advances almost monotonically,
+/// so a per-class cursor plus per-bucket heaps gives `O(log bucket)` pops
+/// — and the bucket holds only same-preference ties, not the whole
+/// frontier. Pop order is exactly the reference key order.
+struct DeltaQueue {
+    /// `buckets[class][len]` — `pref_class()` is 0..=2.
+    buckets: [Vec<BinaryHeap<Reverse<Pending>>>; 3],
+    /// Lowest possibly non-empty bucket per class; pushes `min()` it down,
+    /// pops advance it past drained buckets.
+    cursor: [usize; 3],
+    counts: [usize; 3],
+    pending: usize,
+    peak: usize,
+    pushed: u64,
+}
+
+impl DeltaQueue {
+    fn new() -> Self {
+        DeltaQueue {
+            buckets: [Vec::new(), Vec::new(), Vec::new()],
+            cursor: [0; 3],
+            counts: [0; 3],
+            pending: 0,
+            peak: 0,
+            pushed: 0,
+        }
+    }
+
+    fn push(&mut self, class: u8, len: u32, p: Pending) {
+        let (c, l) = (class as usize, len as usize);
+        if self.buckets[c].len() <= l {
+            self.buckets[c].resize_with(l + 1, BinaryHeap::new);
+        }
+        self.buckets[c][l].push(Reverse(p));
+        self.cursor[c] = self.cursor[c].min(l);
+        self.counts[c] += 1;
+        self.pending += 1;
+        self.peak = self.peak.max(self.pending);
+        self.pushed += 1;
+    }
+
+    /// Pop the globally least candidate by `(class, len, to, learned_from,
+    /// path)`. Lower classes win regardless of length, so the scan is
+    /// class-major.
+    fn pop(&mut self) -> Option<(u8, u32, Pending)> {
+        for c in 0..3 {
+            if self.counts[c] == 0 {
+                continue;
+            }
+            let mut l = self.cursor[c];
+            // counts[c] > 0 guarantees a non-empty bucket at or after the
+            // cursor (pushes pull the cursor down to their bucket).
+            while self.buckets[c][l].is_empty() {
+                l += 1;
+            }
+            self.cursor[c] = l;
+            let Reverse(p) = self.buckets[c][l].pop().expect("bucket non-empty");
+            self.counts[c] -= 1;
+            self.pending -= 1;
+            return Some((c as u8, l as u32, p));
+        }
+        None
+    }
+}
+
+/// Counters from one frontier fixed point; exposed (doc-hidden) so the
+/// scalability bench and the memory-budget tests can assert that pruning
+/// keeps queue growth linear in AS count.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FrontierStats {
+    /// Candidates enqueued.
+    pub pushed: u64,
+    /// Candidates popped (fixed-point iterations).
+    pub popped: u64,
+    /// Candidates dropped at push time by never-reject dominance pruning.
+    pub pruned: u64,
+    /// Import-policy evaluations actually run (pops minus never-reject
+    /// skips and already-routed skips).
+    pub policy_checks: u64,
+    /// High-water mark of simultaneously pending candidates.
+    pub peak_pending: usize,
+    /// Path-arena nodes allocated.
+    pub arena_nodes: usize,
+}
+
+/// Dominance key for never-reject pruning: `(class, len, learned_from,
+/// path)` packed so a single integer compare decides. `to` is omitted —
+/// the key is only ever compared within one AS's slot.
+#[inline]
+fn pack_key(class: u8, len: u32, learned_from: AsId, path: u32) -> u128 {
+    ((class as u128) << 96)
+        | ((len as u128) << 64)
+        | ((learned_from.0 as u128) << 32)
+        | path as u128
 }
 
 /// Compute the converged table for `spec` over `net`.
@@ -275,13 +376,62 @@ impl PartialOrd for Candidate {
 /// `spec` should pass [`AnnouncementSpec::validate`]; seeds pointing at
 /// non-neighbors are ignored defensively.
 ///
-/// This is the allocation-lean engine: candidate paths live in a shared
-/// [`PathArena`] and communities ride as a flag, so the inner loop pushes
-/// plain `Copy` data. It is differentially tested against
-/// [`compute_routes_reference`] (tests/compute_equivalence.rs).
+/// This is the frontier engine: candidates live in a [`DeltaQueue`]
+/// bucketed by preference, paths in a shared [`PathArena`], and ASes whose
+/// import policy can never reject (no filters configured and not on the
+/// announcement's footprint, i.e. loop detection cannot fire) are pruned
+/// down to their single best pending candidate — only ASes whose best
+/// route can still change are revisited. It is differentially tested
+/// against [`compute_routes_reference`] (tests/compute_equivalence.rs) and
+/// produces byte-identical tables.
 pub fn compute_routes(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
+    frontier_fixed_point(net, spec).0
+}
+
+/// [`compute_routes`] exposing [`FrontierStats`] for memory-budget tests
+/// and the scalability bench. Not part of the public API.
+#[doc(hidden)]
+pub fn compute_routes_with_stats(
+    net: &Network,
+    spec: &AnnouncementSpec,
+) -> (RouteTable, FrontierStats) {
+    frontier_fixed_point(net, spec)
+}
+
+/// Offer a candidate to the queue, applying never-reject dominance pruning.
+///
+/// For an AS that cannot reject (see the precompute in the fixed point),
+/// the first candidate popped for it is guaranteed to be accepted; any
+/// candidate whose full key is worse than the best already pending for that
+/// AS would pop later, find the AS routed, and be skipped — so dropping it
+/// here cannot change the fixed point. This is what bounds queue memory to
+/// O(V) on filter-free regions of the graph.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn offer(
+    queue: &mut DeltaQueue,
+    best: &mut [u128],
+    can_reject: &[bool],
+    pruned: &mut u64,
+    class: u8,
+    len: u32,
+    p: Pending,
+) {
+    let slot = p.to.index();
+    if !can_reject[slot] {
+        let key = pack_key(class, len, p.learned_from, p.path);
+        if key >= best[slot] {
+            *pruned += 1;
+            return;
+        }
+        best[slot] = key;
+    }
+    queue.push(class, len, p);
+}
+
+fn frontier_fixed_point(net: &Network, spec: &AnnouncementSpec) -> (RouteTable, FrontierStats) {
     let started = Instant::now();
-    let mut popped: u64 = 0;
+    let mut stats = FrontierStats::default();
     // Local tally of filter rejections [path-len, poisoned, reserved-ASN];
     // flushed to the `policy.filtered_*` counters at return so the hot
     // loop stays atomics-free.
@@ -289,7 +439,36 @@ pub fn compute_routes(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
     let n = net.len();
     let mut routes: Vec<Option<Route>> = vec![None; n];
     let mut arena = PathArena::with_capacity(n + spec.seeds.len() * 4);
-    let mut heap: BinaryHeap<Reverse<Candidate>> = BinaryHeap::new();
+    let mut queue = DeltaQueue::new();
+
+    // `can_reject[a]`: may `a`'s import policy ever reject a candidate of
+    // this announcement? Loop detection only fires when `a` itself appears
+    // in the offered path; exporters on a candidate's path are ASes that
+    // accepted before the push (an AS with a selected route is never
+    // offered more), so `a` can only appear via the seed paths — the
+    // announcement's footprint. Everything else needs a configured filter.
+    // `default_route` never affects import (data-plane only).
+    let mut can_reject: Vec<bool> = (0..n as u32)
+        .map(|i| {
+            let p = net.policy(AsId(i));
+            p.max_path_len.is_some()
+                || p.reject_peers_in_customer_path
+                || !p.deny_transit.is_empty()
+                || p.drop_poisoned
+                || p.drop_reserved_asn
+        })
+        .collect();
+    for (_, path) in &spec.seeds {
+        for h in path.hops() {
+            // Poison hops can name reserved ASNs outside the graph; those
+            // are never candidate targets, so only in-graph hops matter.
+            if h.index() < n {
+                can_reject[h.index()] = true;
+            }
+        }
+    }
+    // Best pending dominance key per never-reject AS; u128::MAX = none.
+    let mut best: Vec<u128> = vec![u128::MAX; n];
 
     // The origin's own entry: a self-route with an empty path so the data
     // plane can recognize delivery.
@@ -319,43 +498,54 @@ pub fn compute_routes(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
     });
     for (nbr, path, rel) in seeds {
         let node = arena.intern(path.hops());
-        heap.push(Reverse(Candidate {
-            class: rel.pref_class(),
-            len: path.len() as u32,
-            to: nbr,
-            learned_from: spec.origin,
-            path: node,
-            rel,
-            with_communities: true,
-        }));
+        offer(
+            &mut queue,
+            &mut best,
+            &can_reject,
+            &mut stats.pruned,
+            rel.pref_class(),
+            path.len() as u32,
+            Pending {
+                to: nbr,
+                learned_from: spec.origin,
+                path: node,
+                rel,
+                with_communities: true,
+            },
+        );
     }
 
-    while let Some(Reverse(cand)) = heap.pop() {
-        popped += 1;
+    while let Some((_, len, cand)) = queue.pop() {
+        stats.popped += 1;
         let to = cand.to;
         if routes[to.index()].is_some() {
             continue; // already selected a better (or equal-popped-first) route
         }
-        // Import policy: loop detection and filters, straight off the arena.
-        let rejected = net.policy(to).evaluate_hops(
-            to,
-            net.peers_of(to),
-            cand.rel,
-            arena.hops(cand.path),
-            cand.len as usize,
-        );
-        if let Some(reason) = rejected {
-            match reason {
-                RejectReason::PathLenCap => filtered[0] += 1,
-                RejectReason::Poisoned => filtered[1] += 1,
-                RejectReason::ReservedAsn => filtered[2] += 1,
-                _ => {}
+        // Import policy: loop detection and filters, straight off the
+        // arena. Never-reject ASes skip the walk entirely — their first
+        // popped candidate is their converged selection by construction.
+        if can_reject[to.index()] {
+            stats.policy_checks += 1;
+            let rejected = net.policy(to).evaluate_hops(
+                to,
+                net.peers_of(to),
+                cand.rel,
+                arena.hops(cand.path),
+                len as usize,
+            );
+            if let Some(reason) = rejected {
+                match reason {
+                    RejectReason::PathLenCap => filtered[0] += 1,
+                    RejectReason::Poisoned => filtered[1] += 1,
+                    RejectReason::ReservedAsn => filtered[2] += 1,
+                    _ => {}
+                }
+                continue;
             }
-            continue;
         }
         let route = Route {
             prefix: spec.prefix,
-            path: arena.materialize(cand.path, cand.len as usize),
+            path: arena.materialize(cand.path, len as usize),
             learned_from: cand.learned_from,
             rel: cand.rel,
             communities: if cand.with_communities {
@@ -368,7 +558,7 @@ pub fn compute_routes(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
         // Export the newly selected route: one arena push covers every
         // neighbor. Communities survive unless this AS strips them.
         let exported = arena.push(to, cand.path);
-        let exported_len = cand.len + 1;
+        let exported_len = len + 1;
         let exported_communities = cand.with_communities && !net.strips_communities(to);
         for (m, rel_to_m) in net.graph().neighbors(to) {
             if *m == route.learned_from {
@@ -381,35 +571,48 @@ pub fn compute_routes(net: &Network, spec: &AnnouncementSpec) -> RouteTable {
                 continue; // m already finalized; candidate would lose anyway
             }
             let m_rel = rel_to_m.reverse(); // m's view of `to`
-            heap.push(Reverse(Candidate {
-                class: m_rel.pref_class(),
-                len: exported_len,
-                to: *m,
-                learned_from: to,
-                path: exported,
-                rel: m_rel,
-                with_communities: exported_communities,
-            }));
+            offer(
+                &mut queue,
+                &mut best,
+                &can_reject,
+                &mut stats.pruned,
+                m_rel.pref_class(),
+                exported_len,
+                Pending {
+                    to: *m,
+                    learned_from: to,
+                    path: exported,
+                    rel: m_rel,
+                    with_communities: exported_communities,
+                },
+            );
         }
 
         routes[to.index()] = Some(route);
     }
 
+    stats.pushed = queue.pushed;
+    stats.peak_pending = queue.peak;
+    stats.arena_nodes = arena.nodes.len();
+
     let m = compute_metrics();
     m.runs.inc();
-    m.candidates.add(popped);
-    m.arena_nodes.add(arena.nodes.len() as u64);
+    m.candidates.add(stats.popped);
+    m.arena_nodes.add(stats.arena_nodes as u64);
     m.wall_us.record_elapsed_us(started);
     m.filtered_path_len.add(filtered[0]);
     m.filtered_poisoned.add(filtered[1]);
     m.filtered_reserved.add(filtered[2]);
 
     // The origin's self-route must not leak out as a normal route.
-    RouteTable {
-        prefix: spec.prefix,
-        origin: spec.origin,
-        routes,
-    }
+    (
+        RouteTable {
+            prefix: spec.prefix,
+            origin: spec.origin,
+            routes,
+        },
+        stats,
+    )
 }
 
 /// The effective data-plane path of `a` toward the table's origin, default
@@ -857,6 +1060,78 @@ mod tests {
         let spec = AnnouncementSpec::prepended(&net, pfx(), o, 3);
         let t = compute_routes(&net, &spec);
         assert_eq!(t.routed_count(), 6);
+    }
+
+    #[test]
+    fn frontier_prunes_yet_matches_reference() {
+        use lg_asmap::gen::TopologyConfig;
+        let net = Network::new(TopologyConfig::medium(17).generate());
+        let origin = net
+            .graph()
+            .ases()
+            .find(|a| net.graph().tier(*a) == 4 && net.graph().providers(*a).len() >= 2)
+            .expect("multihomed stub");
+        let victim = net.graph().providers(origin)[0];
+        for spec in [
+            AnnouncementSpec::prepended(&net, pfx(), origin, 3),
+            AnnouncementSpec::poisoned(&net, pfx(), origin, &[victim]),
+        ] {
+            let (table, stats) = compute_routes_with_stats(&net, &spec);
+            let oracle = compute_routes_reference(&net, &spec);
+            for a in net.graph().ases() {
+                assert_eq!(table.route(a), oracle.route(a).cloned().as_ref());
+            }
+            // The whole point of the frontier: dominated candidates die at
+            // push time, so the pending set stays far below total pushes.
+            assert!(stats.pruned > 0, "no pruning on a 1k-AS run");
+            assert!(
+                stats.peak_pending < net.len() * 2,
+                "peak pending {} vs {} ASes",
+                stats.peak_pending,
+                net.len()
+            );
+            // One arena node per accepted AS plus the interned seeds.
+            let seed_hops: usize = spec.seeds.iter().map(|(_, p)| p.len()).sum();
+            assert!(stats.arena_nodes <= net.len() + seed_hops);
+        }
+    }
+
+    #[test]
+    fn never_reject_skips_policy_walks_but_filters_still_run() {
+        use lg_asmap::gen::TopologyConfig;
+        let mut net = Network::new(TopologyConfig::small(23).generate());
+        let origin = net
+            .graph()
+            .ases()
+            .find(|a| net.graph().tier(*a) == 4)
+            .unwrap();
+        let spec = AnnouncementSpec::prepended(&net, pfx(), origin, 2);
+        let (_, stats) = compute_routes_with_stats(&net, &spec);
+        // Filter-free network, footprint = origin only: almost every pop
+        // skips the policy walk.
+        assert!(
+            stats.policy_checks
+                <= spec.seeds.iter().map(|(_, p)| p.len()).sum::<usize>() as u64 + 2,
+            "expected near-zero policy walks, got {}",
+            stats.policy_checks
+        );
+        // With a filter deployed everywhere, every accepted pop pays the
+        // walk again — and the result still matches the oracle.
+        for a in net.graph().ases().collect::<Vec<_>>() {
+            net.set_policy(
+                a,
+                ImportPolicy {
+                    max_path_len: Some(32),
+                    ..ImportPolicy::standard()
+                },
+            );
+        }
+        let (table, stats) = compute_routes_with_stats(&net, &spec);
+        assert!(stats.policy_checks > 0);
+        let oracle = compute_routes_reference(&net, &spec);
+        for a in net.graph().ases() {
+            assert_eq!(table.route(a), oracle.route(a).cloned().as_ref());
+        }
     }
 
     #[test]

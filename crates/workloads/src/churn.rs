@@ -26,6 +26,13 @@ pub fn churn_network(topology_seed: u64) -> Network {
     Network::new(TopologyConfig::small(topology_seed).generate())
 }
 
+/// An Internet-calibrated network for churn runs at benchmark scale; the
+/// schedule machinery is size-agnostic (link indexes resolve modulo the
+/// live link list), so the same ops drive a 50-AS or a 10k-AS world.
+pub fn churn_network_sized(n: usize, topology_seed: u64) -> Network {
+    Network::new(TopologyConfig::calibrated(n, topology_seed).generate())
+}
+
 /// One operation of a churn schedule. Link indexes are resolved modulo
 /// the live/down link lists at application time, so any index is valid
 /// against any topology.

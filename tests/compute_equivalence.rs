@@ -74,6 +74,57 @@ fn assert_same_table(
     Ok(())
 }
 
+/// Internet-scale pin: on a calibrated 10k-AS topology the frontier engine
+/// must produce a byte-identical fixed point to the retained reference
+/// engine — same route at every AS for every announcement shape — while
+/// staying inside the memory budget the §5.4 scalability study assumes.
+#[test]
+fn calibrated_10k_frontier_matches_reference_within_budget() {
+    use lifeguard_repro::sim::static_routes::compute_routes_with_stats;
+
+    let net = Network::new(TopologyConfig::calibrated_10k(7).generate());
+    let n = net.graph().len();
+    assert_eq!(n, 10_000);
+    // CSR budget: offsets + flat adjacency + tiers. Calibrated graphs
+    // average ~4-5 links per AS, so the whole topology must fit in well
+    // under 128 bytes per AS.
+    assert!(
+        net.graph().memory_bytes() < 128 * n,
+        "CSR layout too fat: {} bytes for {} ASes",
+        net.graph().memory_bytes(),
+        n
+    );
+
+    let origin = pick_origin(&net);
+    for spec in spec_menu(&net, origin) {
+        let (got, stats) = compute_routes_with_stats(&net, &spec);
+        let want = compute_routes_reference(&net, &spec);
+        assert_eq!(got.prefix, want.prefix);
+        assert_eq!(got.origin, want.origin);
+        for a in net.graph().ases() {
+            assert_eq!(got.route(a), want.route(a), "route at {a} diverged");
+        }
+        // Frontier budget: the arena holds one node per AS that accepted a
+        // route plus the interned seed path, and the delta queue never
+        // buffers more than a small multiple of the AS count.
+        let seed_hops: usize = spec.seeds.iter().map(|(_, p)| p.len()).sum();
+        assert!(
+            stats.arena_nodes <= n + seed_hops,
+            "arena grew past one node per AS: {} > {} + {}",
+            stats.arena_nodes,
+            n,
+            seed_hops
+        );
+        assert!(
+            stats.peak_pending <= 4 * n,
+            "delta queue ballooned: {} pending for {} ASes",
+            stats.peak_pending,
+            n
+        );
+        assert!(stats.pruned > 0, "dominance pruning never fired at 10k");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

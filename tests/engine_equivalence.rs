@@ -160,6 +160,35 @@ fn filtered_policies_agree_across_engines() {
 }
 
 #[test]
+fn dynamic_matches_static_on_calibrated_topology() {
+    // The Internet-calibrated generator produces a very different shape from
+    // the presets (power-law degrees, deep stub fan-out); both engines must
+    // still agree. Debug builds use a smaller instance so `cargo test` stays
+    // fast; release CI runs the full 10k.
+    let n = if cfg!(debug_assertions) {
+        2_000
+    } else {
+        10_000
+    };
+    let graph = TopologyConfig::calibrated(n, 11).generate();
+    let net = Network::new(graph);
+    let origin = net
+        .graph()
+        .ases()
+        .find(|a| net.graph().is_stub(*a) && net.graph().providers(*a).len() >= 2)
+        .unwrap();
+    let prefix = Prefix::from_octets(184, 164, 224, 0, 20);
+    let transit = net.graph().providers(origin)[0];
+    let above = net.graph().providers(transit);
+    let poison_target = if above.is_empty() { transit } else { above[0] };
+    let specs = vec![
+        AnnouncementSpec::plain(&net, prefix, origin),
+        AnnouncementSpec::poisoned(&net, prefix, origin, &[poison_target]),
+    ];
+    check_equivalence(&net, &specs);
+}
+
+#[test]
 fn withdrawals_clear_state_in_both_engines() {
     let graph = TopologyConfig::small(23).generate();
     let net = Network::new(graph);
