@@ -37,6 +37,7 @@ fn time_hits(mut hit: impl FnMut()) -> Duration {
 }
 
 fn main() {
+    lg_telemetry::trace::enable_from_env();
     let net = Network::new(TopologyConfig::medium(1).generate());
     let origin = net
         .graph()

@@ -140,6 +140,7 @@ fn compare_10k() {
 }
 
 fn main() {
+    lg_telemetry::trace::enable_from_env();
     benches();
     compare_sweep();
     compare_10k();

@@ -12,6 +12,7 @@ use lg_asmap::TopologyConfig;
 use lg_bench::degradation::{degradation_json, degradation_table, run_degradation};
 
 fn main() {
+    lg_telemetry::trace::enable_from_env();
     let rates = [0.0, 0.25, 0.5, 0.75, 1.0];
     eprintln!(
         "repair-planner sweep over a ~1000-AS topology at {} deployment rates ...",

@@ -16,6 +16,7 @@ use lg_bench::scalability::{
 };
 
 fn main() {
+    lg_telemetry::trace::enable_from_env();
     eprintln!("atlas refresh rounds ...");
     let r = run_refresh(&RefreshConfig::standard(54));
     refresh_table(&r).print();

@@ -1,7 +1,9 @@
 //! Telemetry smoke harness: exercises every instrumented subsystem against
 //! the process-global registry, asserts that the key counters actually
-//! moved, prints the snapshot table, and emits `telemetry.json` when
-//! `LG_TELEMETRY_OUT` is set.
+//! moved — and that the flight recorder captured the subsystems' spans
+//! and the time-series sampler renders Prometheus text — then prints the
+//! snapshot table and emits `telemetry.json` when `LG_TELEMETRY_OUT` is
+//! set (`LG_TRACE_OUT` / `LG_TIMESERIES_OUT` likewise).
 //!
 //! CI runs this as the observability gate: if any subsystem stops
 //! reporting, the run exits non-zero.
@@ -126,11 +128,18 @@ fn exercise_core() {
 }
 
 fn main() {
+    // The smoke harness always records: the flight recorder and the
+    // time-series sampler are part of the observability surface under
+    // test, not opt-in extras here.
+    let rec = lg_telemetry::trace::enable(lg_telemetry::trace::DEFAULT_CAPACITY);
+    lg_telemetry::sample_global_timeseries(0);
+
     exercise_cache();
     exercise_dynamic();
     exercise_prober();
     exercise_core();
 
+    lg_telemetry::sample_global_timeseries(1);
     let snap = lg_telemetry::global().snapshot();
 
     // The observability gate: every instrumented subsystem must have
@@ -178,6 +187,34 @@ fn main() {
         }
     }
 
+    // Flight-recorder gate: the exercised subsystems must have left spans
+    // and lifecycle instants in the ring, and the Chrome export must
+    // round-trip them.
+    let trace_json = lg_telemetry::trace::export_chrome(&rec.snapshot());
+    for marker in [
+        "compute.drain",
+        "cache.miss_fill",
+        "dynamic.quiescence",
+        "repair.outage_detected",
+        "repair.poisoned",
+    ] {
+        if !trace_json.contains(marker) {
+            eprintln!("FAIL: flight recorder missing event {marker}");
+            failed = true;
+        }
+    }
+
+    // Time-series gate: two samples must yield a Prometheus rendering
+    // with the cache counter present.
+    let prom = lg_telemetry::global_timeseries()
+        .lock()
+        .unwrap()
+        .render_prometheus();
+    if !prom.contains("lg_cache_hits_total") {
+        eprintln!("FAIL: prometheus rendering missing lg_cache_hits_total");
+        failed = true;
+    }
+
     println!("{}", snap.render_table());
     lg_telemetry::emit_if_configured();
 
@@ -185,5 +222,5 @@ fn main() {
         eprintln!("telemetry smoke FAILED: see counters above");
         std::process::exit(1);
     }
-    println!("telemetry smoke OK: all key counters non-zero");
+    println!("telemetry smoke OK: counters, trace events, and timeseries all live");
 }

@@ -20,6 +20,7 @@ use crate::config::LifeguardConfig;
 use lg_asmap::AsId;
 use lg_locate::Blame;
 use lg_sim::{effective_path, AnnouncementSpec, Network, SharedRouteCache};
+use lg_telemetry::trace;
 
 /// A concrete repair: the announcement to make and what it should achieve.
 #[derive(Clone, Debug)]
@@ -157,10 +158,29 @@ pub fn plan_repair_cached(
         );
         let table = cache.compute(net, &spec);
         if table.has_route(culprit) {
-            continue; // poison did not stick (lenient loop detection)
+            // Poison did not stick (lenient loop detection): double it.
+            if trace::enabled() {
+                trace::annot_str(
+                    "plan.candidate_rejected",
+                    &format!("global x{copies}: poison did not stick at {culprit}"),
+                );
+            }
+            continue;
         }
-        providers_accept(net, &spec)?;
-        target_repaired(net, &table, target, culprit)?;
+        if let Err(e) = providers_accept(net, &spec) {
+            trace::annot_str("plan.candidate_rejected", &e);
+            return Err(e);
+        }
+        if let Err(e) = target_repaired(net, &table, target, culprit) {
+            trace::annot_str("plan.candidate_rejected", &e);
+            return Err(e);
+        }
+        if trace::enabled() {
+            trace::annot_str(
+                "plan.accepted",
+                &format!("global x{copies} poison of {culprit}"),
+            );
+        }
         return Ok(RepairPlan {
             spec,
             poisoned: culprit,
@@ -168,9 +188,9 @@ pub fn plan_repair_cached(
             selective: false,
         });
     }
-    Err(format!(
-        "{culprit} accepts paths containing itself; poison cannot stick"
-    ))
+    let reason = format!("{culprit} accepts paths containing itself; poison cannot stick");
+    trace::annot_str("plan.candidate_rejected", &reason);
+    Err(reason)
 }
 
 /// Search for a selective poisoning that steers `a` off the link `a`-`b`
@@ -201,15 +221,27 @@ fn try_selective(
         }
     }
     for poison_via in candidates {
+        // Per-candidate reject reasons go to the flight recorder so a
+        // trace answers "why was selective poisoning skipped here?".
+        let reject = |why: &str| {
+            if trace::enabled() {
+                trace::annot_str(
+                    "plan.selective_rejected",
+                    &format!("via {poison_via:?}: {why}"),
+                );
+            }
+        };
         let spec =
             AnnouncementSpec::selective_poison(net, cfg.production, cfg.origin, &[a], &poison_via);
         let table = cache.compute(net, &spec);
         let Some(a_path) = table.as_path(a) else {
+            reject("culprit lost its route entirely");
             continue; // a lost its route entirely: not selective enough
         };
         // a must now route around the failing link: its path no longer
         // crosses b.
         if a_path.contains(&b) {
+            reject("culprit still routes across the failed link");
             continue;
         }
         // The *target's* forwarding chain must avoid the failed link too.
@@ -219,13 +251,21 @@ fn try_selective(
         // cannot see that: the selective plan would predict success while
         // the target's traffic dies on the failed link.
         let Some(t_path) = effective_path(net, &table, target) else {
+            reject("no effective path for the target");
             continue;
         };
         if t_path
             .windows(2)
             .any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a))
         {
+            reject("target still forwards over the failed link");
             continue;
+        }
+        if trace::enabled() {
+            trace::annot_str(
+                "plan.accepted",
+                &format!("selective poison of {a} via {poison_via:?}"),
+            );
         }
         return Some(RepairPlan {
             spec,

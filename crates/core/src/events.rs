@@ -3,6 +3,7 @@
 use lg_asmap::AsId;
 use lg_locate::{Blame, FailureDirection};
 use lg_sim::Time;
+use lg_telemetry::TraceId;
 use std::fmt;
 
 /// What happened.
@@ -59,11 +60,31 @@ pub enum EventKind {
     },
 }
 
+impl EventKind {
+    /// The monitored destination this event concerns. Every lifecycle
+    /// event names one, so trace ids can be resolved per target.
+    pub fn target(&self) -> AsId {
+        match self {
+            EventKind::OutageDetected { target }
+            | EventKind::IsolationCompleted { target, .. }
+            | EventKind::Poisoned { target, .. }
+            | EventKind::PoisonSkipped { target, .. }
+            | EventKind::Repaired { target, .. }
+            | EventKind::FailureHealed { target }
+            | EventKind::Unpoisoned { target } => *target,
+        }
+    }
+}
+
 /// A timestamped event.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Event {
     /// When it happened.
     pub at: Time,
+    /// The causal chain (repair incident) this event belongs to;
+    /// [`TraceId::NONE`] if it predates outage detection machinery.
+    /// Every event of one outage→unpoison lifecycle shares one id.
+    pub trace: TraceId,
     /// What happened.
     pub kind: EventKind,
 }
@@ -121,6 +142,7 @@ mod tests {
     fn display_is_informative() {
         let e = Event {
             at: Time::from_secs(75),
+            trace: TraceId::NONE,
             kind: EventKind::Poisoned {
                 target: AsId(9),
                 poisoned: AsId(4),
@@ -137,6 +159,7 @@ mod tests {
     fn poison_skipped_display_carries_target_and_reason() {
         let e = Event {
             at: Time::from_secs(120),
+            trace: TraceId::NONE,
             kind: EventKind::PoisonSkipped {
                 target: AsId(6),
                 reason: "could not isolate a culprit".to_string(),
@@ -153,6 +176,7 @@ mod tests {
     fn sentinel_detection_events_display() {
         let healed = Event {
             at: Time::from_secs(30),
+            trace: TraceId::NONE,
             kind: EventKind::FailureHealed { target: AsId(5) },
         };
         let s = healed.to_string();
@@ -162,6 +186,7 @@ mod tests {
 
         let un = Event {
             at: Time::from_secs(31),
+            trace: TraceId::NONE,
             kind: EventKind::Unpoisoned { target: AsId(5) },
         };
         let s = un.to_string();

@@ -179,6 +179,7 @@ impl MeshMonitor {
                         },
                     );
                     self.tele.outages_opened.inc();
+                    lg_telemetry::trace::instant_value("monitor.outage_opened", now.millis());
                     changed.push(t);
                 }
                 (Some(rec), false) => {
@@ -186,6 +187,10 @@ impl MeshMonitor {
                         rec.affected_vps = affected;
                         rec.reachable_vps = reachable;
                         self.tele.outages_transitioned.inc();
+                        lg_telemetry::trace::instant_value(
+                            "monitor.outage_transitioned",
+                            now.millis(),
+                        );
                         changed.push(t);
                     }
                 }
@@ -194,6 +199,7 @@ impl MeshMonitor {
                     rec.ended = Some(now);
                     self.history.push(rec);
                     self.tele.outages_closed.inc();
+                    lg_telemetry::trace::instant_value("monitor.outage_closed", now.millis());
                     changed.push(t);
                 }
                 (None, true) => {}

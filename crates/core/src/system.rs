@@ -9,7 +9,7 @@ use lg_bgp::AsPath;
 use lg_locate::{FailureDirection, Isolator};
 use lg_sim::dataplane::infra_addr;
 use lg_sim::{AnnouncementSpec, Time};
-use lg_telemetry::{Counter, Histogram, Registry};
+use lg_telemetry::{trace, Counter, Histogram, Registry, TraceId};
 use std::collections::HashMap;
 
 /// Registry handles for the repair loop (`core.*` metrics). Every event
@@ -116,6 +116,11 @@ pub struct Lifeguard {
     /// [`Lifeguard::with_shared_cache`] and reuse each other's fixed
     /// points, including from concurrent threads.
     route_cache: std::sync::Arc<lg_sim::SharedRouteCache>,
+    /// Live causal-chain ids, one per target currently in an incident
+    /// (minted at the first failed ping pair, retired when the target
+    /// returns to healthy monitoring). Every logged event and every
+    /// flight-recorder span of the repair lifecycle carries this id.
+    traces: HashMap<AsId, TraceId>,
     tele: CoreTelemetry,
 }
 
@@ -167,6 +172,7 @@ impl Lifeguard {
             events: Vec::new(),
             outage_started: HashMap::new(),
             route_cache: cache,
+            traces: HashMap::new(),
             tele: CoreTelemetry::default(),
         }
     }
@@ -199,9 +205,24 @@ impl Lifeguard {
             .any(|s| matches!(s, TargetState::Poisoned { .. }))
     }
 
+    /// Trace id of the incident `target` is currently in, if any.
+    pub fn trace_of(&self, target: AsId) -> Option<TraceId> {
+        self.traces.get(&target).copied()
+    }
+
     fn log(&mut self, at: Time, kind: EventKind) {
+        let trace_id = self
+            .traces
+            .get(&kind.target())
+            .copied()
+            .unwrap_or(TraceId::NONE);
         self.tele.observe(&kind);
-        self.events.push(Event { at, kind });
+        trace_event(trace_id, at, &kind);
+        self.events.push(Event {
+            at,
+            trace: trace_id,
+            kind,
+        });
     }
 
     /// The steady-state baseline announcement for the production prefix.
@@ -332,12 +353,16 @@ impl Lifeguard {
                 .unwrap_or(TargetState::Monitoring {
                     consecutive_failures: 0,
                 });
+            // Probes and nested work for a target mid-incident inherit
+            // its causal chain through the ambient trace scope.
+            let _tscope = trace::scope(self.trace_of(target).unwrap_or(TraceId::NONE));
             match state {
                 TargetState::Monitoring {
                     consecutive_failures,
                 } => {
                     if self.ping_pair_ok(world, now, target) {
                         self.outage_started.remove(&target);
+                        self.traces.remove(&target);
                         self.states.insert(
                             target,
                             TargetState::Monitoring {
@@ -347,6 +372,13 @@ impl Lifeguard {
                         continue;
                     }
                     let streak = consecutive_failures + 1;
+                    if streak == 1 {
+                        // First failed pair: the incident opens here. Mint
+                        // its causal chain so detection lag is part of the
+                        // traced downtime breakdown.
+                        let id = *self.traces.entry(target).or_insert_with(TraceId::mint);
+                        trace::instant_for(id, "monitor.open", now.millis());
+                    }
                     self.outage_started.entry(target).or_insert(now);
                     if streak < self.cfg.outage_threshold {
                         self.states.insert(
@@ -383,6 +415,8 @@ impl Lifeguard {
                         // (back to baseline only when it was the last one).
                         self.reannounce_production(world);
                         self.log(now, EventKind::Unpoisoned { target });
+                        // The causal chain ends at unpoison.
+                        self.traces.remove(&target);
                     } else {
                         self.states.insert(
                             target,
@@ -400,6 +434,9 @@ impl Lifeguard {
                 TargetState::Unfixable { since, .. } => {
                     if now - since >= self.cfg.unfixable_retry_ms {
                         self.outage_started.remove(&target);
+                        // Retry opens a fresh incident (and chain) if the
+                        // target is still dark.
+                        self.traces.remove(&target);
                         self.states.insert(
                             target,
                             TargetState::Monitoring {
@@ -413,6 +450,9 @@ impl Lifeguard {
     }
 
     fn handle_outage(&mut self, world: &mut World<'_>, now: Time, target: AsId) {
+        let trace_id = self.trace_of(target).unwrap_or(TraceId::NONE);
+        let _tscope = trace::scope(trace_id);
+        let isolation_span = trace::span("repair.isolation");
         let isolator = Isolator::new(self.cfg.vantage_points.clone());
         let report = isolator.isolate(
             &world.dp,
@@ -423,6 +463,7 @@ impl Lifeguard {
             self.cfg.origin,
             target,
         );
+        drop(isolation_span);
         let after_isolation = now + report.elapsed_ms;
         self.log(
             after_isolation,
@@ -462,6 +503,7 @@ impl Lifeguard {
             return;
         };
 
+        let plan_span = trace::span("repair.plan");
         let plan_result = plan_repair_cached(
             world.dp.network(),
             &self.cfg,
@@ -476,6 +518,7 @@ impl Lifeguard {
             self.union_conflict(world, &plan, target)
                 .map_or(Ok(plan), Err)
         });
+        drop(plan_span);
         match plan_result {
             Ok(plan) => {
                 let outage_started = *self.outage_started.get(&target).unwrap_or(&now);
@@ -501,8 +544,12 @@ impl Lifeguard {
                         selective: plan.selective,
                     },
                 );
-                // Verify restoration once routes converge.
+                // Verify restoration once routes converge. The modeled
+                // convergence wait is the "quiescence" leg of the traced
+                // downtime breakdown (§6: wait out convergence).
                 let converged = after_isolation + self.cfg.convergence_ms;
+                trace::instant_for(trace_id, "repair.quiescence", converged.millis());
+                trace::annot_u64_for(trace_id, "repair.convergence_ms", self.cfg.convergence_ms);
                 if self.ping_pair_ok(world, converged, target) {
                     self.log(
                         converged,
@@ -625,6 +672,39 @@ impl Lifeguard {
                     .responded
             }
         }
+    }
+}
+
+/// Mirror a ledger event into the flight recorder: an instant named after
+/// the lifecycle step, stamped with the event's *simulated* time in
+/// millis as its value (recorder ticks are wall-clock; carrying sim-time
+/// in the payload lets consumers reconstruct the §4/§6 downtime
+/// breakdown), plus annotations for the breakdown legs.
+fn trace_event(trace_id: TraceId, at: Time, kind: &EventKind) {
+    if !trace::enabled() {
+        return;
+    }
+    let name = match kind {
+        EventKind::OutageDetected { .. } => "repair.outage_detected",
+        EventKind::IsolationCompleted { .. } => "repair.isolation_completed",
+        EventKind::Poisoned { .. } => "repair.poisoned",
+        EventKind::PoisonSkipped { .. } => "repair.poison_skipped",
+        EventKind::Repaired { .. } => "repair.repaired",
+        EventKind::FailureHealed { .. } => "repair.healed",
+        EventKind::Unpoisoned { .. } => "repair.unpoisoned",
+    };
+    trace::instant_for(trace_id, name, at.millis());
+    match kind {
+        EventKind::IsolationCompleted { elapsed_ms, .. } => {
+            trace::annot_u64_for(trace_id, "repair.isolation_ms", *elapsed_ms);
+        }
+        EventKind::Repaired { downtime_ms, .. } => {
+            trace::annot_u64_for(trace_id, "repair.downtime_ms", *downtime_ms);
+        }
+        EventKind::PoisonSkipped { reason, .. } => {
+            trace::annot_str_for(trace_id, "repair.skip_reason", reason);
+        }
+        _ => {}
     }
 }
 

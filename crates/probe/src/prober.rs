@@ -189,6 +189,11 @@ impl Prober {
     ) -> PingResult {
         self.counters.pings += 1;
         self.tele.pings.inc();
+        // Only pings inside a repair incident (ambient trace set) are
+        // recorded; healthy-path monitoring stays out of the ring.
+        if !lg_telemetry::trace::current().is_none() {
+            lg_telemetry::trace::instant_value("probe.ping", now.millis());
+        }
         let fwd = dp.walk(now, src, dst_addr);
         if !fwd.outcome.delivered() {
             return PingResult::lost(PingDiagnosis::ForwardLoss(fwd.last_as().unwrap_or(src)));
@@ -265,6 +270,7 @@ impl Prober {
         dst_addr: u32,
         receiver: AsId,
     ) -> Traceroute {
+        let _tspan = lg_telemetry::trace::span("probe.traceroute");
         let receiver_addr = infra_addr(receiver);
         let fwd = dp.walk(now, src, dst_addr);
         let mut hops = Vec::with_capacity(fwd.hops.len().saturating_sub(1));

@@ -507,6 +507,7 @@ impl RouteTableCache {
         }
         self.misses += 1;
         self.tele.misses.inc();
+        let _fill_span = lg_telemetry::trace::span("cache.miss_fill");
         let table = Arc::new(compute_routes(net, spec));
         self.shard.insert(Arc::new(key), Arc::clone(&table));
         self.tele.entries.set(self.shard.tables.len() as u64);
@@ -979,6 +980,7 @@ impl SharedRouteCache {
             snap.lookup(key)
         });
         if stats.retries > 0 {
+            lg_telemetry::trace::instant_value("cache.snapshot_retry", stats.retries);
             self.tele.snapshot_retries.add(stats.retries);
         }
         hit
@@ -1072,6 +1074,7 @@ impl SharedRouteCache {
                     return table;
                 }
                 self.record_miss();
+                let _fill_span = lg_telemetry::trace::span("cache.miss_fill");
                 let table = Arc::new(compute_routes(net, spec));
                 shard.insert(Arc::new(key), Arc::clone(&table));
                 table
@@ -1136,6 +1139,7 @@ impl SharedRouteCache {
             // other key in this shard keeps hitting meanwhile. The guard
             // unregisters the marker and wakes waiters if compute panics.
             self.record_miss();
+            let fill_span = lg_telemetry::trace::span("cache.miss_fill");
             let mut fill = FillGuard {
                 shard,
                 key: &key,
@@ -1143,6 +1147,7 @@ impl SharedRouteCache {
                 armed: true,
             };
             let table = Arc::new(compute_routes(net, spec));
+            drop(fill_span);
 
             // Publish: re-sync (another sharer may have replayed newer
             // mutations meanwhile), install, republish, hand over.

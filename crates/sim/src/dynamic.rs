@@ -762,6 +762,7 @@ impl<'n> DynamicSim<'n> {
     /// receive the new paths; neighbors dropped from the seed list receive
     /// withdrawals. The origin installs a local self-route.
     pub fn announce(&mut self, spec: &AnnouncementSpec) {
+        let _tspan = lg_telemetry::trace::span("dynamic.announce");
         spec.validate(self.net).expect("invalid announcement spec");
         let old = self.specs.insert(spec.prefix, spec.clone());
         // First announcement of this prefix starts its measurement epoch
@@ -828,6 +829,7 @@ impl<'n> DynamicSim<'n> {
 
     /// Withdraw the prefix from all seeded neighbors.
     pub fn withdraw(&mut self, prefix: Prefix) {
+        let _tspan = lg_telemetry::trace::span("dynamic.withdraw");
         let Some(spec) = self.specs.remove(&prefix) else {
             return;
         };
@@ -882,6 +884,7 @@ impl<'n> DynamicSim<'n> {
     /// Process events until the queue drains or `deadline` passes. Returns
     /// the time of the last processed event.
     pub fn run_until_quiescent(&mut self, deadline: Time) -> Time {
+        let _tspan = lg_telemetry::trace::span("dynamic.quiescence");
         let start = self.now;
         let mut last = self.now;
         let mut processed = false;
@@ -898,6 +901,7 @@ impl<'n> DynamicSim<'n> {
             // Simulated time from entering the call to its last event: the
             // time-to-quiescence of this convergence burst.
             self.tele.quiescence_ms.record(last - start);
+            lg_telemetry::trace::annot_u64("dynamic.quiescence_ms", last - start);
         }
         last
     }
@@ -940,6 +944,7 @@ impl<'n> DynamicSim<'n> {
     /// update's content is *now* — the route may have changed (or become a
     /// duplicate) since the deferral.
     fn handle_mrai_fire(&mut self, node: AsId, peer: AsId, prefix: Prefix) {
+        lg_telemetry::trace::instant_value("dynamic.mrai_fire", self.now.millis());
         let st = self.out.state_entry(node, peer, prefix);
         st.fire_pending = false;
         self.flush_to_peer(node, peer, prefix);

@@ -431,6 +431,7 @@ fn offer(
 
 fn frontier_fixed_point(net: &Network, spec: &AnnouncementSpec) -> (RouteTable, FrontierStats) {
     let started = Instant::now();
+    let seed_span = lg_telemetry::trace::span("compute.seed");
     let mut stats = FrontierStats::default();
     // Local tally of filter rejections [path-len, poisoned, reserved-ASN];
     // flushed to the `policy.filtered_*` counters at return so the hot
@@ -515,6 +516,8 @@ fn frontier_fixed_point(net: &Network, spec: &AnnouncementSpec) -> (RouteTable, 
         );
     }
 
+    drop(seed_span);
+    let drain_span = lg_telemetry::trace::span("compute.drain");
     while let Some((_, len, cand)) = queue.pop() {
         stats.popped += 1;
         let to = cand.to;
@@ -591,6 +594,8 @@ fn frontier_fixed_point(net: &Network, spec: &AnnouncementSpec) -> (RouteTable, 
         routes[to.index()] = Some(route);
     }
 
+    drop(drain_span);
+    let _materialize_span = lg_telemetry::trace::span("compute.materialize");
     stats.pushed = queue.pushed;
     stats.peak_pending = queue.peak;
     stats.arena_nodes = arena.nodes.len();

@@ -27,13 +27,30 @@
 //! Naming scheme (see DESIGN.md § Observability): dotted lowercase paths,
 //! `<subsystem>.<event>[.<detail>]`; histogram names carry their unit as a
 //! suffix (`_us` wall micros, `_ms` simulated millis).
+//!
+//! Beyond aggregates, the [`trace`] module is a causal flight recorder —
+//! lock-free per-thread ring buffers of span/instant/annotation events
+//! keyed by a per-incident [`trace::TraceId`], exportable as a
+//! Chrome/Perfetto `trace.json` — and [`timeseries`] periodically diffs
+//! snapshots into per-metric sample rings rendered as Prometheus text
+//! exposition (the /metrics surface). All file emitters write atomically
+//! ([`atomic_write`]: temp + rename) so a killed run never leaves a
+//! truncated artifact.
 
 mod metrics;
 mod registry;
 mod snapshot;
+pub mod timeseries;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Span};
 pub use registry::{global, Registry};
 pub use snapshot::{
-    emit_if_configured, record_host_facts, MetricValue, TelemetrySnapshot, ENV_TELEMETRY_OUT,
+    atomic_write, emit_if_configured, record_host_facts, MetricValue, TelemetrySnapshot,
+    ENV_TELEMETRY_OUT,
 };
+pub use timeseries::{
+    emit_timeseries_if_configured, global_timeseries, sample_global_timeseries, TimeSeries,
+    ENV_TIMESERIES_OUT,
+};
+pub use trace::{TraceId, ENV_TRACE_OUT};

@@ -10,6 +10,7 @@ enum Metric {
     Counter(Counter),
     Gauge(Gauge),
     Histogram(Histogram),
+    Fact(String),
 }
 
 /// A named-metric registry. Resolution (`counter`/`gauge`/`histogram`)
@@ -75,6 +76,27 @@ impl Registry {
         }
     }
 
+    /// Record (or overwrite) the string fact named `name` — run
+    /// provenance such as the git commit or seed env vars in effect.
+    /// Facts snapshot as [`MetricValue::Fact`] and fold into the
+    /// Prometheus `lg_run_info` label set.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a numeric metric.
+    pub fn set_fact(&self, name: &str, value: &str) {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Fact(String::new()))
+        {
+            Metric::Fact(f) => {
+                f.clear();
+                f.push_str(value);
+            }
+            _ => panic!("telemetry metric {name:?} already registered with a different kind"),
+        }
+    }
+
     /// Start a wall-clock span recording into the histogram named `name`
     /// on drop. Convenience for one-off timings; hot paths should resolve
     /// the histogram once and call [`Histogram::span`].
@@ -92,6 +114,7 @@ impl Registry {
                     Metric::Counter(c) => MetricValue::Counter(c.get()),
                     Metric::Gauge(g) => MetricValue::Gauge(g.get()),
                     Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    Metric::Fact(f) => MetricValue::Fact(f.clone()),
                 };
                 (name.clone(), value)
             })

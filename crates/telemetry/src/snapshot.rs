@@ -1,7 +1,8 @@
 //! Frozen registry state: JSON run reports, tables, and diffing.
 
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 use crate::metrics::HistogramSnapshot;
 use crate::registry::global;
@@ -19,6 +20,8 @@ pub enum MetricValue {
     Gauge(u64),
     /// Frozen distribution.
     Histogram(HistogramSnapshot),
+    /// Run-provenance fact (git commit, seeds in effect).
+    Fact(String),
 }
 
 /// A point-in-time freeze of a [`crate::Registry`]: sorted
@@ -59,6 +62,14 @@ impl TelemetrySnapshot {
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         match self.value(name)? {
             MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Fact value by name (`None` if absent or not a fact).
+    pub fn fact(&self, name: &str) -> Option<&str> {
+        match self.value(name)? {
+            MetricValue::Fact(s) => Some(s.as_str()),
             _ => None,
         }
     }
@@ -125,6 +136,9 @@ impl TelemetrySnapshot {
                     }
                     out.push_str("]}");
                 }
+                MetricValue::Fact(s) => {
+                    json_string(&mut out, s);
+                }
             }
         }
         out.push_str("\n  }\n}\n");
@@ -154,6 +168,9 @@ impl TelemetrySnapshot {
                         h.quantile_upper(0.99),
                     );
                 }
+                MetricValue::Fact(s) => {
+                    let _ = writeln!(out, "{s} (fact)");
+                }
             }
         }
         out
@@ -178,30 +195,89 @@ fn json_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// Record facts about the host into the global registry as gauges,
-/// currently `host.available_parallelism`. Concurrency numbers are
-/// meaningless without this context — a 1-core container runs every
-/// multi-thread bench and smoke test serially, so contention and scaling
-/// claims cannot be checked there. Stamping the core count into every
-/// report makes that machine-checkable by consumers of the JSON.
+/// Record host and run-provenance facts into the global registry:
+/// `host.available_parallelism` (gauge), plus facts for the git commit
+/// (best effort — absent outside a checkout) and the seed environment
+/// variables in effect (`LG_CHURN_SEED`, `LG_FUZZ_SEEDS`,
+/// `LG_FILTER_MATRIX`), so every report and trace is replayable from its
+/// own header. Concurrency numbers are meaningless without the core
+/// count — a 1-core container runs every multi-thread bench serially, so
+/// contention and scaling claims cannot be checked there; stamping it
+/// makes that machine-checkable by consumers of the JSON.
 ///
 /// Called automatically by [`emit_if_configured`]; bench mains that only
 /// print tables can call it directly.
 pub fn record_host_facts() {
     let cores = std::thread::available_parallelism().map_or(0, |n| n.get() as u64);
     global().gauge("host.available_parallelism").set(cores);
+    // Always stamp at least one fact so the `lg_run_info` provenance
+    // metric exists even outside a git checkout with no seeds set.
+    global().set_fact("run.telemetry_version", env!("CARGO_PKG_VERSION"));
+    if let Some(commit) = git_commit() {
+        global().set_fact("run.git_commit", commit);
+    }
+    for (env, fact) in [
+        ("LG_CHURN_SEED", "run.churn_seed"),
+        ("LG_FUZZ_SEEDS", "run.fuzz_seeds"),
+        ("LG_FILTER_MATRIX", "run.filter_matrix"),
+    ] {
+        if let Ok(v) = std::env::var(env) {
+            global().set_fact(fact, &v);
+        }
+    }
+}
+
+/// The current git commit, resolved once per process (best effort:
+/// `None` when `git` or the repository is unavailable).
+fn git_commit() -> Option<&'static str> {
+    static COMMIT: OnceLock<Option<String>> = OnceLock::new();
+    COMMIT
+        .get_or_init(|| {
+            let out = std::process::Command::new("git")
+                .args(["rev-parse", "HEAD"])
+                .output()
+                .ok()
+                .filter(|o| o.status.success())?;
+            let commit = String::from_utf8_lossy(&out.stdout).trim().to_string();
+            (!commit.is_empty()).then_some(commit)
+        })
+        .as_deref()
+}
+
+/// Write `contents` to `path` atomically: write a sibling temp file, then
+/// rename over the target. A killed run can leave a stray temp file but
+/// never a truncated artifact at `path`. Used by every telemetry, trace,
+/// and time-series emitter.
+pub fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let base = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("telemetry-out");
+    let tmp = dir.join(format!(".{base}.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 /// If `LG_TELEMETRY_OUT` names a path, write the global registry's
-/// snapshot there as JSON and return the path. Binaries and bench mains
-/// call this once at exit so any run can produce a `telemetry.json`
-/// report without code changes. Host facts ([`record_host_facts`]) are
-/// stamped into the report first.
+/// snapshot there as JSON (atomically — temp + rename) and return the
+/// path. Binaries and bench mains call this once at exit so any run can
+/// produce a `telemetry.json` report without code changes. Host and
+/// provenance facts ([`record_host_facts`]) are stamped into the report
+/// first, and the companion trace / time-series emitters run too, so one
+/// exit hook honours all three `LG_*_OUT` variables.
 pub fn emit_if_configured() -> Option<PathBuf> {
+    crate::trace::emit_trace_if_configured();
+    crate::timeseries::emit_timeseries_if_configured();
     let path = PathBuf::from(std::env::var_os(ENV_TELEMETRY_OUT)?);
     record_host_facts();
     let json = global().snapshot().to_json();
-    match std::fs::write(&path, json) {
+    match atomic_write(&path, &json) {
         Ok(()) => Some(path),
         Err(e) => {
             eprintln!("telemetry: failed to write {}: {e}", path.display());

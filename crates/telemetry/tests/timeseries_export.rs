@@ -1,0 +1,125 @@
+//! Time-series sampler and export-surface tests: delta computation,
+//! Prometheus text rendering (counters, histograms, run-info facts), and
+//! atomic file emission.
+
+use lg_telemetry::{atomic_write, MetricValue, Registry, TimeSeries};
+
+#[test]
+fn sampler_computes_counter_deltas_and_gauge_magnitudes() {
+    let reg = Registry::new();
+    let hits = reg.counter("cache.hits");
+    let depth = reg.gauge("queue.depth");
+    let mut ts = TimeSeries::new(16);
+
+    hits.add(10);
+    depth.set(5);
+    ts.sample_registry(&reg, 1000);
+    hits.add(7);
+    depth.set(2);
+    ts.sample_registry(&reg, 2000);
+
+    let hit_ring = ts.series("cache.hits").expect("counter sampled");
+    let samples: Vec<_> = hit_ring.samples().collect();
+    assert_eq!(samples.len(), 2);
+    assert_eq!((samples[0].value, samples[0].delta), (10, 10));
+    assert_eq!((samples[1].value, samples[1].delta), (17, 7));
+
+    let depth_ring = ts.series("queue.depth").expect("gauge sampled");
+    let samples: Vec<_> = depth_ring.samples().collect();
+    // Gauge moved 5 -> 2; the delta reports the magnitude of the move.
+    assert_eq!((samples[1].value, samples[1].delta), (2, 3));
+    assert_eq!(samples[1].at_ms, 2000);
+    assert_eq!(ts.latest_at_ms(), Some(2000));
+}
+
+#[test]
+fn sampler_ring_drops_oldest_sample() {
+    let reg = Registry::new();
+    let c = reg.counter("c");
+    let mut ts = TimeSeries::new(3);
+    for at in 0..5u64 {
+        c.inc();
+        ts.sample_registry(&reg, at * 100);
+    }
+    let samples: Vec<_> = ts.series("c").unwrap().samples().collect();
+    assert_eq!(samples.len(), 3);
+    assert_eq!(samples[0].at_ms, 200);
+    assert_eq!(samples[2].at_ms, 400);
+}
+
+#[test]
+fn prometheus_rendering_covers_all_metric_kinds() {
+    let reg = Registry::new();
+    reg.counter("core.repairs").add(3);
+    reg.gauge("dynamic.queue_depth").set(9);
+    let h = reg.histogram("repair.downtime_ms");
+    h.record(50);
+    h.record(5000);
+    reg.set_fact("run.git_commit", "abc123");
+    reg.set_fact("run.churn_seed", "7");
+
+    let mut ts = TimeSeries::new(4);
+    ts.sample_registry(&reg, 42);
+    let text = ts.render_prometheus();
+
+    assert!(text.contains("# TYPE lg_core_repairs_total counter"));
+    assert!(text.contains("lg_core_repairs_total 3"));
+    assert!(text.contains("lg_dynamic_queue_depth 9"));
+    assert!(text.contains("lg_repair_downtime_ms_bucket{le=\""));
+    assert!(text.contains("lg_repair_downtime_ms_bucket{le=\"+Inf\"} 2"));
+    assert!(text.contains("lg_repair_downtime_ms_sum 5050"));
+    assert!(text.contains("lg_repair_downtime_ms_count 2"));
+    assert!(text.contains("run_git_commit=\"abc123\""));
+    assert!(text.contains("run_churn_seed=\"7\""));
+    assert!(text.contains("lg_run_info{"));
+    // Prometheus text exposition: every non-comment line is `name value`
+    // or `name{labels} value`.
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        assert_eq!(
+            line.rsplitn(2, ' ').count(),
+            2,
+            "malformed exposition line: {line}"
+        );
+    }
+}
+
+#[test]
+fn facts_round_trip_through_snapshot_json() {
+    let reg = Registry::new();
+    reg.set_fact("run.git_commit", "deadbeef");
+    reg.set_fact("run.git_commit", "cafef00d"); // overwrite, not duplicate
+    let snap = reg.snapshot();
+    assert_eq!(
+        snap.value("run.git_commit"),
+        Some(&MetricValue::Fact("cafef00d".to_string()))
+    );
+    assert_eq!(snap.fact("run.git_commit"), Some("cafef00d"));
+    let json = snap.to_json();
+    assert!(json.contains("cafef00d"));
+    assert!(!json.contains("deadbeef"));
+}
+
+#[test]
+fn atomic_write_replaces_target_and_leaves_no_temp() {
+    let dir = std::env::temp_dir().join(format!("lg-atomic-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let target = dir.join("out.json");
+    std::fs::write(&target, "old contents").unwrap();
+
+    atomic_write(&target, "new contents").unwrap();
+    assert_eq!(std::fs::read_to_string(&target).unwrap(), "new contents");
+
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| n != "out.json")
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "temp files left behind: {leftovers:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

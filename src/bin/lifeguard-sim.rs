@@ -4,18 +4,26 @@
 //! cargo run --bin lifeguard-sim -- scenarios/reverse_outage.json
 //! cargo run --bin lifeguard-sim -- scenarios/reverse_outage.json --json
 //! cargo run --bin lifeguard-sim -- scenarios/reverse_outage.json --telemetry telemetry.json
+//! cargo run --bin lifeguard-sim -- scenarios/reverse_outage.json --trace trace.json
 //! ```
 //!
 //! Scenario format: see `src/scenario.rs` and the `scenarios/` directory.
 //! `--telemetry PATH` writes the process-global metric snapshot (counters,
 //! gauges, histograms) as JSON after the run; `LG_TELEMETRY_OUT=PATH` does
-//! the same via the environment.
+//! the same via the environment. `--trace PATH` enables the flight recorder
+//! and writes a Chrome/Perfetto `trace.json` (open in `ui.perfetto.dev`)
+//! after the run; `--timeseries PATH` samples the metric registry once per
+//! simulated tick and writes Prometheus text exposition. All outputs are
+//! written atomically (temp file + rename).
 
 use lifeguard_repro::scenario;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: lifeguard-sim <scenario.json> [--json] [--telemetry PATH]");
+    eprintln!(
+        "usage: lifeguard-sim <scenario.json> [--json] [--telemetry PATH] \
+         [--trace PATH] [--timeseries PATH]"
+    );
     ExitCode::from(2)
 }
 
@@ -24,6 +32,8 @@ fn main() -> ExitCode {
     let mut path: Option<String> = None;
     let mut as_json = false;
     let mut telemetry_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut timeseries_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -35,6 +45,20 @@ fn main() -> ExitCode {
                 };
                 telemetry_out = Some(p.clone());
             }
+            "--trace" => {
+                i += 1;
+                let Some(p) = args.get(i) else {
+                    return usage();
+                };
+                trace_out = Some(p.clone());
+            }
+            "--timeseries" => {
+                i += 1;
+                let Some(p) = args.get(i) else {
+                    return usage();
+                };
+                timeseries_out = Some(p.clone());
+            }
             p if path.is_none() && !p.starts_with('-') => path = Some(p.to_string()),
             _ => return usage(),
         }
@@ -43,6 +67,16 @@ fn main() -> ExitCode {
     let Some(path) = path else {
         return usage();
     };
+
+    // The flight recorder must be live before the run so span/instant calls
+    // inside the planner and simulator land in the per-thread rings.
+    if trace_out.is_some() {
+        lg_telemetry::trace::enable(lg_telemetry::trace::DEFAULT_CAPACITY);
+    } else {
+        lg_telemetry::trace::enable_from_env();
+    }
+    lg_telemetry::record_host_facts();
+
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -67,8 +101,29 @@ fn main() -> ExitCode {
 
     if let Some(tpath) = &telemetry_out {
         let snap = lg_telemetry::global().snapshot();
-        if let Err(e) = std::fs::write(tpath, snap.to_json()) {
+        if let Err(e) = lg_telemetry::atomic_write(std::path::Path::new(tpath), &snap.to_json()) {
             eprintln!("cannot write telemetry to {tpath}: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    if let Some(tpath) = &trace_out {
+        if let Some(rec) = lg_telemetry::trace::recorder() {
+            let json = lg_telemetry::trace::export_chrome(&rec.snapshot());
+            if let Err(e) = lg_telemetry::atomic_write(std::path::Path::new(tpath), &json) {
+                eprintln!("cannot write trace to {tpath}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    if let Some(tpath) = &timeseries_out {
+        let text = {
+            let mut ts = lg_telemetry::global_timeseries().lock().unwrap();
+            let at = ts.latest_at_ms().map_or(0, |t| t + 1);
+            ts.sample_registry(lg_telemetry::global(), at);
+            ts.render_prometheus()
+        };
+        if let Err(e) = lg_telemetry::atomic_write(std::path::Path::new(tpath), &text) {
+            eprintln!("cannot write timeseries to {tpath}: {e}");
             return ExitCode::from(1);
         }
     }
@@ -80,6 +135,7 @@ fn main() -> ExitCode {
         for e in &out.events {
             let line = Value::Obj(vec![
                 ("at_ms".into(), Value::Num(e.at.millis() as f64)),
+                ("trace".into(), Value::Num(e.trace.0 as f64)),
                 ("event".into(), Value::Str(format!("{:?}", e.kind))),
             ]);
             println!("{line}");

@@ -318,6 +318,7 @@ pub fn run(scenario: &Scenario) -> Result<RunOutcome, ScenarioError> {
     let end = Time::from_mins(scenario.duration_min);
     while now <= end {
         lifeguard.tick(&mut world, now);
+        lg_telemetry::sample_global_timeseries(now.millis());
         for (t, d) in downtime.iter_mut() {
             let (fwd, rev) = world.dp.round_trip(
                 now,
