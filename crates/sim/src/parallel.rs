@@ -1,0 +1,578 @@
+//! Shard workers for the parallel dynamic engine.
+//!
+//! `DynamicSim` with `workers > 1` carves the event timeline into
+//! conservative windows (see `dynamic.rs::run_windows` and DESIGN.md
+//! "Parallel dynamic engine") and hands each window's events here,
+//! partitioned by destination node into disjoint shards. A shard worker
+//! replays the sequential engine's handlers against its slice of node
+//! state, with one difference: anything that would touch *global* state —
+//! putting an UPDATE on the wire, arming an MRAI fire, recording
+//! per-prefix metrics — is buffered into [`Effects`] instead of applied,
+//! tagged with the `(time, seq)` of the event that caused it. The barrier
+//! commit (`dynamic.rs::commit_window`) then merges all shards' buffers in
+//! that source order, which is exactly the order the sequential engine
+//! would have created them in.
+//!
+//! The handler bodies intentionally mirror `dynamic.rs` line for line.
+//! This is the repo's retained-oracle pattern (`OutQueue::Reference`,
+//! frontier-vs-reference `compute_routes`): the sequential engine stays
+//! the oracle, the worker copy is the optimized path, and the
+//! `tests/outqueue_differential.rs` worker matrix pins them byte-identical
+//! on hundreds of randomized schedules. Any edit to a handler on one side
+//! must land on both — the harness fails loudly if it doesn't.
+//!
+//! Shared state visible to workers is strictly read-only (network, config,
+//! specs, link state) with one exception: the path interner, which is
+//! hash-consed behind an `RwLock` — workers resolve existing paths under a
+//! read lock and escalate to a write lock only for genuinely new paths.
+//! Interner node *numbering* can therefore differ from a sequential run,
+//! but ids never escape the engine: best-path selection compares path
+//! content, duplicate suppression compares ids only for content equality
+//! (hash-consing makes those the same), and logs materialize hops. The
+//! differential matrix is what proves that claim continuously.
+
+use crate::announce::AnnouncementSpec;
+use crate::dynamic::{
+    mrai_interval_for, DynamicSimConfig, DynamicTelemetry, LocEntry, Node, OutStore,
+    PeerPrefixState, PrefixMetrics, RingNode,
+};
+use crate::network::Network;
+use crate::time::Time;
+use lg_asmap::AsId;
+use lg_bgp::{ArenaRoute, PathId, PathInterner, Prefix};
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+/// One event to process, with the global `(time, seq)` it was popped at.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct WorkItem {
+    pub(crate) at: Time,
+    pub(crate) seq: u64,
+    pub(crate) work: Work,
+}
+
+/// The two event kinds, pre-resolved from heap events and wheel fires.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Work {
+    Recv {
+        from: AsId,
+        to: AsId,
+        prefix: Prefix,
+        path: Option<PathId>,
+        epoch: u64,
+    },
+    Fire {
+        node: AsId,
+        peer: AsId,
+        prefix: Prefix,
+    },
+}
+
+impl Work {
+    /// The node whose state this event mutates — the shard key.
+    pub(crate) fn node(&self) -> AsId {
+        match *self {
+            Work::Recv { to, .. } => to,
+            Work::Fire { node, .. } => node,
+        }
+    }
+}
+
+/// Read-only state every worker shares for one window.
+pub(crate) struct SharedCtx<'a> {
+    pub(crate) net: &'a Network,
+    pub(crate) cfg: &'a DynamicSimConfig,
+    pub(crate) specs: &'a HashMap<Prefix, AnnouncementSpec>,
+    pub(crate) seed_ids: &'a HashMap<Prefix, Vec<(AsId, PathId)>>,
+    pub(crate) down_links: &'a [(AsId, AsId)],
+    pub(crate) link_epochs: &'a HashMap<(AsId, AsId), u64>,
+    /// Read-only view of the tracked prefixes; workers record *deltas*
+    /// (merged at the barrier) but need to know which prefixes are
+    /// tracked, mirroring the sequential `metrics.get_mut` gate.
+    pub(crate) metrics: &'a HashMap<Prefix, PrefixMetrics>,
+    pub(crate) paths: &'a RwLock<PathInterner>,
+    /// Counters are atomics; workers bump them directly at the same
+    /// logical points the sequential engine does.
+    pub(crate) tele: &'a DynamicTelemetry,
+}
+
+impl SharedCtx<'_> {
+    fn link_up(&self, a: AsId, b: AsId) -> bool {
+        !self
+            .down_links
+            .iter()
+            .any(|(x, y)| (*x == a && *y == b) || (*x == b && *y == a))
+    }
+
+    fn link_epoch(&self, a: AsId, b: AsId) -> u64 {
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        self.link_epochs.get(&key).copied().unwrap_or(0)
+    }
+
+    fn link_latency(&self, a: AsId, b: AsId) -> u64 {
+        self.net.link_delay_ms(a, b) + self.cfg.proc_delay_ms
+    }
+}
+
+/// A worker's mutable slice of the out-queue state, in the engine's
+/// configured [`crate::dynamic::OutQueue`] shape. Indexing is by
+/// shard-local node offset.
+pub(crate) enum ShardOut<'a> {
+    Reference(&'a mut [HashMap<(AsId, Prefix), PeerPrefixState>]),
+    Ring(&'a mut [RingNode]),
+}
+
+impl ShardOut<'_> {
+    /// Get-or-create the sending state for `(local node, peer, prefix)` —
+    /// the shard-slice twin of `OutStore::state_entry`.
+    fn state_entry(&mut self, local: usize, peer: AsId, prefix: Prefix) -> &mut PeerPrefixState {
+        match self {
+            ShardOut::Reference(v) => v[local].entry((peer, prefix)).or_default(),
+            ShardOut::Ring(nodes) => {
+                let slot = OutStore::ring_peer_slot(&mut nodes[local], peer);
+                let rp = &mut nodes[local].peers[slot as usize];
+                let i = match rp.state.iter().position(|&(p, _)| p == prefix) {
+                    Some(i) => i,
+                    None => {
+                        rp.state.push((prefix, PeerPrefixState::default()));
+                        rp.state.len() - 1
+                    }
+                };
+                &mut rp.state[i].1
+            }
+        }
+    }
+}
+
+/// One disjoint unit of window work: a shard's node slice, its out-queue
+/// slice, and the events destined for it (already in `(time, seq)` order).
+pub(crate) struct ShardTask<'a> {
+    pub(crate) base: usize,
+    pub(crate) nodes: &'a mut [Node],
+    pub(crate) out: ShardOut<'a>,
+    pub(crate) items: Vec<WorkItem>,
+}
+
+/// A global effect a worker buffered instead of applying, tagged with the
+/// `(time, seq)` of the event whose handler produced it.
+pub(crate) struct Emission {
+    pub(crate) src_at: Time,
+    pub(crate) src_seq: u64,
+    pub(crate) kind: EmKind,
+}
+
+pub(crate) enum EmKind {
+    /// `push_recv` equivalent: an UPDATE on the wire, delivered at `at`.
+    Send {
+        at: Time,
+        from: AsId,
+        to: AsId,
+        prefix: Prefix,
+        path: Option<PathId>,
+        epoch: u64,
+    },
+    /// `schedule_update`'s deferral arm: queue an MRAI fire at `ready`
+    /// (heap event in Reference mode, ring push + wheel timer in Ring
+    /// mode — the commit dispatches on the configured shape).
+    Defer {
+        node: AsId,
+        peer: AsId,
+        prefix: Prefix,
+        path: Option<PathId>,
+        ready: Time,
+    },
+}
+
+/// Per-(prefix, node) metric changes from one window. Nodes are owned by
+/// exactly one shard, so keys never collide across workers and the merge
+/// is a disjoint union; the fields replicate `PrefixMetrics`' insert
+/// semantics (`or_insert` for firsts, overwrite for lasts).
+#[derive(Default)]
+pub(crate) struct MetricDelta {
+    sent: u64,
+    first_sent: Option<Time>,
+    last_sent: Option<Time>,
+    loc_changes: u64,
+    first_loc_change: Option<Time>,
+    last_loc_change: Option<Time>,
+}
+
+impl MetricDelta {
+    /// Fold this delta into the canonical metrics at the barrier.
+    pub(crate) fn apply(self, m: &mut PrefixMetrics, node: AsId) {
+        if self.sent > 0 {
+            *m.updates_sent.entry(node).or_insert(0) += self.sent;
+            m.first_sent
+                .entry(node)
+                .or_insert(self.first_sent.expect("sent delta without first"));
+            m.last_sent
+                .insert(node, self.last_sent.expect("sent delta without last"));
+        }
+        if self.loc_changes > 0 {
+            *m.loc_changes.entry(node).or_insert(0) += self.loc_changes;
+            m.first_loc_change
+                .entry(node)
+                .or_insert(self.first_loc_change.expect("loc delta without first"));
+            m.last_loc_change
+                .insert(node, self.last_loc_change.expect("loc delta without last"));
+        }
+    }
+}
+
+/// Everything a shard buffered during one window.
+#[derive(Default)]
+pub(crate) struct Effects {
+    pub(crate) emissions: Vec<Emission>,
+    pub(crate) metrics: HashMap<(Prefix, AsId), MetricDelta>,
+    /// MRAI ready times armed by this shard's sends (future fires the
+    /// window planner must know about).
+    pub(crate) armed: Vec<Time>,
+}
+
+/// Run every non-empty shard of a window. `spawn` selects real threads;
+/// otherwise shards run back-to-back on the calling thread. Both paths
+/// produce identical effects — the commit sorts by source `(time, seq)`,
+/// so shard completion order is irrelevant.
+pub(crate) fn execute_shards(
+    ctx: &SharedCtx<'_>,
+    shards: Vec<ShardTask<'_>>,
+    spawn: bool,
+) -> Vec<Effects> {
+    let live: Vec<ShardTask<'_>> = shards.into_iter().filter(|t| !t.items.is_empty()).collect();
+    if !spawn || live.len() <= 1 {
+        live.into_iter().map(|t| run_shard(ctx, t)).collect()
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = live
+                .into_iter()
+                .map(|t| s.spawn(move || run_shard(ctx, t)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+    }
+}
+
+fn run_shard(ctx: &SharedCtx<'_>, task: ShardTask<'_>) -> Effects {
+    let mut w = ShardWorker {
+        base: task.base,
+        nodes: task.nodes,
+        out: task.out,
+        ctx,
+        fx: Effects::default(),
+        now: Time::ZERO,
+        src_seq: 0,
+    };
+    for item in &task.items {
+        w.now = item.at;
+        w.src_seq = item.seq;
+        match item.work {
+            Work::Recv {
+                from,
+                to,
+                prefix,
+                path,
+                epoch,
+            } => w.handle_recv(from, to, prefix, path, epoch),
+            Work::Fire { node, peer, prefix } => w.handle_mrai_fire(node, peer, prefix),
+        }
+    }
+    w.fx
+}
+
+/// The sequential engine's handler set, re-targeted at one shard: node
+/// state is indexed shard-locally, global effects go through `emit`.
+struct ShardWorker<'a, 'c> {
+    base: usize,
+    nodes: &'a mut [Node],
+    out: ShardOut<'a>,
+    ctx: &'c SharedCtx<'c>,
+    fx: Effects,
+    /// Time of the event being processed (the handler's `self.now`).
+    now: Time,
+    /// Seq of the event being processed (the emission tag).
+    src_seq: u64,
+}
+
+impl ShardWorker<'_, '_> {
+    fn local(&self, a: AsId) -> usize {
+        a.index() - self.base
+    }
+
+    fn emit(&mut self, kind: EmKind) {
+        self.fx.emissions.push(Emission {
+            src_at: self.now,
+            src_seq: self.src_seq,
+            kind,
+        });
+    }
+
+    /// Mirror of `DynamicSim::desired_content`'s interner tail: resolve
+    /// the announced-by prepend, read-locked for the (overwhelmingly
+    /// common) already-interned case.
+    fn prepend(&self, tail: PathId, hop: AsId) -> PathId {
+        if let Some(id) = self
+            .ctx
+            .paths
+            .read()
+            .expect("interner lock poisoned")
+            .lookup_prepend(tail, hop)
+        {
+            return id;
+        }
+        self.ctx
+            .paths
+            .write()
+            .expect("interner lock poisoned")
+            .prepend(tail, hop)
+    }
+
+    /// Mirror of `DynamicSim::handle_recv`.
+    fn handle_recv(
+        &mut self,
+        from: AsId,
+        to: AsId,
+        prefix: Prefix,
+        path: Option<PathId>,
+        epoch: u64,
+    ) {
+        let Some(rel) = self.ctx.net.graph().relationship(to, from) else {
+            return; // stale event across a removed adjacency
+        };
+        if !self.ctx.link_up(from, to) {
+            return; // message in flight when the session died
+        }
+        if epoch != self.ctx.link_epoch(from, to) {
+            return; // sent by a dead session incarnation
+        }
+        self.ctx.tele.updates_received.inc();
+        match path {
+            Some(p) => {
+                let rejected = {
+                    let paths = self.ctx.paths.read().expect("interner lock poisoned");
+                    self.ctx.net.policy(to).evaluate_hops(
+                        to,
+                        self.ctx.net.peers_of(to),
+                        rel,
+                        paths.hops(p),
+                        paths.len(p),
+                    )
+                };
+                match rejected {
+                    Some(lg_bgp::RejectReason::PathLenCap) => self.ctx.tele.filtered_path_len.inc(),
+                    Some(lg_bgp::RejectReason::Poisoned) => self.ctx.tele.filtered_poisoned.inc(),
+                    Some(lg_bgp::RejectReason::ReservedAsn) => {
+                        self.ctx.tele.filtered_reserved.inc()
+                    }
+                    _ => {}
+                }
+                let node = &mut self.nodes[self.local(to)];
+                if rejected.is_none() {
+                    node.adj_in.insert(ArenaRoute {
+                        prefix,
+                        path: p,
+                        learned_from: from,
+                        rel,
+                    });
+                } else {
+                    // Implicit withdrawal: the rejected update replaced
+                    // whatever the neighbor previously advertised.
+                    node.adj_in.withdraw(from, prefix);
+                }
+            }
+            None => {
+                let local = self.local(to);
+                self.nodes[local].adj_in.withdraw(from, prefix);
+            }
+        }
+        self.reselect(to, prefix);
+    }
+
+    /// Mirror of `DynamicSim::handle_mrai_fire`.
+    fn handle_mrai_fire(&mut self, node: AsId, peer: AsId, prefix: Prefix) {
+        lg_telemetry::trace::instant_value("dynamic.mrai_fire", self.now.millis());
+        let local = self.local(node);
+        let st = self.out.state_entry(local, peer, prefix);
+        st.fire_pending = false;
+        self.flush_to_peer(node, peer, prefix);
+    }
+
+    /// Mirror of `DynamicSim::reselect`.
+    fn reselect(&mut self, at: AsId, prefix: Prefix) {
+        if self.ctx.specs.get(&prefix).is_some_and(|s| s.origin == at) {
+            return; // origin self-route is pinned while announced
+        }
+        let local = self.local(at);
+        let best = {
+            let paths = self.ctx.paths.read().expect("interner lock poisoned");
+            self.nodes[local].adj_in.best(prefix, &paths)
+        };
+        let cur = self.nodes[local].loc.get(&prefix);
+        let same = match (&best, cur) {
+            (None, None) => true,
+            (Some(b), Some(c)) => {
+                b.path == c.path && b.learned_from == c.route.learned_from && b.rel == c.route.rel
+            }
+            _ => false,
+        };
+        if same {
+            return;
+        }
+        match best {
+            Some(r) => {
+                let route = {
+                    let paths = self.ctx.paths.read().expect("interner lock poisoned");
+                    r.to_route(&paths)
+                };
+                self.nodes[local].loc.insert(
+                    prefix,
+                    LocEntry {
+                        path: r.path,
+                        route,
+                    },
+                );
+            }
+            None => {
+                self.nodes[local].loc.remove(&prefix);
+            }
+        }
+        self.ctx.tele.loc_rib_changes.inc();
+        if self.ctx.metrics.contains_key(&prefix) {
+            let now = self.now;
+            let d = self.fx.metrics.entry((prefix, at)).or_default();
+            d.loc_changes += 1;
+            d.first_loc_change.get_or_insert(now);
+            d.last_loc_change = Some(now);
+        }
+        // Propagate to every neighbor.
+        let neighbors: Vec<AsId> = self
+            .ctx
+            .net
+            .graph()
+            .neighbors(at)
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        for m in neighbors {
+            self.schedule_update(at, m, prefix);
+        }
+    }
+
+    /// Mirror of `DynamicSim::desired_content`.
+    fn desired_content(&mut self, node: AsId, peer: AsId, prefix: Prefix) -> Option<PathId> {
+        if let Some(spec) = self.ctx.specs.get(&prefix) {
+            if spec.origin == node {
+                return self
+                    .ctx
+                    .seed_ids
+                    .get(&prefix)
+                    .and_then(|seeds| seeds.iter().find(|(n, _)| *n == peer))
+                    .map(|(_, id)| *id);
+            }
+        }
+        let (path, learned_from, rel) = {
+            let e = self.nodes[self.local(node)].loc.get(&prefix)?;
+            (e.path, e.route.learned_from, e.route.rel)
+        };
+        if learned_from == peer {
+            return None; // split horizon: don't echo back
+        }
+        let rel_to_peer = self.ctx.net.graph().relationship(node, peer)?;
+        if !rel.exportable_to(rel_to_peer) {
+            return None;
+        }
+        Some(self.prepend(path, node))
+    }
+
+    /// Mirror of `DynamicSim::schedule_update`. The deferral arm buffers
+    /// an `EmKind::Defer` where the sequential engine allocates a seq and
+    /// queues the fire — the commit does both, in merged source order.
+    fn schedule_update(&mut self, node: AsId, peer: AsId, prefix: Prefix) {
+        if !self.ctx.link_up(node, peer) {
+            return;
+        }
+        let desired = self.desired_content(node, peer, prefix);
+        let local = self.local(node);
+        let st = self.out.state_entry(local, peer, prefix);
+        if st.last_sent == Some(desired) || (st.last_sent.is_none() && desired.is_none()) {
+            return; // no change to advertise
+        }
+        if desired.is_none() {
+            // Withdrawal: bypass MRAI.
+            self.send_now(node, peer, prefix, None);
+            return;
+        }
+        let ready = st.mrai_ready_at;
+        if self.now >= ready {
+            self.send_now(node, peer, prefix, desired);
+        } else {
+            let need_fire = !st.fire_pending;
+            st.fire_pending = true;
+            self.ctx.tele.mrai_deferrals.inc();
+            if need_fire {
+                self.emit(EmKind::Defer {
+                    node,
+                    peer,
+                    prefix,
+                    path: desired,
+                    ready,
+                });
+            }
+        }
+        // If a fire is already pending it will pick up the latest content.
+    }
+
+    /// Mirror of `DynamicSim::flush_to_peer`.
+    fn flush_to_peer(&mut self, node: AsId, peer: AsId, prefix: Prefix) {
+        let desired = self.desired_content(node, peer, prefix);
+        let local = self.local(node);
+        let st = self.out.state_entry(local, peer, prefix);
+        if st.last_sent == Some(desired) || (st.last_sent.is_none() && desired.is_none()) {
+            return;
+        }
+        self.send_now(node, peer, prefix, desired);
+    }
+
+    /// Mirror of `DynamicSim::send_now`; the wire push becomes an
+    /// `EmKind::Send` emission, counters and armed-timer tracking happen
+    /// here exactly as they would sequentially.
+    fn send_now(&mut self, node: AsId, peer: AsId, prefix: Prefix, content: Option<PathId>) {
+        let interval = mrai_interval_for(self.ctx.cfg, node, peer);
+        let now = self.now;
+        let local = self.local(node);
+        let st = self.out.state_entry(local, peer, prefix);
+        st.last_sent = Some(content);
+        let mut armed = None;
+        if content.is_some() {
+            st.mrai_ready_at = now + interval;
+            armed = Some(st.mrai_ready_at);
+        }
+        if let Some(ready) = armed {
+            self.fx.armed.push(ready);
+        }
+        if self.ctx.metrics.contains_key(&prefix) {
+            let d = self.fx.metrics.entry((prefix, node)).or_default();
+            d.sent += 1;
+            d.first_sent.get_or_insert(now);
+            d.last_sent = Some(now);
+        }
+        let at = now + self.ctx.link_latency(node, peer);
+        let epoch = self.ctx.link_epoch(node, peer);
+        // The sequential engine counts every wire push in `push`; the
+        // worker counts at emission so totals match even mid-window.
+        self.ctx.tele.updates_sent.inc();
+        if content.is_none() {
+            self.ctx.tele.withdrawals_sent.inc();
+        }
+        self.emit(EmKind::Send {
+            at,
+            from: node,
+            to: peer,
+            prefix,
+            path: content,
+            epoch,
+        });
+    }
+}

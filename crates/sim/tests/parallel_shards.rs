@@ -1,0 +1,249 @@
+//! Shard/barrier stress for the parallel window engine.
+//!
+//! Two hazards the conservative-window design must survive, pinned here
+//! against the sequential oracle (`workers = 1`) with thread spawning
+//! forced on (`parallel_spawn_min: 0`) so every window really crosses
+//! thread boundaries — which also makes this the target of the tsan CI
+//! gate:
+//!
+//! 1. **MRAI expirations exactly on window boundaries.** The planner
+//!    clamps a window's end to the earliest armed MRAI deadline, so the
+//!    next window *starts* exactly at a deferred flush — the flush's
+//!    emissions must still land in global `(time, seq)` order even when
+//!    the flushing node and the receiving peer sit in different shards.
+//!    `dynamic.window_mrai_capped` (asserted via an isolated registry)
+//!    proves the clamp actually fired; the log comparison proves it was
+//!    harmless.
+//!
+//! 2. **Fail/restore crossing a barrier.** Topology mutations happen
+//!    between `run_until` calls, i.e. between windows; a link that dies
+//!    mid-convergence with traffic in flight across the shard boundary
+//!    must not reorder or drop anything relative to the sequential
+//!    engine.
+//!
+//! (No miri/loom in this toolchain; like `shared_cache_concurrency.rs`,
+//! real OS threads + exact oracles are the stand-in.)
+
+use lg_asmap::{AsId, GraphBuilder, TopologyConfig};
+use lg_bgp::Prefix;
+use lg_sim::{AnnouncementSpec, DynamicSim, DynamicSimConfig, Network, OutQueue, Time};
+use lg_telemetry::Registry;
+
+fn pfx() -> Prefix {
+    Prefix::from_octets(184, 164, 224, 0, 20)
+}
+
+/// A 12-AS provider chain: AsId(0) is the stub origin at the bottom,
+/// AsId(11) the top transit. Every announcement wave walks the whole
+/// chain, so with `workers >= 2` (chunked shards over node index) the
+/// wave crosses the shard boundary on every hop past the chunk edge.
+fn chain(n: u32) -> Network {
+    let mut g = GraphBuilder::with_ases(n as usize);
+    for i in 0..n - 1 {
+        g.provider_customer(AsId(i + 1), AsId(i));
+    }
+    Network::new(g.build())
+}
+
+/// The observable end state of one run, for exact comparison.
+fn observe(sim: &DynamicSim, net: &Network, quiesce_at: Time) -> impl PartialEq + std::fmt::Debug {
+    let locs: Vec<_> = net
+        .graph()
+        .ases()
+        .map(|a| {
+            (
+                a,
+                sim.loc_route(a, pfx())
+                    .map(|r| (r.learned_from, r.path.hops().to_vec())),
+            )
+        })
+        .collect();
+    (
+        quiesce_at,
+        sim.now(),
+        sim.quiescent(),
+        sim.update_log().to_vec(),
+        locs,
+    )
+}
+
+/// A hub star: AsId(0) is the hub, provider of stubs AsId(1)..AsId(n-1);
+/// AsId(1) originates. When the hub's selection changes it floods one
+/// UPDATE per spoke *at the same instant*, arming one jittered MRAI
+/// deadline per (hub, spoke) pair — n-2 deadlines packed into the 25% of
+/// the base interval that jitter spans. With the lookahead window only
+/// one link latency wide, pigeonhole guarantees some deadline falls
+/// strictly inside another's window, forcing the planner's MRAI cap; and
+/// with chunked shards the hub (shard 0) flushes to spokes in every
+/// other shard.
+fn star(n: u32) -> Network {
+    let mut g = GraphBuilder::with_ases(n as usize);
+    for i in 1..n {
+        g.provider_customer(AsId(0), AsId(i));
+    }
+    Network::new(g.build())
+}
+
+/// Drive the boundary schedule: announce, let the hub flood inside every
+/// (hub, spoke) MRAI shadow, then re-announce with different content so
+/// the hub defers a flush to every spoke — the deferred deadlines become
+/// window caps. Returns the observation plus the run's isolated registry.
+fn run_boundary(net: &Network, workers: usize) -> (impl PartialEq + std::fmt::Debug, Registry) {
+    let reg = Registry::new();
+    let cfg = DynamicSimConfig {
+        // Short base interval: the 25% jitter span (~25 ms) packs the
+        // per-spoke deadlines tighter than one lookahead window (~11 ms),
+        // so caps are guaranteed, not probabilistic. Deterministic: the
+        // jitter is a pure function of (node, peer).
+        mrai_ms: 100,
+        mrai_jitter: true,
+        out_queue: OutQueue::Ring,
+        workers,
+        parallel_spawn_min: 0,
+        ..DynamicSimConfig::default()
+    };
+    let mut sim = DynamicSim::with_registry(net, cfg, &reg);
+    sim.record_updates(true);
+    sim.announce(&AnnouncementSpec::plain(net, pfx(), AsId(1)));
+    // Past the hub's flood (~one link latency) but inside every spoke
+    // shadow (earliest deadline is at latency + 75% of 100 ms).
+    let t = sim.now() + 30;
+    sim.run_until(t);
+    sim.announce(&AnnouncementSpec::prepended(net, pfx(), AsId(1), 3));
+    let q = sim.run_until_quiescent(sim.now() + Time::from_mins(30).millis());
+    assert!(sim.quiescent(), "boundary schedule must quiesce");
+    (observe(&sim, net, q), reg)
+}
+
+#[test]
+fn mrai_expiry_on_window_boundary_matches_oracle() {
+    let net = star(14);
+    let (oracle, oracle_reg) = run_boundary(&net, 1);
+    assert_eq!(
+        oracle_reg.counter("dynamic.windows").get(),
+        0,
+        "sequential run must not take the window path"
+    );
+    for workers in [2usize, 4, 8] {
+        let (got, reg) = run_boundary(&net, workers);
+        assert!(
+            reg.counter("dynamic.windows").get() > 0,
+            "workers={workers}: parallel run never opened a window"
+        );
+        assert!(
+            reg.counter("dynamic.window_mrai_capped").get() > 0,
+            "workers={workers}: no window was capped by an armed MRAI deadline — \
+             the schedule no longer exercises the boundary case"
+        );
+        assert_eq!(
+            got, oracle,
+            "workers={workers}: boundary run diverges from the sequential oracle"
+        );
+    }
+}
+
+/// Drive the barrier schedule on a generated topology: announce, stop
+/// mid-convergence with updates in flight, fail a link that crosses the
+/// shard boundary, let the repair wave run, restore it, quiesce.
+fn run_barrier(
+    net: &Network,
+    origin: AsId,
+    link: (AsId, AsId),
+    out_queue: OutQueue,
+    workers: usize,
+) -> impl PartialEq + std::fmt::Debug {
+    let cfg = DynamicSimConfig {
+        mrai_ms: 15_000,
+        mrai_jitter: true,
+        out_queue,
+        workers,
+        parallel_spawn_min: 0,
+        ..DynamicSimConfig::default()
+    };
+    let mut sim = DynamicSim::new(net, cfg);
+    sim.record_updates(true);
+    sim.announce(&AnnouncementSpec::plain(net, pfx(), origin));
+    // Stop mid-wave: far less than full-propagation time, so UPDATEs are
+    // still in flight across the shard boundary when the link dies.
+    let t = sim.now() + 40;
+    sim.run_until(t);
+    sim.fail_link(link.0, link.1);
+    let t = sim.now() + 500;
+    sim.run_until(t);
+    sim.restore_link(link.0, link.1);
+    let q = sim.run_until_quiescent(sim.now() + Time::from_mins(60).millis());
+    assert!(sim.quiescent(), "barrier schedule must quiesce");
+    observe(&sim, net, q)
+}
+
+#[test]
+fn fail_restore_across_barrier_matches_oracle() {
+    for seed in [3u64, 19] {
+        let net = Network::new(TopologyConfig::small(seed).generate());
+        let origin = net
+            .graph()
+            .ases()
+            .find(|a| net.graph().is_stub(*a) && net.graph().providers(*a).len() >= 2)
+            .expect("topology has multihomed stubs");
+        let n = net.graph().ases().count();
+        for workers in [2usize, 4, 8] {
+            // Pick a link whose endpoints land in different shards under
+            // this worker count (chunked partition over node index).
+            let chunk = n.div_ceil(workers).max(1);
+            let mut cross = None;
+            'outer: for a in net.graph().ases() {
+                for (b, _) in net.graph().neighbors(a) {
+                    if a.0 < b.0 && (a.0 as usize) / chunk != (b.0 as usize) / chunk {
+                        cross = Some((a, *b));
+                        break 'outer;
+                    }
+                }
+            }
+            let link = cross.expect("small topology spans shard boundary");
+            for out_queue in [OutQueue::Ring, OutQueue::Reference] {
+                let oracle = run_barrier(&net, origin, link, out_queue, 1);
+                let got = run_barrier(&net, origin, link, out_queue, workers);
+                assert_eq!(
+                    got, oracle,
+                    "seed {seed} workers {workers} {out_queue:?}: \
+                     fail/restore across the barrier diverges from the oracle"
+                );
+            }
+        }
+    }
+}
+
+/// Per-peer update times never go backwards in the parallel engine's log
+/// — the global `(time, seq)` merge is what the windows must preserve.
+#[test]
+fn parallel_log_times_are_monotone() {
+    let net = chain(16);
+    let cfg = DynamicSimConfig {
+        workers: 4,
+        parallel_spawn_min: 0,
+        ..DynamicSimConfig::default()
+    };
+    let mut sim = DynamicSim::new(&net, cfg);
+    sim.record_updates(true);
+    sim.announce(&AnnouncementSpec::plain(&net, pfx(), AsId(0)));
+    let t = sim.now() + 1_000;
+    sim.run_until(t);
+    sim.announce(&AnnouncementSpec::poisoned(
+        &net,
+        pfx(),
+        AsId(0),
+        &[AsId(5)],
+    ));
+    sim.run_until_quiescent(sim.now() + Time::from_mins(30).millis());
+    assert!(sim.quiescent());
+    let log = sim.update_log();
+    assert!(!log.is_empty(), "schedule produced no updates");
+    for w in log.windows(2) {
+        assert!(
+            w[0].at <= w[1].at,
+            "log times regress: {:?} then {:?}",
+            w[0],
+            w[1]
+        );
+    }
+}

@@ -30,6 +30,7 @@ pub mod filters;
 pub mod harvest;
 pub mod outages;
 pub mod scenarios;
+pub mod workers;
 
 pub use arrivals::{ArrivalsConfig, OutageArrival};
 pub use churn::{ChurnConfig, ChurnOp, ChurnRunner, ChurnWorld};
@@ -37,3 +38,4 @@ pub use filters::FilterMatrix;
 pub use harvest::harvest_poison_targets;
 pub use outages::{OutageStats, OutageTrace, OutageTraceConfig};
 pub use scenarios::{FailureScenario, ScenarioGen, ScenarioKind};
+pub use workers::WorkerMatrix;

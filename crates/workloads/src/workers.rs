@@ -1,0 +1,69 @@
+//! Worker-count matrix for the parallel-engine differential harnesses.
+//!
+//! `DynamicSimConfig::workers = 1` is the retained sequential oracle;
+//! every higher count must be byte-identical to it. This module gives the
+//! out-queue differential, the dynamic fuzz sweep, and the shard stress
+//! tests one shared vocabulary of worker counts to sweep, selectable from
+//! the environment (`LG_WORKER_MATRIX`) exactly like
+//! [`crate::FilterMatrix`] is via `LG_FILTER_MATRIX` — so CI can run the
+//! same harness once per matrix point and a failure line is replayable
+//! with seed + matrix env vars alone.
+
+/// A named point in the worker-count matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerMatrix {
+    /// The sequential engine (the oracle itself; differential runs at
+    /// this point degenerate to the plain ring-vs-reference check).
+    Seq,
+    /// Two shards: the smallest window/barrier machinery exercise.
+    W2,
+    /// Four shards: the calibrated-topology default.
+    W4,
+    /// Eight shards: more shards than the small test topologies have
+    /// nodes per chunk, forcing ragged/empty shards.
+    W8,
+}
+
+impl WorkerMatrix {
+    /// Every matrix point, in sweep order.
+    pub const ALL: [WorkerMatrix; 4] = [
+        WorkerMatrix::Seq,
+        WorkerMatrix::W2,
+        WorkerMatrix::W4,
+        WorkerMatrix::W8,
+    ];
+
+    /// The point selected by `LG_WORKER_MATRIX` (`1 | 2 | 4 | 8`), or
+    /// `None` when unset — sweeping callers usually want the unset
+    /// default.
+    pub fn from_env() -> Option<WorkerMatrix> {
+        let v = std::env::var("LG_WORKER_MATRIX").ok()?;
+        match v.trim() {
+            "1" => Some(WorkerMatrix::Seq),
+            "2" => Some(WorkerMatrix::W2),
+            "4" => Some(WorkerMatrix::W4),
+            "8" => Some(WorkerMatrix::W8),
+            other => panic!("LG_WORKER_MATRIX={other:?} — expected 1|2|4|8"),
+        }
+    }
+
+    /// The `DynamicSimConfig::workers` value for this point.
+    pub fn workers(&self) -> usize {
+        match self {
+            WorkerMatrix::Seq => 1,
+            WorkerMatrix::W2 => 2,
+            WorkerMatrix::W4 => 4,
+            WorkerMatrix::W8 => 8,
+        }
+    }
+
+    /// Stable label for replay lines and CI job names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkerMatrix::Seq => "1",
+            WorkerMatrix::W2 => "2",
+            WorkerMatrix::W4 => "4",
+            WorkerMatrix::W8 => "8",
+        }
+    }
+}

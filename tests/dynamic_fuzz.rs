@@ -8,10 +8,14 @@
 
 use lifeguard_repro::asmap::{AsId, TopologyConfig};
 use lifeguard_repro::bgp::Prefix;
+use lifeguard_repro::sim::Time;
 use lifeguard_repro::sim::{
     compute_routes, AnnouncementSpec, DynamicSim, DynamicSimConfig, Network, OutQueue,
 };
-use lifeguard_repro::workloads::FilterMatrix;
+use lifeguard_repro::workloads::churn::{
+    churn_network_sized, churn_prefix, generate_ops, ChurnConfig, ChurnRunner, ChurnWorld,
+};
+use lifeguard_repro::workloads::{FilterMatrix, WorkerMatrix};
 use proptest::prelude::*;
 
 fn pfx() -> Prefix {
@@ -85,6 +89,56 @@ fn decode(kind: u8, index: usize, ms: u64) -> Op {
     }
 }
 
+/// Drive one op sequence through a fresh simulator to quiescence, with
+/// the update log recording on. Returns the simulator plus the state the
+/// assertions need: links left down, the last announced shape, and the
+/// quiescence tick.
+fn drive<'n>(
+    net: &'n Network,
+    links: &[(AsId, AsId)],
+    ops: &[Op],
+    origin: AsId,
+    target: AsId,
+    cfg: DynamicSimConfig,
+) -> (DynamicSim<'n>, Vec<(AsId, AsId)>, Option<u8>, Time) {
+    let mut sim = DynamicSim::new(net, cfg);
+    sim.record_updates(true);
+    let mut down: Vec<(AsId, AsId)> = Vec::new();
+    let mut announced: Option<u8> = None;
+    for op in ops {
+        match *op {
+            Op::Announce(shape) => {
+                sim.announce(&make_spec(net, shape, origin, target));
+                announced = Some(shape);
+            }
+            Op::Withdraw => {
+                if announced.take().is_some() {
+                    sim.withdraw(pfx());
+                }
+            }
+            Op::Fail(i) => {
+                let link = links[i % links.len()];
+                if !down.contains(&link) {
+                    down.push(link);
+                    sim.fail_link(link.0, link.1);
+                }
+            }
+            Op::Restore(i) => {
+                if !down.is_empty() {
+                    let link = down.remove(i % down.len());
+                    sim.restore_link(link.0, link.1);
+                }
+            }
+            Op::Advance(ms) => {
+                let t = sim.now() + ms;
+                sim.run_until(t);
+            }
+        }
+    }
+    let end = sim.run_until_quiescent(sim.now() + 36_000_000);
+    (sim, down, announced, end)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -102,9 +156,18 @@ proptest! {
         // Sweep the adversarial filter deployments too: import-time
         // filtering must not break dynamic/static agreement.
         filter_sel in 0usize..4,
+        // And the worker-count matrix: the parallel window engine must
+        // reach the same fixed point *and* stay byte-identical to the
+        // sequential oracle under arbitrary fail/restore interleavings.
+        // LG_WORKER_MATRIX pins the point for CI replay.
+        workers_sel in 0usize..4,
     ) {
         let mrai_ms = [2_000u64, 10_000, 30_000][mrai_sel];
         let matrix = FilterMatrix::ALL[filter_sel];
+        let workers = match WorkerMatrix::from_env() {
+            Some(wm) => wm.workers(),
+            None => WorkerMatrix::ALL[workers_sel].workers(),
+        };
         let ops: Vec<Op> = raw_ops
             .iter()
             .map(|&(kind, index, ms)| decode(kind, index, ms))
@@ -120,46 +183,41 @@ proptest! {
             mrai_ms,
             mrai_jitter,
             out_queue: if ring { OutQueue::Ring } else { OutQueue::Reference },
+            workers,
+            parallel_spawn_min: 0,
             ..DynamicSimConfig::default()
         };
-        let mut sim = DynamicSim::new(&net, cfg);
-        let mut down: Vec<(AsId, AsId)> = Vec::new();
-        let mut announced: Option<u8> = None;
-
-        for op in &ops {
-            match *op {
-                Op::Announce(shape) => {
-                    sim.announce(&make_spec(&net, shape, origin, target));
-                    announced = Some(shape);
-                }
-                Op::Withdraw => {
-                    if announced.take().is_some() {
-                        sim.withdraw(pfx());
-                    }
-                }
-                Op::Fail(i) => {
-                    let link = links[i % links.len()];
-                    if !down.contains(&link) {
-                        down.push(link);
-                        sim.fail_link(link.0, link.1);
-                    }
-                }
-                Op::Restore(i) => {
-                    if !down.is_empty() {
-                        let link = down.remove(i % down.len());
-                        sim.restore_link(link.0, link.1);
-                    }
-                }
-                Op::Advance(ms) => {
-                    let t = sim.now() + ms;
-                    sim.run_until(t);
-                }
-            }
-        }
+        let (sim, down, announced, end) = drive(&net, &links, &ops, origin, target, cfg.clone());
 
         // Whatever the sequence did, the network must settle.
-        let end = sim.run_until_quiescent(sim.now() + 36_000_000);
         prop_assert!(sim.quiescent(), "not quiescent by {:?} after {:?}", end, ops);
+
+        // Parallel point: the whole observable run — update log, final
+        // clock, quiescence tick — must be byte-identical to the
+        // sequential oracle on the same schedule.
+        if workers > 1 {
+            let (oracle, odown, oann, oend) =
+                drive(&net, &links, &ops, origin, target, DynamicSimConfig { workers: 1, ..cfg });
+            prop_assert_eq!(&odown, &down);
+            prop_assert_eq!(oann, announced);
+            prop_assert_eq!(
+                (oend, oracle.now(), oracle.quiescent()),
+                (end, sim.now(), sim.quiescent()),
+                "workers {} quiescence diverges from oracle", workers
+            );
+            prop_assert_eq!(
+                oracle.update_log(),
+                sim.update_log(),
+                "workers {} update log diverges from oracle", workers
+            );
+            for a in net.graph().ases() {
+                prop_assert_eq!(
+                    oracle.loc_route(a, pfx()),
+                    sim.loc_route(a, pfx()),
+                    "workers {} Loc-RIB diverges from oracle at {}", workers, a
+                );
+            }
+        }
 
         match announced {
             None => {
@@ -208,5 +266,117 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+/// Splitmix-style per-round seed derivation from the replayable base.
+fn round_seed(base: u64, i: u64) -> u64 {
+    let mut x = base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x.max(1)
+}
+
+/// The calibrated topology sizes flow through the dynamic fuzz matrix
+/// too: calibrated-2k in debug, calibrated-10k in release, driven by the
+/// shared churn schedule machinery. At these sizes window batches are
+/// large enough that the parallel engine shards across real threads, and
+/// the whole observable run — update log, Loc-RIBs, quiescence tick,
+/// per-AS metrics — must still be byte-identical to the sequential
+/// oracle. Replay a failure with `LG_CHURN_SEED=<base>` (and
+/// `LG_WORKER_MATRIX=<n>` for the worker point; default 4).
+#[test]
+fn calibrated_topology_parallel_matches_sequential_oracle() {
+    let n = if cfg!(debug_assertions) {
+        2_000
+    } else {
+        10_000
+    };
+    let base = match std::env::var("LG_CHURN_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("LG_CHURN_SEED must be a u64, got {s:?}")),
+        Err(_) => 0xD1CE,
+    };
+    let workers = WorkerMatrix::from_env()
+        .unwrap_or(WorkerMatrix::W4)
+        .workers();
+
+    for round in 0..2u64 {
+        let seed = round_seed(base, round);
+        let net = churn_network_sized(n, seed);
+        let world = ChurnWorld::new(&net);
+        let ops = generate_ops(&ChurnConfig {
+            seed,
+            ops: 24,
+            advance_max_ms: 45_000,
+        });
+
+        let run = |workers: usize| {
+            let mut sim = DynamicSim::new(
+                &net,
+                DynamicSimConfig {
+                    out_queue: OutQueue::Ring,
+                    workers,
+                    parallel_spawn_min: 0,
+                    ..DynamicSimConfig::default()
+                },
+            );
+            sim.record_updates(true);
+            sim.begin_epoch(churn_prefix());
+            let mut runner = ChurnRunner::new(&world);
+            for op in &ops {
+                runner.apply(&mut sim, &net, op);
+            }
+            let tick = sim.run_until_quiescent(sim.now() + Time::from_mins(600).millis());
+            let locs: Vec<_> = net
+                .graph()
+                .ases()
+                .map(|a| {
+                    (
+                        a,
+                        sim.loc_route(a, churn_prefix())
+                            .map(|r| (r.learned_from, r.path.hops().to_vec())),
+                    )
+                })
+                .collect();
+            (
+                tick,
+                sim.now(),
+                sim.quiescent(),
+                sim.update_log().to_vec(),
+                locs,
+            )
+        };
+
+        let par = run(workers);
+        let oracle = run(1);
+        assert!(
+            oracle.2,
+            "calibrated-{n} oracle not quiescent (seed {seed:#x})"
+        );
+        assert_eq!(
+            (oracle.0, oracle.1, oracle.2),
+            (par.0, par.1, par.2),
+            "calibrated-{n} workers={workers} quiescence diverges (replay LG_CHURN_SEED={base})"
+        );
+        assert_eq!(
+            oracle.3.len(),
+            par.3.len(),
+            "calibrated-{n} workers={workers} log length diverges (replay LG_CHURN_SEED={base})"
+        );
+        for (i, (o, p)) in oracle.3.iter().zip(par.3.iter()).enumerate() {
+            assert_eq!(
+                o, p,
+                "calibrated-{n} workers={workers} log diverges at record {i} \
+                 (replay LG_CHURN_SEED={base})"
+            );
+        }
+        assert_eq!(
+            oracle.4, par.4,
+            "calibrated-{n} workers={workers} Loc-RIBs diverge (replay LG_CHURN_SEED={base})"
+        );
     }
 }

@@ -18,6 +18,13 @@
 //! deployments of [`FilterMatrix`] — `LG_FILTER_MATRIX` selects the point
 //! for the big sweep, and a dedicated test covers all four points at a
 //! reduced schedule count. Replay = same seed + same `LG_FILTER_MATRIX`.
+//!
+//! Worker matrix: the parallel window engine (`DynamicSimConfig::workers`)
+//! must be byte-identical to the sequential oracle in *both* out-queue
+//! shapes. `LG_WORKER_MATRIX` selects the worker count the big sweep
+//! compares against the oracle (default 2), and a dedicated test covers
+//! {2, 4, 8} with thread spawning forced on. Replay = seed +
+//! `LG_FILTER_MATRIX` + `LG_WORKER_MATRIX`.
 
 use std::collections::HashMap;
 
@@ -27,7 +34,7 @@ use lifeguard_repro::sim::{DynamicSim, DynamicSimConfig, OutQueue, Time, UpdateR
 use lifeguard_repro::workloads::churn::{
     churn_network, churn_prefix, generate_ops, ChurnConfig, ChurnRunner, ChurnWorld,
 };
-use lifeguard_repro::workloads::FilterMatrix;
+use lifeguard_repro::workloads::{FilterMatrix, WorkerMatrix};
 
 /// Schedules per sweep. CI runs the sweep three times (two fixed bases,
 /// one random), so the per-run count stays modest while total coverage
@@ -56,14 +63,24 @@ fn schedule_seed(base: u64, i: u64) -> u64 {
 
 /// Engine config derived from the seed: sweep MRAI base and jitter so the
 /// differential covers short and long shadows, with and without jitter.
-fn config_for(seed: u64, out_queue: OutQueue) -> DynamicSimConfig {
+/// `workers > 1` engages the parallel window engine with thread spawning
+/// forced on (`parallel_spawn_min: 0`) so even small windows cross real
+/// thread boundaries.
+fn config_for(seed: u64, out_queue: OutQueue, workers: usize) -> DynamicSimConfig {
     DynamicSimConfig {
         mrai_ms: [5_000, 15_000, 30_000][(seed % 3) as usize],
         mrai_jitter: seed.is_multiple_of(2),
         proc_delay_ms: 1,
         out_queue,
+        workers,
+        parallel_spawn_min: 0,
     }
 }
+
+/// Deterministic, ordered dump of one prefix's metrics — parallel runs
+/// must reproduce the sequential engine's per-AS measurement exactly,
+/// not just its logs and RIBs.
+type MetricsDump = Vec<(AsId, u64, Time, Time, u64, Time, Time)>;
 
 /// Per-AS Loc-RIB selection: `(holder, Some((neighbor, path)))`.
 type LocRibDump = Vec<(AsId, Option<(AsId, Vec<AsId>)>)>;
@@ -76,9 +93,35 @@ struct Outcome {
     quiescent: bool,
     loc_ribs: LocRibDump,
     log: Vec<UpdateRecord>,
+    metrics: MetricsDump,
 }
 
-fn run_one(seed: u64, out_queue: OutQueue, matrix: FilterMatrix) -> Outcome {
+fn dump_metrics(sim: &DynamicSim) -> MetricsDump {
+    let m = sim.metrics(churn_prefix());
+    let mut ids: Vec<AsId> = m
+        .updates_sent
+        .keys()
+        .chain(m.loc_changes.keys())
+        .copied()
+        .collect();
+    ids.sort();
+    ids.dedup();
+    ids.into_iter()
+        .map(|a| {
+            (
+                a,
+                m.updates_of(a),
+                m.first_sent.get(&a).copied().unwrap_or(Time::ZERO),
+                m.last_sent.get(&a).copied().unwrap_or(Time::ZERO),
+                m.loc_changes.get(&a).copied().unwrap_or(0),
+                m.first_loc_change.get(&a).copied().unwrap_or(Time::ZERO),
+                m.last_loc_change.get(&a).copied().unwrap_or(Time::ZERO),
+            )
+        })
+        .collect()
+}
+
+fn run_one(seed: u64, out_queue: OutQueue, matrix: FilterMatrix, workers: usize) -> Outcome {
     let mut net = churn_network(seed ^ 0xA5A5);
     matrix.apply(&mut net, seed);
     let world = ChurnWorld::new(&net);
@@ -88,8 +131,9 @@ fn run_one(seed: u64, out_queue: OutQueue, matrix: FilterMatrix) -> Outcome {
         advance_max_ms: 45_000,
     });
 
-    let mut sim = DynamicSim::new(&net, config_for(seed, out_queue));
+    let mut sim = DynamicSim::new(&net, config_for(seed, out_queue, workers));
     sim.record_updates(true);
+    sim.begin_epoch(churn_prefix());
     let mut runner = ChurnRunner::new(&world);
     for op in &ops {
         runner.apply(&mut sim, &net, op);
@@ -112,6 +156,7 @@ fn run_one(seed: u64, out_queue: OutQueue, matrix: FilterMatrix) -> Outcome {
         quiescent: sim.quiescent(),
         loc_ribs,
         log: sim.update_log().to_vec(),
+        metrics: dump_metrics(&sim),
     }
 }
 
@@ -168,41 +213,59 @@ fn check_invariants(seed: u64, sim_cfg: &DynamicSimConfig, net_seed: u64, log: &
     }
 }
 
-fn diff_one(seed: u64, matrix: FilterMatrix) {
-    let tag = format!("seed {seed} matrix {}", matrix.label());
-    let ring = run_one(seed, OutQueue::Ring, matrix);
-    let reference = run_one(seed, OutQueue::Reference, matrix);
-
+/// Assert two outcomes byte-identical, locating the first log divergence
+/// for a usable failure message.
+fn assert_identical(tag: &str, got: &Outcome, oracle: &Outcome) {
     assert!(
-        ring.quiescent && reference.quiescent,
-        "{tag}: run did not quiesce (ring {}, reference {})",
-        ring.quiescent,
-        reference.quiescent
+        got.quiescent && oracle.quiescent,
+        "{tag}: run did not quiesce (got {}, oracle {})",
+        got.quiescent,
+        oracle.quiescent
     );
-    // Byte-identical update sequences: locate the first divergence for a
-    // usable failure message before asserting full equality.
-    let n = ring.log.len().min(reference.log.len());
+    let n = got.log.len().min(oracle.log.len());
     for i in 0..n {
         assert_eq!(
-            ring.log[i], reference.log[i],
+            got.log[i], oracle.log[i],
             "{tag}: update logs diverge at record #{i}"
         );
     }
     assert_eq!(
-        ring.log.len(),
-        reference.log.len(),
+        got.log.len(),
+        oracle.log.len(),
         "{tag}: update logs differ in length after agreeing on {n} records"
     );
-    assert_eq!(ring.loc_ribs, reference.loc_ribs, "{tag}: Loc-RIBs diverge");
+    assert_eq!(got.loc_ribs, oracle.loc_ribs, "{tag}: Loc-RIBs diverge");
     assert_eq!(
-        (ring.quiesce_at, ring.now),
-        (reference.quiesce_at, reference.now),
+        (got.quiesce_at, got.now),
+        (oracle.quiesce_at, oracle.now),
         "{tag}: quiescence ticks diverge"
     );
+    assert_eq!(got.metrics, oracle.metrics, "{tag}: per-AS metrics diverge");
+}
+
+fn diff_one(seed: u64, matrix: FilterMatrix, workers: usize) {
+    let tag = format!("seed {seed} matrix {} workers {workers}", matrix.label());
+    let ring = run_one(seed, OutQueue::Ring, matrix, 1);
+    let reference = run_one(seed, OutQueue::Reference, matrix, 1);
+    assert_identical(&format!("{tag} [ring vs reference]"), &ring, &reference);
+
+    // The parallel engine against the sequential oracle, in both
+    // out-queue shapes (the wheel-sharded collection path and the
+    // heap-fire path stress different window machinery).
+    if workers > 1 {
+        let ring_p = run_one(seed, OutQueue::Ring, matrix, workers);
+        assert_identical(&format!("{tag} [parallel ring vs oracle]"), &ring_p, &ring);
+        let ref_p = run_one(seed, OutQueue::Reference, matrix, workers);
+        assert_identical(
+            &format!("{tag} [parallel reference vs oracle]"),
+            &ref_p,
+            &reference,
+        );
+    }
 
     check_invariants(
         seed,
-        &config_for(seed, OutQueue::Ring),
+        &config_for(seed, OutQueue::Ring, 1),
         seed ^ 0xA5A5,
         &ring.log,
     );
@@ -212,17 +275,20 @@ fn diff_one(seed: u64, matrix: FilterMatrix) {
 fn ring_out_queue_matches_reference_across_randomized_churn() {
     let base = base_seed();
     let matrix = FilterMatrix::from_env().unwrap_or(FilterMatrix::None);
+    let workers = WorkerMatrix::from_env()
+        .unwrap_or(WorkerMatrix::W2)
+        .workers();
     println!(
-        "outqueue differential sweep: base seed {base} matrix {} \
-         (override with LG_CHURN_SEED / LG_FILTER_MATRIX)",
+        "outqueue differential sweep: base seed {base} matrix {} workers {workers} \
+         (override with LG_CHURN_SEED / LG_FILTER_MATRIX / LG_WORKER_MATRIX)",
         matrix.label()
     );
     let mut total_updates = 0usize;
     for i in 0..SCHEDULES {
         let seed = schedule_seed(base, i);
-        let ring = run_one(seed, OutQueue::Ring, matrix);
+        let ring = run_one(seed, OutQueue::Ring, matrix, 1);
         total_updates += ring.log.len();
-        diff_one(seed, matrix);
+        diff_one(seed, matrix, workers);
     }
     // The sweep must actually exercise the machinery, not no-op through.
     assert!(
@@ -244,7 +310,29 @@ fn ring_out_queue_matches_reference_across_filter_matrix() {
             matrix.label()
         );
         for i in 0..40 {
-            diff_one(schedule_seed(base, i), matrix);
+            diff_one(schedule_seed(base, i), matrix, 1);
+        }
+    }
+}
+
+#[test]
+fn parallel_engine_matches_sequential_across_worker_matrix() {
+    // Every parallel worker-matrix point at a reduced schedule count,
+    // with thread spawning forced on: the big sweep covers one point
+    // exhaustively (selected by LG_WORKER_MATRIX); this one guarantees
+    // {2, 4, 8} are all exercised on every run, including shard counts
+    // exceeding some topologies' per-chunk node counts.
+    let base = base_seed() ^ 0x60B5;
+    for wm in WorkerMatrix::ALL {
+        if wm.workers() == 1 {
+            continue;
+        }
+        println!(
+            "worker-matrix differential: workers {} base seed {base}",
+            wm.label()
+        );
+        for i in 0..40 {
+            diff_one(schedule_seed(base, i), FilterMatrix::None, wm.workers());
         }
     }
 }
