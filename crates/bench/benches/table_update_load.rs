@@ -1,0 +1,58 @@
+//! Full-table multi-prefix load: scales the installed prefix count over
+//! the calibrated 10k-AS topology (1k/10k, 100k with `LG_SCALE_MAX`) and
+//! measures per-update table costs, memory diagnostics, and wire-level
+//! UPDATE packing. Distinct from `table2_update_load`, which reproduces
+//! the paper's Table 2 update-rate model.
+//!
+//! Emits the curve as JSON to the path in `LG_TABLE_LOAD_OUT` when set;
+//! the CI `table-load` job validates it (monotone sizes, sub-quadratic
+//! bulk wall clock, flat path arena) and uploads it as an artifact.
+
+use lg_bench::tableload::{run_table_load, table_load_json, table_load_sizes, table_load_table};
+
+fn main() {
+    lg_telemetry::trace::enable_from_env();
+    let sizes = table_load_sizes();
+    eprintln!("full-table update load over {sizes:?} prefixes (10k-AS topology) ...");
+    let points = run_table_load(&sizes, 54);
+    table_load_table(&points).print();
+
+    // Sub-quadratic gate, also re-checked by CI from the JSON: 10x the
+    // prefixes must cost well under 100x the bulk (table-size-dependent)
+    // wall clock. The cohort phase is constant-size and excluded.
+    let (first, last) = (&points[0], &points[points.len() - 1]);
+    let growth = last.bulk_ms() / first.bulk_ms().max(1e-6);
+    let quad = ((last.prefixes as f64) / (first.prefixes as f64)).powi(2);
+    println!(
+        "bulk update cost growth {}k -> {}k prefixes: {growth:.1}x (quadratic would be {quad:.0}x)",
+        first.prefixes / 1000,
+        last.prefixes / 1000
+    );
+    if growth >= quad {
+        eprintln!("FAIL: per-update cost grew at least quadratically in the prefix count");
+        std::process::exit(1);
+    }
+    // The shared path arena must not scale with the table.
+    if last.interned_paths > first.interned_paths * 2 {
+        eprintln!(
+            "FAIL: path arena grew {} -> {} with prefix count — prefixes \
+             are not sharing the interner",
+            first.interned_paths, last.interned_paths
+        );
+        std::process::exit(1);
+    }
+    if points
+        .iter()
+        .any(|p| p.updates_packed == 0 || p.wire_bytes >= p.wire_bytes_unpacked)
+    {
+        eprintln!("FAIL: wire-level UPDATE packing did not engage");
+        std::process::exit(1);
+    }
+
+    if let Ok(path) = std::env::var("LG_TABLE_LOAD_OUT") {
+        std::fs::write(&path, table_load_json(&points)).expect("write table-load artifact");
+        println!("table-load curve written to {path}");
+    }
+
+    lg_telemetry::emit_if_configured();
+}

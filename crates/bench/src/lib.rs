@@ -30,4 +30,5 @@ pub mod loadmodel;
 pub mod outage_figs;
 pub mod report;
 pub mod scalability;
+pub mod tableload;
 pub mod worlds;

@@ -17,6 +17,7 @@ pub mod decision;
 pub mod path;
 pub mod policy;
 pub mod prefix;
+pub mod prefix_id;
 pub mod rib;
 pub mod route;
 pub mod session;
@@ -27,7 +28,8 @@ pub use decision::{compare_routes, select_best};
 pub use path::{AsPath, PathId, PathInterner};
 pub use policy::{is_reserved_asn, ImportPolicy, LoopDetection, RejectReason};
 pub use prefix::Prefix;
-pub use rib::{AdjRibIn, ArenaRibIn, ArenaRoute};
+pub use prefix_id::{interned_prefix_count, PrefixId, PrefixInterner};
+pub use rib::{AdjRibIn, ArenaRibIn, ArenaRoute, IdRibIn, IdRoute};
 pub use route::Route;
 pub use session::{OutRing, Session, SessionConfig, SessionEvent};
 pub use trie::PrefixTrie;

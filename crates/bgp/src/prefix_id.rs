@@ -1,0 +1,198 @@
+//! Dense prefix interning for full-table workloads.
+//!
+//! A [`Prefix`] is a fine hash key but a poor *index*: full-table engine
+//! state (per-peer out-queues, Loc-RIBs, Adj-RIB-Ins at 100k+ prefixes)
+//! wants small dense integer keys for sorted-vec probes and slab layouts.
+//! [`PrefixInterner`] mirrors [`crate::PathInterner`]'s hash-consing idea
+//! one level up: every distinct prefix gets a dense [`PrefixId`] (`u32`),
+//! so id equality is prefix equality and per-(peer, prefix) state can live
+//! in id-sorted vectors with O(log p) probes instead of O(p) scans.
+//!
+//! Unlike the per-simulation path interner, the prefix table is
+//! *process-wide* (see [`PrefixId::of`]): prefixes are plain values with no
+//! arena parents to share, and the differential harnesses drive several
+//! simulations over one prefix pool — a shared table keeps every id
+//! meaningful across all of them.
+//!
+//! Determinism rule: id *values* depend on process-global interning order
+//! (test threads interleave), so engine code must never let id order reach
+//! observable output. Anything feeding update logs, event order, or dumps
+//! sorts by the resolved [`Prefix`]; ids serve as lookup keys only. The
+//! multi-prefix determinism tests in `lg-sim` pin this.
+
+use crate::prefix::Prefix;
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+/// Handle to a prefix interned in a [`PrefixInterner`].
+///
+/// Dense (`u32`, assigned in interning order) and totally ordered so
+/// id-sorted vectors can binary-search — but the order is allocation
+/// order, not prefix order; sort by [`PrefixId::resolve`] for anything
+/// observable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PrefixId(u32);
+
+impl PrefixId {
+    /// The id for `prefix` in the process-wide table, interning on first
+    /// sight. Read-locks for the (overwhelmingly common) already-interned
+    /// case and escalates to a write lock only for genuinely new prefixes.
+    pub fn of(prefix: Prefix) -> PrefixId {
+        if let Some(id) = global()
+            .read()
+            .expect("prefix interner poisoned")
+            .lookup(prefix)
+        {
+            return id;
+        }
+        global()
+            .write()
+            .expect("prefix interner poisoned")
+            .intern(prefix)
+    }
+
+    /// The id for `prefix` if the process has seen it, without interning.
+    /// Read paths use this so queries for never-announced prefixes do not
+    /// grow the table.
+    pub fn lookup(prefix: Prefix) -> Option<PrefixId> {
+        global()
+            .read()
+            .expect("prefix interner poisoned")
+            .lookup(prefix)
+    }
+
+    /// The prefix this id stands for.
+    pub fn resolve(self) -> Prefix {
+        global()
+            .read()
+            .expect("prefix interner poisoned")
+            .resolve(self)
+    }
+
+    /// Dense index (for slab-style storage keyed by id).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional `Prefix` ↔ dense-id table.
+///
+/// The process-wide instance behind [`PrefixId::of`] is the one the
+/// engines use; the type is public so tests and tools can build isolated
+/// tables.
+#[derive(Default, Debug, Clone)]
+pub struct PrefixInterner {
+    /// Id → prefix, dense.
+    prefixes: Vec<Prefix>,
+    /// Prefix → existing id.
+    dedup: HashMap<Prefix, u32>,
+}
+
+impl PrefixInterner {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct prefixes interned.
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+
+    /// Intern `prefix`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, prefix: Prefix) -> PrefixId {
+        if let Some(&id) = self.dedup.get(&prefix) {
+            return PrefixId(id);
+        }
+        let id = u32::try_from(self.prefixes.len()).expect("prefix interner overflow");
+        self.prefixes.push(prefix);
+        self.dedup.insert(prefix, id);
+        PrefixId(id)
+    }
+
+    /// The id for `prefix`, if interned.
+    pub fn lookup(&self, prefix: Prefix) -> Option<PrefixId> {
+        self.dedup.get(&prefix).map(|&id| PrefixId(id))
+    }
+
+    /// The prefix behind `id`. Panics on an id from a different table.
+    pub fn resolve(&self, id: PrefixId) -> Prefix {
+        self.prefixes[id.index()]
+    }
+}
+
+fn global() -> &'static RwLock<PrefixInterner> {
+    static GLOBAL: OnceLock<RwLock<PrefixInterner>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(PrefixInterner::new()))
+}
+
+/// Number of distinct prefixes the process-wide table has seen (memory
+/// diagnostic for the full-table benches).
+pub fn interned_prefix_count() -> usize {
+    global().read().expect("prefix interner poisoned").len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(a: u8, b: u8, c: u8, d: u8, len: u8) -> Prefix {
+        Prefix::from_octets(a, b, c, d, len)
+    }
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut t = PrefixInterner::new();
+        let a = t.intern(p(10, 0, 0, 0, 16));
+        let b = t.intern(p(10, 1, 0, 0, 16));
+        assert_ne!(a, b);
+        assert_eq!(t.intern(p(10, 0, 0, 0, 16)), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resolve(a), p(10, 0, 0, 0, 16));
+        assert_eq!(t.resolve(b), p(10, 1, 0, 0, 16));
+        assert_eq!(t.lookup(p(10, 1, 0, 0, 16)), Some(b));
+        assert_eq!(t.lookup(p(10, 2, 0, 0, 16)), None);
+        assert_eq!((a.index(), b.index()), (0, 1));
+    }
+
+    #[test]
+    fn covering_and_covered_prefixes_get_distinct_ids() {
+        // Same address, different mask lengths — distinct prefixes, so
+        // distinct ids (the sentinel /19 vs production /20 pair).
+        let mut t = PrefixInterner::new();
+        let covering = t.intern(p(184, 164, 224, 0, 19));
+        let covered = t.intern(p(184, 164, 224, 0, 20));
+        assert_ne!(covering, covered);
+        assert_eq!(t.resolve(covering).len(), 19);
+        assert_eq!(t.resolve(covered).len(), 20);
+    }
+
+    #[test]
+    fn global_table_is_stable_across_threads() {
+        // Many threads interning the same prefixes must agree on every
+        // mapping (ids are assigned once, then shared).
+        let prefixes: Vec<Prefix> = (0..64).map(|i| p(172, 16, i, 0, 24)).collect();
+        let ids: Vec<Vec<PrefixId>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let prefixes = &prefixes;
+                    s.spawn(move || prefixes.iter().map(|&q| PrefixId::of(q)).collect())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for other in &ids[1..] {
+            assert_eq!(&ids[0], other);
+        }
+        for (q, id) in prefixes.iter().zip(&ids[0]) {
+            assert_eq!(id.resolve(), *q);
+            assert_eq!(PrefixId::lookup(*q), Some(*id));
+        }
+        assert!(interned_prefix_count() >= prefixes.len());
+    }
+}

@@ -1,14 +1,18 @@
 //! Adjacency RIB-In: per-neighbor route storage with best-path selection.
 //!
-//! Two representations share the semantics: [`AdjRibIn`] stores owned
+//! Three representations share the semantics: [`AdjRibIn`] stores owned
 //! [`Route`]s, [`ArenaRibIn`] stores [`ArenaRoute`]s whose paths live in a
 //! shared [`PathInterner`] — the message-level engine processes one UPDATE
 //! per neighbor per churn step, and interning turns each of those from an
-//! O(path) clone into an O(1) id copy.
+//! O(path) clone into an O(1) id copy — and [`IdRibIn`] goes one step
+//! further for full-table workloads, keying by dense [`PrefixId`] so a
+//! candidate ([`IdRoute`]) is three words and carries no per-prefix copy of
+//! the prefix itself.
 
 use crate::decision::select_best;
 use crate::path::{PathId, PathInterner};
 use crate::prefix::Prefix;
+use crate::prefix_id::PrefixId;
 use crate::route::Route;
 use lg_asmap::{AsId, Relationship};
 use std::collections::HashMap;
@@ -198,6 +202,110 @@ impl ArenaRibIn {
 
     /// Prefixes with at least one route.
     pub fn prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.routes.keys().copied()
+    }
+
+    /// Number of (prefix, neighbor) entries.
+    pub fn entry_count(&self) -> usize {
+        self.routes.values().map(|m| m.len()).sum()
+    }
+}
+
+/// A received route in an [`IdRibIn`]: like [`ArenaRoute`] minus the
+/// prefix — the RIB keys by [`PrefixId`], so storing the prefix per
+/// candidate would replicate it once per neighbor at full-table scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IdRoute {
+    /// Interned AS path (resolve through the owning [`PathInterner`]).
+    pub path: PathId,
+    /// Neighbor that announced it.
+    pub learned_from: AsId,
+    /// Business relationship to that neighbor.
+    pub rel: Relationship,
+}
+
+/// [`ArenaRibIn`] keyed by dense [`PrefixId`]: identical storage shape and
+/// selection semantics, sized for full-table workloads where per-entry
+/// prefix copies and `Prefix` hashing dominate.
+///
+/// Selection ([`Self::best`]) replicates [`ArenaRibIn::best`] level for
+/// level — relationship class, then hop count, then neighbor id, then path
+/// content — so the dynamic engine selects identically after the key swap.
+///
+/// [`Self::withdraw_neighbor`] returns affected ids in *unsorted map
+/// order*: id order is process-global interning order, so callers that
+/// feed observable output (reselection cascades, logs) must sort by the
+/// resolved [`Prefix`](crate::Prefix) themselves.
+#[derive(Default, Debug, Clone)]
+pub struct IdRibIn {
+    routes: HashMap<PrefixId, HashMap<AsId, IdRoute>>,
+}
+
+impl IdRibIn {
+    /// Empty RIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace the route from `route.learned_from` for `prefix`.
+    /// Returns the replaced route, if any.
+    pub fn insert(&mut self, prefix: PrefixId, route: IdRoute) -> Option<IdRoute> {
+        self.routes
+            .entry(prefix)
+            .or_default()
+            .insert(route.learned_from, route)
+    }
+
+    /// Withdraw the route from `neighbor` for `prefix`. Returns it if present.
+    pub fn withdraw(&mut self, neighbor: AsId, prefix: PrefixId) -> Option<IdRoute> {
+        let per = self.routes.get_mut(&prefix)?;
+        let out = per.remove(&neighbor);
+        if per.is_empty() {
+            self.routes.remove(&prefix);
+        }
+        out
+    }
+
+    /// Drop every route learned from `neighbor` (session reset / link down).
+    /// Returns the affected prefix ids, unsorted (see type docs).
+    pub fn withdraw_neighbor(&mut self, neighbor: AsId) -> Vec<PrefixId> {
+        let mut affected = Vec::new();
+        self.routes.retain(|prefix, per| {
+            if per.remove(&neighbor).is_some() {
+                affected.push(*prefix);
+            }
+            !per.is_empty()
+        });
+        affected
+    }
+
+    /// The best route for `prefix` under the decision process.
+    pub fn best(&self, prefix: PrefixId, paths: &PathInterner) -> Option<IdRoute> {
+        self.routes.get(&prefix)?.values().copied().min_by(|a, b| {
+            a.rel
+                .pref_class()
+                .cmp(&b.rel.pref_class())
+                .then_with(|| paths.len(a.path).cmp(&paths.len(b.path)))
+                .then_with(|| a.learned_from.cmp(&b.learned_from))
+                .then_with(|| paths.cmp_content(a.path, b.path))
+        })
+    }
+
+    /// The route learned from a specific neighbor.
+    pub fn from_neighbor(&self, neighbor: AsId, prefix: PrefixId) -> Option<&IdRoute> {
+        self.routes.get(&prefix)?.get(&neighbor)
+    }
+
+    /// All candidate routes for `prefix`, unordered.
+    pub fn candidates(&self, prefix: PrefixId) -> impl Iterator<Item = &IdRoute> {
+        self.routes
+            .get(&prefix)
+            .into_iter()
+            .flat_map(|m| m.values())
+    }
+
+    /// Prefix ids with at least one route, unsorted (see type docs).
+    pub fn prefixes(&self) -> impl Iterator<Item = PrefixId> + '_ {
         self.routes.keys().copied()
     }
 
@@ -443,5 +551,76 @@ mod tests {
         assert_eq!(affected, vec![pfx(), other]);
         assert_eq!(rib.best(pfx(), &paths).unwrap().learned_from, AsId(2));
         assert!(rib.best(other, &paths).is_none());
+    }
+
+    #[test]
+    fn id_rib_selects_exactly_like_arena_rib() {
+        // The PrefixId-keyed twin must pick the same best route as the
+        // Prefix-keyed arena RIB for the same candidate set, at every
+        // tiebreak level.
+        let candidates: Vec<(u32, Relationship, Vec<u32>)> = vec![
+            (1, Relationship::Provider, vec![1, 100]),
+            (2, Relationship::Customer, vec![2, 3, 4, 100]),
+            (9, Relationship::Peer, vec![9, 3]),
+            (5, Relationship::Peer, vec![5, 100]),
+            (3, Relationship::Peer, vec![3, 100]),
+        ];
+        let mut paths = PathInterner::new();
+        let mut arena = ArenaRibIn::new();
+        let mut id_rib = IdRibIn::new();
+        let pid = PrefixId::of(pfx());
+        for (from, rel, hops) in &candidates {
+            let r = arena_route(&mut paths, *from, *rel, hops.clone());
+            arena.insert(r);
+            id_rib.insert(
+                pid,
+                IdRoute {
+                    path: r.path,
+                    learned_from: r.learned_from,
+                    rel: r.rel,
+                },
+            );
+        }
+        assert_eq!(id_rib.entry_count(), arena.entry_count());
+        while let Some(want) = arena.best(pfx(), &paths) {
+            let got = id_rib.best(pid, &paths).expect("id RIB ran dry early");
+            assert_eq!(got.learned_from, want.learned_from);
+            assert_eq!(got.rel, want.rel);
+            assert_eq!(got.path, want.path);
+            arena.withdraw(want.learned_from, pfx());
+            id_rib.withdraw(want.learned_from, pid);
+        }
+        assert!(id_rib.best(pid, &paths).is_none());
+    }
+
+    #[test]
+    fn id_rib_withdraw_neighbor_returns_all_affected_ids() {
+        let mut paths = PathInterner::new();
+        let mut rib = IdRibIn::new();
+        let a = PrefixId::of(pfx());
+        let b = PrefixId::of(Prefix::from_octets(20, 0, 0, 0, 16));
+        let path = paths.intern(&AsPath::from_hops(vec![AsId(1), AsId(100)]));
+        let route = IdRoute {
+            path,
+            learned_from: AsId(1),
+            rel: Relationship::Peer,
+        };
+        rib.insert(a, route);
+        rib.insert(b, route);
+        rib.insert(
+            a,
+            IdRoute {
+                learned_from: AsId(2),
+                ..route
+            },
+        );
+        let mut affected = rib.withdraw_neighbor(AsId(1));
+        affected.sort_unstable();
+        let mut want = vec![a, b];
+        want.sort_unstable();
+        assert_eq!(affected, want);
+        assert_eq!(rib.best(a, &paths).unwrap().learned_from, AsId(2));
+        assert!(rib.best(b, &paths).is_none());
+        assert_eq!(rib.entry_count(), 1);
     }
 }

@@ -299,10 +299,13 @@ impl Session {
 /// A per-peer ring buffer of pending (MRAI-deferred) outbound UPDATEs.
 ///
 /// One `OutRing` backs one peer's out-queue in the dynamic engine: each
-/// deferred update is an index push of `(prefix, interned path id)` — two
-/// words, no tuple hashing, no `AsPath` clone. Slots are addressed by
-/// *absolute* position (a `u64` that never wraps in practice), so a
-/// position handed to a timer stays valid across ring growth.
+/// deferred update is an index push of `(prefix key, interned path id)` —
+/// two words, no tuple hashing, no `AsPath` clone. The prefix key `K` is
+/// [`Prefix`] by default; the full-table dynamic engine stores dense
+/// [`crate::PrefixId`]s instead, keeping slots at two words while prefix
+/// counts scale to 100k+. Slots are addressed by *absolute* position (a
+/// `u64` that never wraps in practice), so a position handed to a timer
+/// stays valid across ring growth.
 ///
 /// Timers complete out of push order (different prefixes of one peer carry
 /// independent MRAI deadlines), so completion marks the slot done and the
@@ -313,24 +316,33 @@ impl Session {
 /// that must match RFC 4271 semantics re-derive the advertisement when the
 /// timer fires (the route may have changed while deferred) and treat the
 /// stored id as diagnostic.
-#[derive(Default)]
-pub struct OutRing {
+pub struct OutRing<K = Prefix> {
     /// Power-of-two storage; `None` marks a vacant or retired slot.
-    buf: Vec<Option<RingSlot>>,
+    buf: Vec<Option<RingSlot<K>>>,
     /// Absolute position of the oldest live slot.
     head: u64,
     /// Absolute position one past the newest slot.
     tail: u64,
 }
 
+impl<K> Default for OutRing<K> {
+    fn default() -> Self {
+        OutRing {
+            buf: Vec::new(),
+            head: 0,
+            tail: 0,
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
-struct RingSlot {
-    prefix: Prefix,
+struct RingSlot<K> {
+    key: K,
     path: Option<PathId>,
     done: bool,
 }
 
-impl OutRing {
+impl<K: Copy> OutRing<K> {
     /// An empty ring (no storage until the first push).
     pub fn new() -> Self {
         Self::default()
@@ -358,7 +370,7 @@ impl OutRing {
 
     fn grow(&mut self) {
         let new_cap = (self.buf.len() * 2).max(4);
-        let mut nb: Vec<Option<RingSlot>> = vec![None; new_cap];
+        let mut nb: Vec<Option<RingSlot<K>>> = vec![None; new_cap];
         let new_mask = new_cap as u64 - 1;
         if !self.buf.is_empty() {
             let old_mask = self.mask();
@@ -370,14 +382,14 @@ impl OutRing {
     }
 
     /// Enqueue a pending update; returns its absolute position.
-    pub fn push(&mut self, prefix: Prefix, path: Option<PathId>) -> u64 {
+    pub fn push(&mut self, key: K, path: Option<PathId>) -> u64 {
         if self.buf.is_empty() || self.tail - self.head == self.buf.len() as u64 {
             self.grow();
         }
         let pos = self.tail;
         let mask = self.mask();
         self.buf[(pos & mask) as usize] = Some(RingSlot {
-            prefix,
+            key,
             path,
             done: false,
         });
@@ -386,7 +398,7 @@ impl OutRing {
     }
 
     /// The entry at absolute position `pos` (must be live and not done).
-    pub fn get(&self, pos: u64) -> (Prefix, Option<PathId>) {
+    pub fn get(&self, pos: u64) -> (K, Option<PathId>) {
         assert!(
             pos >= self.head && pos < self.tail,
             "ring position {pos} outside [{}, {})",
@@ -397,7 +409,7 @@ impl OutRing {
             .as_ref()
             .expect("live ring slot");
         assert!(!slot.done, "ring position {pos} already completed");
-        (slot.prefix, slot.path)
+        (slot.key, slot.path)
     }
 
     /// Retire the entry at `pos`; the head advances over any contiguous

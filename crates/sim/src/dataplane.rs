@@ -21,6 +21,7 @@ use lg_bgp::{Prefix, PrefixTrie};
 /// bits, so two *distinct* equal-length prefixes cannot both cover one
 /// address — the tiebreak is a guard against that invariant ever loosening,
 /// keeping every FIB lookup reproducible across runs.)
+#[cfg(test)]
 pub(crate) fn lpm_preference(p: Prefix) -> (u8, std::cmp::Reverse<Prefix>) {
     (p.len(), std::cmp::Reverse(p))
 }
@@ -329,13 +330,19 @@ impl<'n> DataPlane<'n> {
 
 impl Fib for DataPlane<'_> {
     fn lookup(&self, at: AsId, dst_addr: u32) -> Option<FibEntry> {
-        // Most specific prefix covering dst_addr for which `at` has a route;
-        // ties (see lpm_preference) resolve identically every run.
+        // Most specific prefix covering dst_addr for which `at` has a
+        // route, resolved through the trie rather than a scan of every
+        // installed table — with a full-table announcement set the scan
+        // is O(prefixes) per hop of every walk. `matches` yields covering
+        // prefixes most-specific-first, and a trie node holds one value
+        // per exact (addr, len), so the first hit is the unique winner —
+        // the same route the lpm_preference scan selected.
         let t = self
-            .tables
-            .iter()
-            .filter(|t| t.prefix.contains(dst_addr) && t.has_route(at))
-            .max_by_key(|t| lpm_preference(t.prefix))?;
+            .lpm
+            .matches(dst_addr)
+            .into_iter()
+            .map(|(_, &i)| &self.tables[i])
+            .find(|t| t.has_route(at))?;
         Some(match t.next_hop(at) {
             None => FibEntry::Deliver,
             Some(n) => FibEntry::Forward(n),

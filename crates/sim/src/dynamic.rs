@@ -23,19 +23,41 @@
 //!
 //! Paths are interned in a per-simulation [`PathInterner`]: every UPDATE
 //! carries a [`PathId`] (two words, `Copy`) instead of an owned `AsPath`,
-//! the Adj-RIB-In stores interned routes ([`lg_bgp::ArenaRibIn`]), and the
+//! the Adj-RIB-In stores interned routes ([`lg_bgp::IdRibIn`]), and the
 //! announced-by prepend on propagation is an O(1) arena node instead of a
-//! Vec clone. Owned paths are materialized only when a Loc-RIB selection
-//! actually changes (for the public [`DynamicSim::loc_route`] view).
+//! Vec clone. Owned paths are materialized only on demand (the public
+//! [`DynamicSim::loc_route`] view builds its [`Route`] per call).
+//!
+//! Prefix count is a first-class scaling axis: prefixes are interned
+//! process-wide into dense [`PrefixId`]s ([`lg_bgp::PrefixInterner`],
+//! mirroring the path interner), all engine-internal state — events,
+//! Adj-RIB-Ins, Loc-RIBs, per-(peer, prefix) out-queues, metrics — keys by
+//! id, and the Ring out-queue keeps per-peer state in an id-sorted vec
+//! (O(log p) probes, where the pre-full-table layout scanned O(p) pairs
+//! per event). All prefixes share the one path arena, so memory scales
+//! with *distinct paths*, not prefixes. Id values come from process-global
+//! interning order and never influence observable order: everything that
+//! feeds the update log or event order sorts by resolved [`Prefix`]
+//! (see `tests/multi_prefix.rs`).
+//!
+//! With [`DynamicSimConfig::pack_updates`] on (the default), the engine
+//! additionally accounts batched wire UPDATEs — same-tick, same-peer,
+//! same-attribute emissions coalesced into multi-prefix messages (see
+//! `packing.rs`). Packing is observational: logical event processing is
+//! byte-identical with it on or off, which the differential harnesses pin
+//! by packing the subject run and not the oracle.
 
 use crate::announce::AnnouncementSpec;
 use crate::dataplane::{walk_fib, Fib, FibEntry, Walk};
 use crate::failures::FailureSet;
 use crate::network::Network;
+use crate::packing::UpdatePacker;
 use crate::parallel::{self, EmKind, ShardOut, ShardTask, Work, WorkItem};
 use crate::time::{Time, TimerWheel};
 use lg_asmap::{AsId, Relationship};
-use lg_bgp::{ArenaRibIn, ArenaRoute, AsPath, OutRing, PathId, PathInterner, Prefix, Route};
+use lg_bgp::{
+    IdRibIn, IdRoute, OutRing, PathId, PathInterner, Prefix, PrefixId, PrefixTrie, Route,
+};
 use lg_telemetry::{Counter, Histogram, Registry};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -77,10 +99,20 @@ pub(crate) struct DynamicTelemetry {
     /// Parallel engine: windows whose end was clamped by an armed MRAI
     /// timer rather than the link-latency lookahead.
     window_mrai_capped: Counter,
+    /// Emissions coalesced into an already-open packing group (logical
+    /// updates saved by multi-prefix UPDATE packing; see `packing.rs`).
+    pub(crate) updates_packed: Counter,
+    /// Wire UPDATE messages actually encoded after packing and chunking.
+    pub(crate) wire_updates: Counter,
+    /// Encoded bytes of those packed messages.
+    pub(crate) wire_bytes: Counter,
+    /// Bytes the same emission stream would cost unpacked (one prefix per
+    /// message) — the baseline packing savings are measured against.
+    pub(crate) wire_bytes_unpacked: Counter,
 }
 
 impl DynamicTelemetry {
-    fn from_registry(r: &Registry) -> Self {
+    pub(crate) fn from_registry(r: &Registry) -> Self {
         DynamicTelemetry {
             updates_sent: r.counter("dynamic.updates_sent"),
             updates_received: r.counter("dynamic.updates_received"),
@@ -94,6 +126,10 @@ impl DynamicTelemetry {
             windows: r.counter("dynamic.windows"),
             window_batch: r.histogram("dynamic.window_batch"),
             window_mrai_capped: r.counter("dynamic.window_mrai_capped"),
+            updates_packed: r.counter("dynamic.updates_packed"),
+            wire_updates: r.counter("dynamic.wire_updates"),
+            wire_bytes: r.counter("dynamic.wire_bytes"),
+            wire_bytes_unpacked: r.counter("dynamic.wire_bytes_unpacked"),
         }
     }
 }
@@ -143,6 +179,11 @@ pub struct DynamicSimConfig {
     /// it buys). Tests that want real cross-thread execution set this
     /// to 0.
     pub parallel_spawn_min: usize,
+    /// Account batched multi-prefix wire UPDATEs (see `packing.rs`).
+    /// Observational only — event processing, logs, and Loc-RIBs are
+    /// byte-identical either way; the differential harnesses run the
+    /// oracle unpacked to pin that. On by default.
+    pub pack_updates: bool,
 }
 
 impl Default for DynamicSimConfig {
@@ -154,6 +195,7 @@ impl Default for DynamicSimConfig {
             out_queue: OutQueue::Ring,
             workers: 1,
             parallel_spawn_min: 24,
+            pack_updates: true,
         }
     }
 }
@@ -181,7 +223,7 @@ enum Event {
     Recv {
         from: AsId,
         to: AsId,
-        prefix: Prefix,
+        prefix: PrefixId,
         path: Option<PathId>,
         epoch: u64,
     },
@@ -189,7 +231,7 @@ enum Event {
     MraiFire {
         node: AsId,
         peer: AsId,
-        prefix: Prefix,
+        prefix: PrefixId,
     },
 }
 
@@ -231,13 +273,16 @@ pub(crate) struct PeerPrefixState {
 /// Ring-mode per-peer sending machinery: dense per-prefix state plus the
 /// ring of deferred updates. Peers get a slot on first contact.
 ///
-/// Per-prefix state is a linear-probed vec, not a map: a node announces a
-/// handful of prefixes (production + sentinel in LIFEGUARD scenarios), so
-/// a scan over inline pairs beats hashing on every sent update.
+/// Per-prefix state is a vec sorted by dense [`PrefixId`], probed by
+/// binary search: O(log p) per event at full-table prefix counts, where
+/// the pre-full-table layout ("a node announces a handful of prefixes")
+/// linearly scanned O(p) inline pairs per sent update. Inserts memmove,
+/// but each (peer, prefix) inserts exactly once — and bulk announcements
+/// intern prefixes in ascending id order, making those inserts appends.
 pub(crate) struct RingPeer {
     pub(crate) peer: AsId,
-    pub(crate) state: Vec<(Prefix, PeerPrefixState)>,
-    pub(crate) ring: OutRing,
+    pub(crate) state: Vec<(PrefixId, PeerPrefixState)>,
+    pub(crate) ring: OutRing<PrefixId>,
 }
 
 /// Ring-mode per-node view: maps neighbor ASes to dense peer slots via a
@@ -260,7 +305,7 @@ pub(crate) struct FireKey {
 
 /// The engine's out-queue state, in one of the two [`OutQueue`] shapes.
 pub(crate) enum OutStore {
-    Reference(Vec<HashMap<(AsId, Prefix), PeerPrefixState>>),
+    Reference(Vec<HashMap<(AsId, PrefixId), PeerPrefixState>>),
     Ring {
         nodes: Vec<RingNode>,
         // Boxed: the wheel's inline slot arrays dwarf the Reference
@@ -330,17 +375,17 @@ impl OutStore {
     }
 
     /// Get-or-create the sending state for `(node, peer, prefix)`.
-    fn state_entry(&mut self, node: AsId, peer: AsId, prefix: Prefix) -> &mut PeerPrefixState {
+    fn state_entry(&mut self, node: AsId, peer: AsId, prefix: PrefixId) -> &mut PeerPrefixState {
         match self {
             OutStore::Reference(v) => v[node.index()].entry((peer, prefix)).or_default(),
             OutStore::Ring { nodes, .. } => {
                 let slot = Self::ring_peer_slot(&mut nodes[node.index()], peer);
                 let rp = &mut nodes[node.index()].peers[slot as usize];
-                let i = match rp.state.iter().position(|&(p, _)| p == prefix) {
-                    Some(i) => i,
-                    None => {
-                        rp.state.push((prefix, PeerPrefixState::default()));
-                        rp.state.len() - 1
+                let i = match rp.state.binary_search_by_key(&prefix, |&(p, _)| p) {
+                    Ok(i) => i,
+                    Err(i) => {
+                        rp.state.insert(i, (prefix, PeerPrefixState::default()));
+                        i
                     }
                 };
                 &mut rp.state[i].1
@@ -353,7 +398,7 @@ impl OutStore {
         &mut self,
         node: AsId,
         peer: AsId,
-        prefix: Prefix,
+        prefix: PrefixId,
     ) -> Option<&mut PeerPrefixState> {
         match self {
             OutStore::Reference(v) => v[node.index()].get_mut(&(peer, prefix)),
@@ -361,11 +406,9 @@ impl OutStore {
                 let n = &mut nodes[node.index()];
                 let pos = n.peer_idx.binary_search_by_key(&peer, |&(p, _)| p).ok()?;
                 let slot = n.peer_idx[pos].1;
-                n.peers[slot as usize]
-                    .state
-                    .iter_mut()
-                    .find(|&&mut (p, _)| p == prefix)
-                    .map(|&mut (_, ref mut st)| st)
+                let state = &mut n.peers[slot as usize].state;
+                let i = state.binary_search_by_key(&prefix, |&(p, _)| p).ok()?;
+                Some(&mut state[i].1)
             }
         }
     }
@@ -374,12 +417,20 @@ impl OutStore {
     /// (origin-side cleanup on withdraw). Deferred timers stay queued and
     /// fire harmlessly against recreated default state — both shapes
     /// behave identically here, which the differential harness relies on.
-    fn remove_prefix(&mut self, node: AsId, prefix: Prefix) {
+    ///
+    /// Reference removes entries (the oracle's original behavior); Ring
+    /// resets them in place to the default — observationally identical
+    /// (a default entry *is* what `state_entry` would recreate), and it
+    /// avoids the O(prefixes) retain-scan per peer that made withdraw
+    /// quadratic over full-table announce/withdraw cycles.
+    fn remove_prefix(&mut self, node: AsId, prefix: PrefixId) {
         match self {
             OutStore::Reference(v) => v[node.index()].retain(|(_, p), _| *p != prefix),
             OutStore::Ring { nodes, .. } => {
                 for rp in &mut nodes[node.index()].peers {
-                    rp.state.retain(|&(p, _)| p != prefix);
+                    if let Ok(i) = rp.state.binary_search_by_key(&prefix, |&(p, _)| p) {
+                        rp.state[i].1 = PeerPrefixState::default();
+                    }
                 }
             }
         }
@@ -393,7 +444,7 @@ impl OutStore {
         &mut self,
         node: AsId,
         peer: AsId,
-        prefix: Prefix,
+        prefix: PrefixId,
         path: Option<PathId>,
         ready: Time,
         seq: u64,
@@ -429,7 +480,7 @@ impl OutStore {
 
     /// Pop the earliest pending fire, resolving it to `(node, peer,
     /// prefix)` and retiring its ring slot.
-    fn pop_fire(&mut self) -> (AsId, AsId, Prefix) {
+    fn pop_fire(&mut self) -> (AsId, AsId, PrefixId) {
         match self {
             OutStore::Reference(_) => unreachable!("Reference has no wheel fires"),
             OutStore::Ring { nodes, wheel } => {
@@ -451,20 +502,25 @@ impl OutStore {
     }
 }
 
-/// A selected route: the interned path for engine-internal comparison plus
-/// the materialized [`Route`] for the public API and data plane. The owned
-/// copy is built once per Loc-RIB *change*, not per UPDATE processed.
+/// A selected route, fully interned: three words per Loc-RIB entry, so a
+/// full-table Loc-RIB costs O(prefixes) words and all path memory stays in
+/// the shared arena (bounded by distinct paths, not prefixes). The public
+/// [`DynamicSim::loc_route`] view materializes an owned [`Route`] per
+/// call.
+#[derive(Clone, Copy)]
 pub(crate) struct LocEntry {
     pub(crate) path: PathId,
-    pub(crate) route: Route,
+    pub(crate) learned_from: AsId,
+    pub(crate) rel: Relationship,
 }
 
 #[derive(Default)]
 pub(crate) struct Node {
-    /// Routes accepted from each neighbor, per prefix (interned paths).
-    pub(crate) adj_in: ArenaRibIn,
+    /// Routes accepted from each neighbor, per prefix (interned paths,
+    /// dense prefix ids).
+    pub(crate) adj_in: IdRibIn,
     /// Selected route per prefix.
-    pub(crate) loc: HashMap<Prefix, LocEntry>,
+    pub(crate) loc: HashMap<PrefixId, LocEntry>,
 }
 
 /// One UPDATE put on the wire, as recorded by the (test-only) update log
@@ -566,11 +622,17 @@ pub struct DynamicSim<'n> {
     /// interner is the one piece of state workers may share.
     paths: RwLock<PathInterner>,
     /// Current announcement per prefix (origin + seeds), to diff on change.
-    specs: HashMap<Prefix, AnnouncementSpec>,
+    specs: HashMap<PrefixId, AnnouncementSpec>,
     /// Interned seed paths per announced prefix, aligned with the spec's
     /// seed list; what the origin (re-)advertises to each seeded neighbor.
-    seed_ids: HashMap<Prefix, Vec<(AsId, PathId)>>,
-    metrics: HashMap<Prefix, PrefixMetrics>,
+    seed_ids: HashMap<PrefixId, Vec<(AsId, PathId)>>,
+    metrics: HashMap<PrefixId, PrefixMetrics>,
+    /// LPM trie over every prefix this simulation has ever announced,
+    /// for [`Fib`] lookups: O(32) most-specific-first candidate walk
+    /// instead of a scan over the whole Loc-RIB. Entries persist across
+    /// withdraw (a stale id simply has no Loc-RIB entry), matching the
+    /// old scan's behavior exactly.
+    prefix_lpm: PrefixTrie<PrefixId>,
     /// BGP sessions currently torn down (control-plane-visible link
     /// failures), as unordered pairs.
     down_links: Vec<(AsId, AsId)>,
@@ -600,6 +662,9 @@ pub struct DynamicSim<'n> {
     /// or re-armed later) only shorten windows — conservative, never
     /// wrong.
     armed_ready: BinaryHeap<Reverse<Time>>,
+    /// Wire-level UPDATE packing accountant (see `packing.rs`); `None`
+    /// when [`DynamicSimConfig::pack_updates`] is off.
+    packer: Option<UpdatePacker>,
     tele: DynamicTelemetry,
 }
 
@@ -619,6 +684,7 @@ impl<'n> DynamicSim<'n> {
         } else {
             0
         };
+        let packer = cfg.pack_updates.then(UpdatePacker::new);
         DynamicSim {
             net,
             cfg,
@@ -630,6 +696,7 @@ impl<'n> DynamicSim<'n> {
             specs: HashMap::new(),
             seed_ids: HashMap::new(),
             metrics: HashMap::new(),
+            prefix_lpm: PrefixTrie::new(),
             down_links: Vec::new(),
             link_epochs: HashMap::new(),
             failures: FailureSet::none(),
@@ -637,6 +704,7 @@ impl<'n> DynamicSim<'n> {
             log: None,
             lookahead_ms,
             armed_ready: BinaryHeap::new(),
+            packer,
             tele: DynamicTelemetry::from_registry(registry),
         }
     }
@@ -724,7 +792,12 @@ impl<'n> DynamicSim<'n> {
         self.down_links.push((a, b));
         self.bump_link_epoch(a, b);
         for (node, peer) in [(a, b), (b, a)] {
-            let affected = self.nodes[node.index()].adj_in.withdraw_neighbor(peer);
+            let mut affected = self.nodes[node.index()].adj_in.withdraw_neighbor(peer);
+            // The RIB returns ids in map order and id values are
+            // process-global allocation order — neither may steer the
+            // reselection cascade (it feeds the update log). Sort by the
+            // prefixes themselves, as the pre-full-table engine did.
+            affected.sort_by_cached_key(|id| id.resolve());
             for prefix in affected {
                 self.reselect(node, prefix);
             }
@@ -741,8 +814,13 @@ impl<'n> DynamicSim<'n> {
         // the failure must not be delivered into the revived session.
         self.bump_link_epoch(a, b);
         // Clear duplicate-suppression state for the revived sessions so the
-        // current routes get re-sent, then push them out.
-        let prefixes: Vec<Prefix> = self.specs.keys().copied().collect();
+        // current routes get re-sent, then push them out. `specs` is a
+        // HashMap, and with many prefixes in play its iteration order is
+        // per-instance random — sort by prefix value so the re-send order
+        // (which feeds the update log) is a function of the schedule, not
+        // of hasher seeds or id allocation order.
+        let mut prefixes: Vec<PrefixId> = self.specs.keys().copied().collect();
+        prefixes.sort_by_cached_key(|id| id.resolve());
         for (node, peer) in [(a, b), (b, a)] {
             for prefix in &prefixes {
                 if let Some(st) = self.out.state_get_mut(node, peer, *prefix) {
@@ -751,8 +829,9 @@ impl<'n> DynamicSim<'n> {
                 self.schedule_update(node, peer, *prefix);
             }
         }
-        // Re-seed origin announcements that ride this link.
-        let reseeds: Vec<(Prefix, AsId, AsId, PathId)> = self
+        // Re-seed origin announcements that ride this link, again in
+        // prefix order (seed_ids iteration is map order).
+        let mut reseeds: Vec<(Prefix, PrefixId, AsId, AsId, PathId)> = self
             .seed_ids
             .iter()
             .flat_map(|(prefix, seeds)| {
@@ -762,10 +841,11 @@ impl<'n> DynamicSim<'n> {
                     .filter(move |(nbr, _)| {
                         (origin == a && *nbr == b) || (origin == b && *nbr == a)
                     })
-                    .map(move |(nbr, id)| (*prefix, origin, *nbr, *id))
+                    .map(move |(nbr, id)| (prefix.resolve(), *prefix, origin, *nbr, *id))
             })
             .collect();
-        for (prefix, origin, nbr, id) in reseeds {
+        reseeds.sort_by_key(|&(p, _, _, nbr, _)| (p, nbr));
+        for (_, prefix, origin, nbr, id) in reseeds {
             let at = self.now + self.link_latency(origin, nbr);
             let epoch = self.link_epoch(origin, nbr);
             self.push_recv(at, origin, nbr, prefix, Some(id), epoch, true);
@@ -779,13 +859,17 @@ impl<'n> DynamicSim<'n> {
 
     /// Metrics for `prefix` (empty if never announced).
     pub fn metrics(&self, prefix: Prefix) -> PrefixMetrics {
-        self.metrics.get(&prefix).cloned().unwrap_or_default()
+        // `lookup`, not `of`: a metrics query for a never-seen prefix must
+        // not grow the process-wide prefix table.
+        PrefixId::lookup(prefix)
+            .and_then(|id| self.metrics.get(&id).cloned())
+            .unwrap_or_default()
     }
 
     /// Start a fresh measurement epoch for `prefix` at the current time.
     pub fn begin_epoch(&mut self, prefix: Prefix) {
         self.metrics.insert(
-            prefix,
+            PrefixId::of(prefix),
             PrefixMetrics {
                 epoch_start: self.now,
                 ..PrefixMetrics::default()
@@ -793,18 +877,60 @@ impl<'n> DynamicSim<'n> {
         );
     }
 
-    /// The route `a` currently selects for `prefix`.
-    pub fn loc_route(&self, a: AsId, prefix: Prefix) -> Option<&Route> {
-        self.nodes[a.index()].loc.get(&prefix).map(|e| &e.route)
+    /// The route `a` currently selects for `prefix`, materialized from the
+    /// interned Loc-RIB entry (built per call; the engine keeps no owned
+    /// routes).
+    pub fn loc_route(&self, a: AsId, prefix: Prefix) -> Option<Route> {
+        let id = PrefixId::lookup(prefix)?;
+        let e = self.nodes[a.index()].loc.get(&id)?;
+        let paths = self.paths.read().expect("interner lock poisoned");
+        Some(Route {
+            prefix,
+            path: paths.materialize(e.path),
+            learned_from: e.learned_from,
+            rel: e.rel,
+            communities: Vec::new(),
+        })
     }
 
     /// Number of distinct path shapes interned so far (diagnostic; growth
-    /// stalls once convergence stops producing new paths).
+    /// stalls once convergence stops producing new paths). This is the
+    /// "memory scales with distinct paths, not prefixes" gauge the
+    /// full-table bench gates on.
     pub fn interned_paths(&self) -> usize {
         self.paths
             .read()
             .expect("interner lock poisoned")
             .node_count()
+    }
+
+    /// Total Loc-RIB entries across all nodes (full-table memory
+    /// diagnostic; each entry is three words).
+    pub fn loc_entries(&self) -> usize {
+        self.nodes.iter().map(|n| n.loc.len()).sum()
+    }
+
+    /// Total Adj-RIB-In (prefix, neighbor) entries across all nodes.
+    pub fn adj_entries(&self) -> usize {
+        self.nodes.iter().map(|n| n.adj_in.entry_count()).sum()
+    }
+
+    /// Total per-(peer, prefix) out-queue state entries across all nodes.
+    pub fn out_state_entries(&self) -> usize {
+        match &self.out {
+            OutStore::Reference(v) => v.iter().map(|m| m.len()).sum(),
+            OutStore::Ring { nodes, .. } => nodes
+                .iter()
+                .flat_map(|n| n.peers.iter())
+                .map(|p| p.state.len())
+                .sum(),
+        }
+    }
+
+    /// Events currently queued on the heap (diagnostic; wheel-deferred
+    /// MRAI fires are not included).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
     }
 
     fn push(&mut self, at: Time, ev: Event) {
@@ -825,30 +951,37 @@ impl<'n> DynamicSim<'n> {
         }));
     }
 
-    /// Put an UPDATE on the wire: enqueue its delivery and, when the
-    /// update log is on, record it. `seeded` marks origin-driven traffic
-    /// that bypasses the MRAI machinery.
+    /// Put an UPDATE on the wire: enqueue its delivery, record it when the
+    /// update log is on, and feed the packing accountant when packing is
+    /// on. `seeded` marks origin-driven traffic that bypasses the MRAI
+    /// machinery.
     #[allow(clippy::too_many_arguments)]
     fn push_recv(
         &mut self,
         at: Time,
         from: AsId,
         to: AsId,
-        prefix: Prefix,
+        prefix: PrefixId,
         path: Option<PathId>,
         epoch: u64,
         seeded: bool,
     ) {
-        if let Some(log) = &mut self.log {
+        if self.log.is_some() || self.packer.is_some() {
+            let pfx = prefix.resolve();
             let paths = self.paths.get_mut().expect("interner lock poisoned");
-            log.push(UpdateRecord {
-                at: self.now,
-                from,
-                to,
-                prefix,
-                path: path.map(|p| paths.hops(p).collect()),
-                seeded,
-            });
+            if let Some(log) = &mut self.log {
+                log.push(UpdateRecord {
+                    at: self.now,
+                    from,
+                    to,
+                    prefix: pfx,
+                    path: path.map(|p| paths.hops(p).collect()),
+                    seeded,
+                });
+            }
+            if let Some(packer) = &mut self.packer {
+                packer.observe(self.now, from, to, pfx, path, paths, &self.tele);
+            }
         }
         self.push(
             at,
@@ -860,6 +993,15 @@ impl<'n> DynamicSim<'n> {
                 epoch,
             },
         );
+    }
+
+    /// Close any open packing groups so wire counters reflect everything
+    /// emitted so far (called at the end of every run).
+    fn flush_packer(&mut self) {
+        if let Some(packer) = &mut self.packer {
+            let paths = self.paths.get_mut().expect("interner lock poisoned");
+            packer.flush(paths, &self.tele);
+        }
     }
 
     /// The (deterministically jittered) MRAI interval `node` applies to
@@ -879,17 +1021,17 @@ impl<'n> DynamicSim<'n> {
     pub fn announce(&mut self, spec: &AnnouncementSpec) {
         let _tspan = lg_telemetry::trace::span("dynamic.announce");
         spec.validate(self.net).expect("invalid announcement spec");
-        let old = self.specs.insert(spec.prefix, spec.clone());
+        let pid = PrefixId::of(spec.prefix);
+        self.prefix_lpm.insert(spec.prefix, pid);
+        let old = self.specs.insert(pid, spec.clone());
         // First announcement of this prefix starts its measurement epoch
         // *now* — `or_default()` would leave `epoch_start` at `Time::ZERO`
         // and silently inflate `global_convergence_ms` for t>0 announces.
         let now = self.now;
-        self.metrics
-            .entry(spec.prefix)
-            .or_insert_with(|| PrefixMetrics {
-                epoch_start: now,
-                ..PrefixMetrics::default()
-            });
+        self.metrics.entry(pid).or_insert_with(|| PrefixMetrics {
+            epoch_start: now,
+            ..PrefixMetrics::default()
+        });
 
         // Origin's own loc entry so the data plane delivers at the origin.
         // While the prefix is announced this entry is pinned: `reselect`
@@ -897,16 +1039,11 @@ impl<'n> DynamicSim<'n> {
         // gets rejected by loop detection, and that rejection must not
         // evict the self-route).
         self.nodes[spec.origin.index()].loc.insert(
-            spec.prefix,
+            pid,
             LocEntry {
                 path: PathId::EMPTY,
-                route: Route {
-                    prefix: spec.prefix,
-                    path: AsPath::empty(),
-                    learned_from: spec.origin,
-                    rel: Relationship::Customer,
-                    communities: Vec::new(),
-                },
+                learned_from: spec.origin,
+                rel: Relationship::Customer,
             },
         );
 
@@ -917,16 +1054,16 @@ impl<'n> DynamicSim<'n> {
                 .map(|(nbr, path)| (*nbr, paths.intern(path)))
                 .collect()
         };
-        self.seed_ids.insert(spec.prefix, seeds.clone());
+        self.seed_ids.insert(pid, seeds.clone());
         let mut sent_to: Vec<AsId> = Vec::new();
         for (nbr, id) in &seeds {
             let at = self.now + self.link_latency(spec.origin, *nbr);
             let epoch = self.link_epoch(spec.origin, *nbr);
-            self.push_recv(at, spec.origin, *nbr, spec.prefix, Some(*id), epoch, true);
+            self.push_recv(at, spec.origin, *nbr, pid, Some(*id), epoch, true);
             // Record the send in the origin's machinery state so duplicate
             // suppression and later MRAI flushes see what was actually
             // advertised.
-            let st = self.out.state_entry(spec.origin, *nbr, spec.prefix);
+            let st = self.out.state_entry(spec.origin, *nbr, pid);
             st.last_sent = Some(Some(*id));
             sent_to.push(*nbr);
         }
@@ -936,8 +1073,8 @@ impl<'n> DynamicSim<'n> {
                 if !sent_to.contains(nbr) {
                     let at = self.now + self.link_latency(spec.origin, *nbr);
                     let epoch = self.link_epoch(spec.origin, *nbr);
-                    self.push_recv(at, spec.origin, *nbr, spec.prefix, None, epoch, true);
-                    let st = self.out.state_entry(spec.origin, *nbr, spec.prefix);
+                    self.push_recv(at, spec.origin, *nbr, pid, None, epoch, true);
+                    let st = self.out.state_entry(spec.origin, *nbr, pid);
                     st.last_sent = Some(None);
                 }
             }
@@ -947,22 +1084,25 @@ impl<'n> DynamicSim<'n> {
     /// Withdraw the prefix from all seeded neighbors.
     pub fn withdraw(&mut self, prefix: Prefix) {
         let _tspan = lg_telemetry::trace::span("dynamic.withdraw");
-        let Some(spec) = self.specs.remove(&prefix) else {
+        let Some(pid) = PrefixId::lookup(prefix) else {
+            return; // never interned anywhere, so certainly never announced
+        };
+        let Some(spec) = self.specs.remove(&pid) else {
             return;
         };
-        self.seed_ids.remove(&prefix);
-        self.nodes[spec.origin.index()].loc.remove(&prefix);
+        self.seed_ids.remove(&pid);
+        self.nodes[spec.origin.index()].loc.remove(&pid);
         // Drop the origin's per-(peer, prefix) machinery state: stale
         // `last_sent` would suppress the first update of a later
         // re-announcement, and a stale `mrai_ready_at` / pending fire would
         // mis-time it. (Queued MraiFire events for the dropped state are
         // harmless: they re-create a default entry whose desired content is
         // already None.)
-        self.out.remove_prefix(spec.origin, prefix);
+        self.out.remove_prefix(spec.origin, pid);
         for (nbr, _) in &spec.seeds {
             let at = self.now + self.link_latency(spec.origin, *nbr);
             let epoch = self.link_epoch(spec.origin, *nbr);
-            self.push_recv(at, spec.origin, *nbr, prefix, None, epoch, true);
+            self.push_recv(at, spec.origin, *nbr, pid, None, epoch, true);
         }
     }
 
@@ -1028,6 +1168,7 @@ impl<'n> DynamicSim<'n> {
                 self.step(is_fire);
             }
         }
+        self.flush_packer();
         if processed {
             // Simulated time from entering the call to its last event: the
             // time-to-quiescence of this convergence burst.
@@ -1053,6 +1194,7 @@ impl<'n> DynamicSim<'n> {
                 self.step(is_fire);
             }
         }
+        self.flush_packer();
         self.now = self.now.max(t);
     }
 
@@ -1238,19 +1380,28 @@ impl<'n> DynamicSim<'n> {
                     epoch,
                 } => {
                     // Counters were bumped worker-side (at the same logical
-                    // point `push` would); the log is appended here, in
-                    // merged order, with the sender's processing time — the
-                    // exact record `push_recv` writes.
-                    if let Some(log) = &mut self.log {
+                    // point `push` would); the log and the packing
+                    // accountant are driven here, in merged order — the
+                    // exact stream `push_recv` feeds them in the
+                    // sequential engine (emissions are sorted by source
+                    // `(time, seq)`, which is sequential processing
+                    // order).
+                    if self.log.is_some() || self.packer.is_some() {
+                        let pfx = prefix.resolve();
                         let paths = self.paths.get_mut().expect("interner lock poisoned");
-                        log.push(UpdateRecord {
-                            at: e.src_at,
-                            from,
-                            to,
-                            prefix,
-                            path: path.map(|p| paths.hops(p).collect()),
-                            seeded: false,
-                        });
+                        if let Some(log) = &mut self.log {
+                            log.push(UpdateRecord {
+                                at: e.src_at,
+                                from,
+                                to,
+                                prefix: pfx,
+                                path: path.map(|p| paths.hops(p).collect()),
+                                seeded: false,
+                            });
+                        }
+                        if let Some(packer) = &mut self.packer {
+                            packer.observe(e.src_at, from, to, pfx, path, paths, &self.tele);
+                        }
                     }
                     self.queue.push(Reverse(Queued {
                         at,
@@ -1318,7 +1469,7 @@ impl<'n> DynamicSim<'n> {
     /// Ring mode): clear the pending flag and flush whatever the deferred
     /// update's content is *now* — the route may have changed (or become a
     /// duplicate) since the deferral.
-    fn handle_mrai_fire(&mut self, node: AsId, peer: AsId, prefix: Prefix) {
+    fn handle_mrai_fire(&mut self, node: AsId, peer: AsId, prefix: PrefixId) {
         lg_telemetry::trace::instant_value("dynamic.mrai_fire", self.now.millis());
         let st = self.out.state_entry(node, peer, prefix);
         st.fire_pending = false;
@@ -1329,7 +1480,7 @@ impl<'n> DynamicSim<'n> {
         &mut self,
         from: AsId,
         to: AsId,
-        prefix: Prefix,
+        prefix: PrefixId,
         path: Option<PathId>,
         epoch: u64,
     ) {
@@ -1364,12 +1515,14 @@ impl<'n> DynamicSim<'n> {
                 }
                 let node = &mut self.nodes[to.index()];
                 if rejected.is_none() {
-                    node.adj_in.insert(ArenaRoute {
+                    node.adj_in.insert(
                         prefix,
-                        path: p,
-                        learned_from: from,
-                        rel,
-                    });
+                        IdRoute {
+                            path: p,
+                            learned_from: from,
+                            rel,
+                        },
+                    );
                 } else {
                     // Implicit withdrawal: the rejected update replaced
                     // whatever the neighbor previously advertised.
@@ -1383,7 +1536,7 @@ impl<'n> DynamicSim<'n> {
         self.reselect(to, prefix);
     }
 
-    fn reselect(&mut self, at: AsId, prefix: Prefix) {
+    fn reselect(&mut self, at: AsId, prefix: PrefixId) {
         // The origin's self-route is pinned while the prefix is announced:
         // a neighbor's echoed-back announcement (rejected by loop
         // detection, becoming an implicit withdrawal) must not evict it.
@@ -1398,7 +1551,7 @@ impl<'n> DynamicSim<'n> {
         let same = match (&best, cur) {
             (None, None) => true,
             (Some(b), Some(c)) => {
-                b.path == c.path && b.learned_from == c.route.learned_from && b.rel == c.route.rel
+                b.path == c.path && b.learned_from == c.learned_from && b.rel == c.rel
             }
             _ => false,
         };
@@ -1407,12 +1560,12 @@ impl<'n> DynamicSim<'n> {
         }
         match best {
             Some(r) => {
-                let route = r.to_route(self.paths.get_mut().expect("interner lock poisoned"));
                 self.nodes[at.index()].loc.insert(
                     prefix,
                     LocEntry {
                         path: r.path,
-                        route,
+                        learned_from: r.learned_from,
+                        rel: r.rel,
                     },
                 );
             }
@@ -1443,7 +1596,7 @@ impl<'n> DynamicSim<'n> {
     /// announced origin this is the spec's seed path for that neighbor (or
     /// nothing for unseeded neighbors — selective advertising), not a
     /// derivation from the self-route.
-    fn desired_content(&mut self, node: AsId, peer: AsId, prefix: Prefix) -> Option<PathId> {
+    fn desired_content(&mut self, node: AsId, peer: AsId, prefix: PrefixId) -> Option<PathId> {
         if let Some(spec) = self.specs.get(&prefix) {
             if spec.origin == node {
                 return self
@@ -1455,7 +1608,7 @@ impl<'n> DynamicSim<'n> {
         }
         let (path, learned_from, rel) = {
             let e = self.nodes[node.index()].loc.get(&prefix)?;
-            (e.path, e.route.learned_from, e.route.rel)
+            (e.path, e.learned_from, e.rel)
         };
         if learned_from == peer {
             return None; // split horizon: don't echo back
@@ -1472,7 +1625,7 @@ impl<'n> DynamicSim<'n> {
         )
     }
 
-    fn schedule_update(&mut self, node: AsId, peer: AsId, prefix: Prefix) {
+    fn schedule_update(&mut self, node: AsId, peer: AsId, prefix: PrefixId) {
         if !self.link_up(node, peer) {
             return;
         }
@@ -1515,7 +1668,7 @@ impl<'n> DynamicSim<'n> {
         // If a fire is already pending it will pick up the latest content.
     }
 
-    fn flush_to_peer(&mut self, node: AsId, peer: AsId, prefix: Prefix) {
+    fn flush_to_peer(&mut self, node: AsId, peer: AsId, prefix: PrefixId) {
         let desired = self.desired_content(node, peer, prefix);
         let st = self.out.state_entry(node, peer, prefix);
         if st.last_sent == Some(desired) || (st.last_sent.is_none() && desired.is_none()) {
@@ -1524,7 +1677,7 @@ impl<'n> DynamicSim<'n> {
         self.send_now(node, peer, prefix, desired);
     }
 
-    fn send_now(&mut self, node: AsId, peer: AsId, prefix: Prefix, content: Option<PathId>) {
+    fn send_now(&mut self, node: AsId, peer: AsId, prefix: PrefixId, content: Option<PathId>) {
         let interval = self.mrai_interval(node, peer);
         let track_armed = self.parallel_enabled();
         let st = self.out.state_entry(node, peer, prefix);
@@ -1564,21 +1717,23 @@ impl<'n> DynamicSim<'n> {
 
 impl Fib for DynamicSim<'_> {
     fn lookup(&self, at: AsId, dst_addr: u32) -> Option<FibEntry> {
-        // Longest prefix match over the Loc-RIB. `loc` is a HashMap, so
-        // without an explicit tiebreak equal-length matches would resolve
-        // by iteration order — nondeterministic across runs. The preference
-        // key breaks ties by prefix value; `loc` holds one route per
-        // prefix, so the winner (and thus the route) is unique.
-        let (_, e) = self.nodes[at.index()]
-            .loc
-            .iter()
-            .filter(|(p, _)| p.contains(dst_addr))
-            .max_by_key(|(p, _)| crate::dataplane::lpm_preference(**p))?;
+        // Longest prefix match over the Loc-RIB, resolved through the
+        // prefix trie rather than a scan of every installed prefix: the
+        // trie yields the covering prefixes most-specific-first, and the
+        // first one with a Loc-RIB entry at this node wins. Equal-length
+        // covers cannot collide — a trie node holds one value per exact
+        // (addr, len) — so the winner (and thus the route) is unique.
+        let loc = &self.nodes[at.index()].loc;
+        let e = self
+            .prefix_lpm
+            .matches(dst_addr)
+            .into_iter()
+            .find_map(|(_, id)| loc.get(id))?;
         // The origin's self-route has an empty path.
         if e.path.is_empty() {
             Some(FibEntry::Deliver)
         } else {
-            Some(FibEntry::Forward(e.route.learned_from))
+            Some(FibEntry::Forward(e.learned_from))
         }
     }
 }
@@ -1588,6 +1743,7 @@ mod tests {
     use super::*;
     use crate::static_routes::compute_routes;
     use lg_asmap::GraphBuilder;
+    use lg_bgp::AsPath;
 
     fn pfx() -> Prefix {
         Prefix::from_octets(10, 0, 0, 0, 16)
@@ -2090,7 +2246,7 @@ mod tests {
         assert_eq!(sim.loc_route(AsId(2), pfx()).unwrap().learned_from, AsId(0));
         let origin_route = sim.loc_route(AsId(3), pfx());
         assert!(
-            origin_route.is_some_and(|r| r.path.is_empty()),
+            origin_route.as_ref().is_some_and(|r| r.path.is_empty()),
             "origin self-route evicted by echoed announcement: {origin_route:?}"
         );
         let w = sim.walk(AsId(3), pfx().an_addr());

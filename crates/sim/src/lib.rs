@@ -30,6 +30,7 @@ pub mod dataplane;
 pub mod dynamic;
 pub mod failures;
 pub mod network;
+pub(crate) mod packing;
 pub(crate) mod parallel;
 pub mod publish;
 pub mod static_routes;

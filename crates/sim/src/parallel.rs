@@ -39,7 +39,7 @@ use crate::dynamic::{
 use crate::network::Network;
 use crate::time::Time;
 use lg_asmap::AsId;
-use lg_bgp::{ArenaRoute, PathId, PathInterner, Prefix};
+use lg_bgp::{IdRoute, PathId, PathInterner, PrefixId};
 use std::collections::HashMap;
 use std::sync::RwLock;
 
@@ -57,14 +57,14 @@ pub(crate) enum Work {
     Recv {
         from: AsId,
         to: AsId,
-        prefix: Prefix,
+        prefix: PrefixId,
         path: Option<PathId>,
         epoch: u64,
     },
     Fire {
         node: AsId,
         peer: AsId,
-        prefix: Prefix,
+        prefix: PrefixId,
     },
 }
 
@@ -82,14 +82,14 @@ impl Work {
 pub(crate) struct SharedCtx<'a> {
     pub(crate) net: &'a Network,
     pub(crate) cfg: &'a DynamicSimConfig,
-    pub(crate) specs: &'a HashMap<Prefix, AnnouncementSpec>,
-    pub(crate) seed_ids: &'a HashMap<Prefix, Vec<(AsId, PathId)>>,
+    pub(crate) specs: &'a HashMap<PrefixId, AnnouncementSpec>,
+    pub(crate) seed_ids: &'a HashMap<PrefixId, Vec<(AsId, PathId)>>,
     pub(crate) down_links: &'a [(AsId, AsId)],
     pub(crate) link_epochs: &'a HashMap<(AsId, AsId), u64>,
     /// Read-only view of the tracked prefixes; workers record *deltas*
     /// (merged at the barrier) but need to know which prefixes are
     /// tracked, mirroring the sequential `metrics.get_mut` gate.
-    pub(crate) metrics: &'a HashMap<Prefix, PrefixMetrics>,
+    pub(crate) metrics: &'a HashMap<PrefixId, PrefixMetrics>,
     pub(crate) paths: &'a RwLock<PathInterner>,
     /// Counters are atomics; workers bump them directly at the same
     /// logical points the sequential engine does.
@@ -118,24 +118,25 @@ impl SharedCtx<'_> {
 /// configured [`crate::dynamic::OutQueue`] shape. Indexing is by
 /// shard-local node offset.
 pub(crate) enum ShardOut<'a> {
-    Reference(&'a mut [HashMap<(AsId, Prefix), PeerPrefixState>]),
+    Reference(&'a mut [HashMap<(AsId, PrefixId), PeerPrefixState>]),
     Ring(&'a mut [RingNode]),
 }
 
 impl ShardOut<'_> {
     /// Get-or-create the sending state for `(local node, peer, prefix)` —
-    /// the shard-slice twin of `OutStore::state_entry`.
-    fn state_entry(&mut self, local: usize, peer: AsId, prefix: Prefix) -> &mut PeerPrefixState {
+    /// the shard-slice twin of `OutStore::state_entry` (same sorted-vec
+    /// binary search, so per-event cost stays O(log prefixes)).
+    fn state_entry(&mut self, local: usize, peer: AsId, prefix: PrefixId) -> &mut PeerPrefixState {
         match self {
             ShardOut::Reference(v) => v[local].entry((peer, prefix)).or_default(),
             ShardOut::Ring(nodes) => {
                 let slot = OutStore::ring_peer_slot(&mut nodes[local], peer);
                 let rp = &mut nodes[local].peers[slot as usize];
-                let i = match rp.state.iter().position(|&(p, _)| p == prefix) {
-                    Some(i) => i,
-                    None => {
-                        rp.state.push((prefix, PeerPrefixState::default()));
-                        rp.state.len() - 1
+                let i = match rp.state.binary_search_by_key(&prefix, |&(p, _)| p) {
+                    Ok(i) => i,
+                    Err(i) => {
+                        rp.state.insert(i, (prefix, PeerPrefixState::default()));
+                        i
                     }
                 };
                 &mut rp.state[i].1
@@ -167,7 +168,7 @@ pub(crate) enum EmKind {
         at: Time,
         from: AsId,
         to: AsId,
-        prefix: Prefix,
+        prefix: PrefixId,
         path: Option<PathId>,
         epoch: u64,
     },
@@ -177,7 +178,7 @@ pub(crate) enum EmKind {
     Defer {
         node: AsId,
         peer: AsId,
-        prefix: Prefix,
+        prefix: PrefixId,
         path: Option<PathId>,
         ready: Time,
     },
@@ -223,7 +224,7 @@ impl MetricDelta {
 #[derive(Default)]
 pub(crate) struct Effects {
     pub(crate) emissions: Vec<Emission>,
-    pub(crate) metrics: HashMap<(Prefix, AsId), MetricDelta>,
+    pub(crate) metrics: HashMap<(PrefixId, AsId), MetricDelta>,
     /// MRAI ready times armed by this shard's sends (future fires the
     /// window planner must know about).
     pub(crate) armed: Vec<Time>,
@@ -334,7 +335,7 @@ impl ShardWorker<'_, '_> {
         &mut self,
         from: AsId,
         to: AsId,
-        prefix: Prefix,
+        prefix: PrefixId,
         path: Option<PathId>,
         epoch: u64,
     ) {
@@ -370,12 +371,14 @@ impl ShardWorker<'_, '_> {
                 }
                 let node = &mut self.nodes[self.local(to)];
                 if rejected.is_none() {
-                    node.adj_in.insert(ArenaRoute {
+                    node.adj_in.insert(
                         prefix,
-                        path: p,
-                        learned_from: from,
-                        rel,
-                    });
+                        IdRoute {
+                            path: p,
+                            learned_from: from,
+                            rel,
+                        },
+                    );
                 } else {
                     // Implicit withdrawal: the rejected update replaced
                     // whatever the neighbor previously advertised.
@@ -391,7 +394,7 @@ impl ShardWorker<'_, '_> {
     }
 
     /// Mirror of `DynamicSim::handle_mrai_fire`.
-    fn handle_mrai_fire(&mut self, node: AsId, peer: AsId, prefix: Prefix) {
+    fn handle_mrai_fire(&mut self, node: AsId, peer: AsId, prefix: PrefixId) {
         lg_telemetry::trace::instant_value("dynamic.mrai_fire", self.now.millis());
         let local = self.local(node);
         let st = self.out.state_entry(local, peer, prefix);
@@ -400,7 +403,7 @@ impl ShardWorker<'_, '_> {
     }
 
     /// Mirror of `DynamicSim::reselect`.
-    fn reselect(&mut self, at: AsId, prefix: Prefix) {
+    fn reselect(&mut self, at: AsId, prefix: PrefixId) {
         if self.ctx.specs.get(&prefix).is_some_and(|s| s.origin == at) {
             return; // origin self-route is pinned while announced
         }
@@ -413,7 +416,7 @@ impl ShardWorker<'_, '_> {
         let same = match (&best, cur) {
             (None, None) => true,
             (Some(b), Some(c)) => {
-                b.path == c.path && b.learned_from == c.route.learned_from && b.rel == c.route.rel
+                b.path == c.path && b.learned_from == c.learned_from && b.rel == c.rel
             }
             _ => false,
         };
@@ -422,15 +425,12 @@ impl ShardWorker<'_, '_> {
         }
         match best {
             Some(r) => {
-                let route = {
-                    let paths = self.ctx.paths.read().expect("interner lock poisoned");
-                    r.to_route(&paths)
-                };
                 self.nodes[local].loc.insert(
                     prefix,
                     LocEntry {
                         path: r.path,
-                        route,
+                        learned_from: r.learned_from,
+                        rel: r.rel,
                     },
                 );
             }
@@ -461,7 +461,7 @@ impl ShardWorker<'_, '_> {
     }
 
     /// Mirror of `DynamicSim::desired_content`.
-    fn desired_content(&mut self, node: AsId, peer: AsId, prefix: Prefix) -> Option<PathId> {
+    fn desired_content(&mut self, node: AsId, peer: AsId, prefix: PrefixId) -> Option<PathId> {
         if let Some(spec) = self.ctx.specs.get(&prefix) {
             if spec.origin == node {
                 return self
@@ -474,7 +474,7 @@ impl ShardWorker<'_, '_> {
         }
         let (path, learned_from, rel) = {
             let e = self.nodes[self.local(node)].loc.get(&prefix)?;
-            (e.path, e.route.learned_from, e.route.rel)
+            (e.path, e.learned_from, e.rel)
         };
         if learned_from == peer {
             return None; // split horizon: don't echo back
@@ -489,7 +489,7 @@ impl ShardWorker<'_, '_> {
     /// Mirror of `DynamicSim::schedule_update`. The deferral arm buffers
     /// an `EmKind::Defer` where the sequential engine allocates a seq and
     /// queues the fire — the commit does both, in merged source order.
-    fn schedule_update(&mut self, node: AsId, peer: AsId, prefix: Prefix) {
+    fn schedule_update(&mut self, node: AsId, peer: AsId, prefix: PrefixId) {
         if !self.ctx.link_up(node, peer) {
             return;
         }
@@ -525,7 +525,7 @@ impl ShardWorker<'_, '_> {
     }
 
     /// Mirror of `DynamicSim::flush_to_peer`.
-    fn flush_to_peer(&mut self, node: AsId, peer: AsId, prefix: Prefix) {
+    fn flush_to_peer(&mut self, node: AsId, peer: AsId, prefix: PrefixId) {
         let desired = self.desired_content(node, peer, prefix);
         let local = self.local(node);
         let st = self.out.state_entry(local, peer, prefix);
@@ -538,7 +538,7 @@ impl ShardWorker<'_, '_> {
     /// Mirror of `DynamicSim::send_now`; the wire push becomes an
     /// `EmKind::Send` emission, counters and armed-timer tracking happen
     /// here exactly as they would sequentially.
-    fn send_now(&mut self, node: AsId, peer: AsId, prefix: Prefix, content: Option<PathId>) {
+    fn send_now(&mut self, node: AsId, peer: AsId, prefix: PrefixId, content: Option<PathId>) {
         let interval = mrai_interval_for(self.ctx.cfg, node, peer);
         let now = self.now;
         let local = self.local(node);

@@ -9,6 +9,12 @@
 //! exploits to pin the ring-buffer out-queue against the reference
 //! implementation, and what the `dynamic_churn` bench uses as a dense
 //! convergence workload.
+//!
+//! Schedules select from a *pool* of prefixes ([`churn_prefixes`], sized
+//! by `LG_PREFIX_COUNT`, default 2), so announce/withdraw cycles on
+//! several prefixes — including a covering/covered pair — interleave over
+//! one topology. A pool of 1 degenerates to the original single-prefix
+//! workload.
 
 use lg_asmap::{AsId, TopologyConfig};
 use lg_bgp::Prefix;
@@ -16,9 +22,45 @@ use lg_sim::{AnnouncementSpec, DynamicSim, Network};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// The prefix every churn schedule operates on.
+/// The first (and historically only) prefix churn schedules operate on.
 pub fn churn_prefix() -> Prefix {
     Prefix::from_octets(184, 164, 224, 0, 20)
+}
+
+/// A deterministic pool of `n` churn prefixes. The pool is built to
+/// exercise longest-prefix-match interplay, not just disjoint slots:
+///
+/// * index 0 is [`churn_prefix`] (the paper's 184.164.224.0/20);
+/// * index 1 is the *covering* /19 at the same base, so announcing both
+///   creates a covered/covering pair (the sentinel less-specific shape);
+/// * index 2 is the sibling /20 inside that /19;
+/// * indexes ≥ 3 stride disjoint /20s upward from the base.
+///
+/// Prefixes are announced, withdrawn, and failed over independently, so a
+/// multi-prefix schedule interleaves per-prefix state machines over the
+/// shared topology.
+pub fn churn_prefixes(n: usize) -> Vec<Prefix> {
+    let base = churn_prefix();
+    (0..n)
+        .map(|i| match i {
+            0 => base,
+            1 => Prefix::new(base.addr(), 19),
+            _ => Prefix::new(base.addr() + ((i as u32 - 1) << 12), 20),
+        })
+        .collect()
+}
+
+/// Pool size for multi-prefix harnesses: `LG_PREFIX_COUNT`, default 2.
+pub fn prefix_count_from_env() -> usize {
+    match std::env::var("LG_PREFIX_COUNT") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .unwrap_or_else(|| panic!("LG_PREFIX_COUNT must be a positive integer, got {s:?}")),
+        Err(_) => 2,
+    }
 }
 
 /// A small hierarchical network for churn runs; same seed, same graph.
@@ -38,11 +80,13 @@ pub fn churn_network_sized(n: usize, topology_seed: u64) -> Network {
 /// against any topology.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ChurnOp {
-    /// (Re-)announce the prefix; the shape selector picks plain,
-    /// prepended, or poisoned.
-    Announce(u8),
-    /// Withdraw the prefix (no-op when nothing is announced).
-    Withdraw,
+    /// (Re-)announce a prefix: `(prefix selector, shape selector)`. The
+    /// prefix selector resolves modulo the world's pool, the shape
+    /// selector picks plain, prepended, or poisoned.
+    Announce(u8, u8),
+    /// Withdraw the selected (mod pool) prefix (no-op when that prefix is
+    /// not announced).
+    Withdraw(u8),
     /// Fail the i-th (mod live) link.
     Fail(usize),
     /// Restore the i-th (mod down) currently-down link.
@@ -82,8 +126,8 @@ pub fn generate_ops(cfg: &ChurnConfig) -> Vec<ChurnOp> {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     (0..cfg.ops)
         .map(|_| match rng.gen_range(0..100u32) {
-            0..=29 => ChurnOp::Announce(rng.gen_range(0..3) as u8),
-            30..=39 => ChurnOp::Withdraw,
+            0..=29 => ChurnOp::Announce(rng.gen_range(0..64) as u8, rng.gen_range(0..3) as u8),
+            30..=39 => ChurnOp::Withdraw(rng.gen_range(0..64) as u8),
             40..=59 => ChurnOp::Fail(rng.gen_range(0..1024usize)),
             60..=74 => ChurnOp::Restore(rng.gen_range(0..1024usize)),
             _ => ChurnOp::Advance(rng.gen_range(1..cfg.advance_max_ms)),
@@ -100,12 +144,21 @@ pub struct ChurnWorld {
     pub target: AsId,
     /// All links as unordered pairs (a < b), in deterministic order.
     pub links: Vec<(AsId, AsId)>,
+    /// The prefix pool schedules select from ([`churn_prefixes`]).
+    pub prefixes: Vec<Prefix>,
 }
 
 impl ChurnWorld {
-    /// Derive the cast from a network: a multihomed stub origin when one
-    /// exists, a transit AS above its first provider as the poison target.
+    /// [`ChurnWorld::with_prefix_count`] at the `LG_PREFIX_COUNT` pool
+    /// size (default 2), so every harness picks up the env knob.
     pub fn new(net: &Network) -> Self {
+        Self::with_prefix_count(net, prefix_count_from_env())
+    }
+
+    /// Derive the cast from a network: a multihomed stub origin when one
+    /// exists, a transit AS above its first provider as the poison target,
+    /// and a pool of `prefix_count` prefixes all originated there.
+    pub fn with_prefix_count(net: &Network, prefix_count: usize) -> Self {
         let origin = net
             .graph()
             .ases()
@@ -131,16 +184,25 @@ impl ChurnWorld {
             origin,
             target,
             links,
+            prefixes: churn_prefixes(prefix_count),
         }
     }
 
-    /// The announcement spec a shape selector denotes in this world.
-    pub fn spec(&self, net: &Network, shape: u8) -> AnnouncementSpec {
+    /// The announcement spec a `(prefix, shape)` selector pair denotes in
+    /// this world. Both selectors resolve modulo their pools, so any byte
+    /// is valid against any world.
+    pub fn spec(&self, net: &Network, prefix_sel: u8, shape: u8) -> AnnouncementSpec {
+        let prefix = self.prefix(prefix_sel);
         match shape % 3 {
-            0 => AnnouncementSpec::plain(net, churn_prefix(), self.origin),
-            1 => AnnouncementSpec::prepended(net, churn_prefix(), self.origin, 3),
-            _ => AnnouncementSpec::poisoned(net, churn_prefix(), self.origin, &[self.target]),
+            0 => AnnouncementSpec::plain(net, prefix, self.origin),
+            1 => AnnouncementSpec::prepended(net, prefix, self.origin, 3),
+            _ => AnnouncementSpec::poisoned(net, prefix, self.origin, &[self.target]),
         }
+    }
+
+    /// Resolve a prefix selector against the pool.
+    pub fn prefix(&self, prefix_sel: u8) -> Prefix {
+        self.prefixes[prefix_sel as usize % self.prefixes.len()]
     }
 }
 
@@ -150,7 +212,8 @@ impl ChurnWorld {
 pub struct ChurnRunner<'w> {
     world: &'w ChurnWorld,
     down: Vec<(AsId, AsId)>,
-    announced: Option<u8>,
+    /// Per-pool-slot announced shape, `None` while withdrawn.
+    announced: Vec<Option<u8>>,
 }
 
 impl<'w> ChurnRunner<'w> {
@@ -159,13 +222,13 @@ impl<'w> ChurnRunner<'w> {
         ChurnRunner {
             world,
             down: Vec::new(),
-            announced: None,
+            announced: vec![None; world.prefixes.len()],
         }
     }
 
-    /// The last announced shape, if the prefix is currently announced.
-    pub fn announced(&self) -> Option<u8> {
-        self.announced
+    /// The last announced shape per pool slot (`None` while withdrawn).
+    pub fn announced(&self) -> &[Option<u8>] {
+        &self.announced
     }
 
     /// Links currently failed, in failure order.
@@ -176,13 +239,15 @@ impl<'w> ChurnRunner<'w> {
     /// Apply one operation to `sim`.
     pub fn apply(&mut self, sim: &mut DynamicSim<'_>, net: &Network, op: &ChurnOp) {
         match *op {
-            ChurnOp::Announce(shape) => {
-                sim.announce(&self.world.spec(net, shape));
-                self.announced = Some(shape);
+            ChurnOp::Announce(prefix_sel, shape) => {
+                sim.announce(&self.world.spec(net, prefix_sel, shape));
+                let slot = prefix_sel as usize % self.announced.len();
+                self.announced[slot] = Some(shape);
             }
-            ChurnOp::Withdraw => {
-                if self.announced.take().is_some() {
-                    sim.withdraw(churn_prefix());
+            ChurnOp::Withdraw(prefix_sel) => {
+                let slot = prefix_sel as usize % self.announced.len();
+                if self.announced[slot].take().is_some() {
+                    sim.withdraw(self.world.prefix(prefix_sel));
                 }
             }
             ChurnOp::Fail(i) => {
@@ -233,7 +298,7 @@ mod tests {
         });
         let announces = ops
             .iter()
-            .filter(|o| matches!(o, ChurnOp::Announce(_)))
+            .filter(|o| matches!(o, ChurnOp::Announce(..)))
             .count();
         let fails = ops.iter().filter(|o| matches!(o, ChurnOp::Fail(_))).count();
         let advances = ops

@@ -33,7 +33,9 @@ pub mod scenarios;
 pub mod workers;
 
 pub use arrivals::{ArrivalsConfig, OutageArrival};
-pub use churn::{ChurnConfig, ChurnOp, ChurnRunner, ChurnWorld};
+pub use churn::{
+    churn_prefixes, prefix_count_from_env, ChurnConfig, ChurnOp, ChurnRunner, ChurnWorld,
+};
 pub use filters::FilterMatrix;
 pub use harvest::harvest_poison_targets;
 pub use outages::{OutageStats, OutageTrace, OutageTraceConfig};

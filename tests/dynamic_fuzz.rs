@@ -5,6 +5,14 @@
 //! the surviving topology. This is the generalization of the hand-written
 //! fail/restore scenarios: any sequence the repair machinery could issue,
 //! in any order, against any generated topology.
+//!
+//! Sequences operate over a *pool* of prefixes (fuzzed 1..=4 here; the
+//! calibrated matrix uses `LG_PREFIX_COUNT`, default 2, with a
+//! covering/covered pair), each with its own announce/withdraw lifecycle,
+//! and each checked against its own static fixed point at quiescence.
+//! Parallel runs additionally sweep packed-vs-unpacked wire accounting:
+//! the subject packs multi-prefix UPDATEs, the oracle doesn't, and every
+//! observable must match anyway.
 
 use lifeguard_repro::asmap::{AsId, TopologyConfig};
 use lifeguard_repro::bgp::Prefix;
@@ -13,14 +21,10 @@ use lifeguard_repro::sim::{
     compute_routes, AnnouncementSpec, DynamicSim, DynamicSimConfig, Network, OutQueue,
 };
 use lifeguard_repro::workloads::churn::{
-    churn_network_sized, churn_prefix, generate_ops, ChurnConfig, ChurnRunner, ChurnWorld,
+    churn_network_sized, churn_prefixes, generate_ops, ChurnConfig, ChurnRunner, ChurnWorld,
 };
 use lifeguard_repro::workloads::{FilterMatrix, WorkerMatrix};
 use proptest::prelude::*;
-
-fn pfx() -> Prefix {
-    Prefix::from_octets(184, 164, 224, 0, 20)
-}
 
 fn pick_origin(net: &Network) -> AsId {
     net.graph()
@@ -54,20 +58,27 @@ fn all_links(net: &Network) -> Vec<(AsId, AsId)> {
     links
 }
 
-fn make_spec(net: &Network, shape: u8, origin: AsId, target: AsId) -> AnnouncementSpec {
+fn make_spec(
+    net: &Network,
+    prefix: Prefix,
+    shape: u8,
+    origin: AsId,
+    target: AsId,
+) -> AnnouncementSpec {
     match shape % 3 {
-        0 => AnnouncementSpec::plain(net, pfx(), origin),
-        1 => AnnouncementSpec::prepended(net, pfx(), origin, 3),
-        _ => AnnouncementSpec::poisoned(net, pfx(), origin, &[target]),
+        0 => AnnouncementSpec::plain(net, prefix, origin),
+        1 => AnnouncementSpec::prepended(net, prefix, origin, 3),
+        _ => AnnouncementSpec::poisoned(net, prefix, origin, &[target]),
     }
 }
 
 #[derive(Clone, Debug)]
 enum Op {
-    /// (Re-)announce one of the three spec shapes.
-    Announce(u8),
-    /// Withdraw the prefix (no-op when nothing is announced).
-    Withdraw,
+    /// (Re-)announce one of the three spec shapes for the i-th (mod pool)
+    /// prefix.
+    Announce(usize, u8),
+    /// Withdraw the i-th (mod pool) prefix (no-op when not announced).
+    Withdraw(usize),
     /// Fail the i-th link mod live links (no-op when already down).
     Fail(usize),
     /// Restore the i-th currently-down link (no-op when none are down).
@@ -77,43 +88,48 @@ enum Op {
 }
 
 /// Decode one raw generated tuple into an operation. `kind` picks the op
-/// class with announce/fail/restore/advance weighted over withdraw; `index`
-/// names a link; `ms` a clock advance.
+/// class with announce/fail/restore/advance weighted over withdraw;
+/// `index` names a link or a pool slot; `ms` a clock advance.
 fn decode(kind: u8, index: usize, ms: u64) -> Op {
     match kind {
-        0..=2 => Op::Announce(kind),
-        3 => Op::Withdraw,
+        0..=2 => Op::Announce(index, kind),
+        3 => Op::Withdraw(index),
         4 | 5 => Op::Fail(index),
         6 | 7 => Op::Restore(index),
         _ => Op::Advance(ms),
     }
 }
 
+/// What [`drive`] hands back: the simulator plus the state the
+/// assertions need — links left down, the last announced shape per pool
+/// slot, and the quiescence tick.
+type Driven<'n> = (DynamicSim<'n>, Vec<(AsId, AsId)>, Vec<Option<u8>>, Time);
+
 /// Drive one op sequence through a fresh simulator to quiescence, with
-/// the update log recording on. Returns the simulator plus the state the
-/// assertions need: links left down, the last announced shape, and the
-/// quiescence tick.
+/// the update log recording on.
 fn drive<'n>(
     net: &'n Network,
     links: &[(AsId, AsId)],
+    pool: &[Prefix],
     ops: &[Op],
     origin: AsId,
     target: AsId,
     cfg: DynamicSimConfig,
-) -> (DynamicSim<'n>, Vec<(AsId, AsId)>, Option<u8>, Time) {
+) -> Driven<'n> {
     let mut sim = DynamicSim::new(net, cfg);
     sim.record_updates(true);
     let mut down: Vec<(AsId, AsId)> = Vec::new();
-    let mut announced: Option<u8> = None;
+    let mut announced: Vec<Option<u8>> = vec![None; pool.len()];
     for op in ops {
         match *op {
-            Op::Announce(shape) => {
-                sim.announce(&make_spec(net, shape, origin, target));
-                announced = Some(shape);
+            Op::Announce(slot, shape) => {
+                let prefix = pool[slot % pool.len()];
+                sim.announce(&make_spec(net, prefix, shape, origin, target));
+                announced[slot % pool.len()] = Some(shape);
             }
-            Op::Withdraw => {
-                if announced.take().is_some() {
-                    sim.withdraw(pfx());
+            Op::Withdraw(slot) => {
+                if announced[slot % pool.len()].take().is_some() {
+                    sim.withdraw(pool[slot % pool.len()]);
                 }
             }
             Op::Fail(i) => {
@@ -161,6 +177,10 @@ proptest! {
         // sequential oracle under arbitrary fail/restore interleavings.
         // LG_WORKER_MATRIX pins the point for CI replay.
         workers_sel in 0usize..4,
+        // Prefix pool size: 1 is the historical single-prefix workload,
+        // 2+ adds the covering /19 and disjoint siblings, each with an
+        // independent announce/withdraw lifecycle.
+        pool_size in 1usize..=4,
     ) {
         let mrai_ms = [2_000u64, 10_000, 30_000][mrai_sel];
         let matrix = FilterMatrix::ALL[filter_sel];
@@ -178,6 +198,7 @@ proptest! {
         let origin = pick_origin(&net);
         let target = pick_poison_target(&net, origin);
         let links = all_links(&net);
+        let pool = churn_prefixes(pool_size);
 
         let cfg = DynamicSimConfig {
             mrai_ms,
@@ -187,19 +208,29 @@ proptest! {
             parallel_spawn_min: 0,
             ..DynamicSimConfig::default()
         };
-        let (sim, down, announced, end) = drive(&net, &links, &ops, origin, target, cfg.clone());
+        let (sim, down, announced, end) =
+            drive(&net, &links, &pool, &ops, origin, target, cfg.clone());
 
         // Whatever the sequence did, the network must settle.
         prop_assert!(sim.quiescent(), "not quiescent by {:?} after {:?}", end, ops);
 
         // Parallel point: the whole observable run — update log, final
         // clock, quiescence tick — must be byte-identical to the
-        // sequential oracle on the same schedule.
+        // sequential oracle on the same schedule. The oracle also runs
+        // with UPDATE packing off (the subject's default is on), pinning
+        // packing as pure wire accounting.
         if workers > 1 {
-            let (oracle, odown, oann, oend) =
-                drive(&net, &links, &ops, origin, target, DynamicSimConfig { workers: 1, ..cfg });
+            let (oracle, odown, oann, oend) = drive(
+                &net,
+                &links,
+                &pool,
+                &ops,
+                origin,
+                target,
+                DynamicSimConfig { workers: 1, pack_updates: false, ..cfg },
+            );
             prop_assert_eq!(&odown, &down);
-            prop_assert_eq!(oann, announced);
+            prop_assert_eq!(&oann, &announced);
             prop_assert_eq!(
                 (oend, oracle.now(), oracle.quiescent()),
                 (end, sim.now(), sim.quiescent()),
@@ -211,58 +242,68 @@ proptest! {
                 "workers {} update log diverges from oracle", workers
             );
             for a in net.graph().ases() {
-                prop_assert_eq!(
-                    oracle.loc_route(a, pfx()),
-                    sim.loc_route(a, pfx()),
-                    "workers {} Loc-RIB diverges from oracle at {}", workers, a
-                );
-            }
-        }
-
-        match announced {
-            None => {
-                // Withdrawn (or never announced): no residual state anywhere.
-                for a in net.graph().ases() {
-                    prop_assert!(
-                        sim.loc_route(a, pfx()).is_none(),
-                        "{} kept a route after withdrawal",
-                        a
+                for p in &pool {
+                    prop_assert_eq!(
+                        oracle.loc_route(a, *p),
+                        sim.loc_route(a, *p),
+                        "workers {} Loc-RIB diverges from oracle at {} for {:?}", workers, a, p
                     );
                 }
             }
-            Some(shape) => {
-                // The surviving topology's static fixed point is the ground
-                // truth for the last announced shape. `Network::new` starts
-                // with clean policies, so the oracle must re-apply the
-                // *identical* filter assignment the dynamic run used.
-                let cut_net;
-                let static_net = if down.is_empty() {
-                    &net
-                } else {
-                    let mut g = net.graph().without_link(down[0].0, down[0].1);
-                    for (a, b) in &down[1..] {
-                        g = g.without_link(*a, *b);
+        }
+
+        // Each pool slot converges to its own static fixed point over the
+        // surviving topology, independent of the other prefixes' churn.
+        let cut_net;
+        let static_net = if down.is_empty() {
+            &net
+        } else {
+            let mut g = net.graph().without_link(down[0].0, down[0].1);
+            for (a, b) in &down[1..] {
+                g = g.without_link(*a, *b);
+            }
+            // `Network::new` starts with clean policies, so the oracle
+            // must re-apply the *identical* filter assignment the dynamic
+            // run used.
+            let mut cut = Network::new(g);
+            cut.apply_filter_assignment(&filter_assignment);
+            cut_net = cut;
+            &cut_net
+        };
+        for (slot, prefix) in pool.iter().enumerate() {
+            match announced[slot] {
+                None => {
+                    // Withdrawn (or never announced): no residual state.
+                    for a in net.graph().ases() {
+                        prop_assert!(
+                            sim.loc_route(a, *prefix).is_none(),
+                            "{} kept a route to {:?} after withdrawal",
+                            a,
+                            prefix
+                        );
                     }
-                    let mut cut = Network::new(g);
-                    cut.apply_filter_assignment(&filter_assignment);
-                    cut_net = cut;
-                    &cut_net
-                };
-                let table =
-                    compute_routes(static_net, &make_spec(static_net, shape, origin, target));
-                for a in net.graph().ases() {
-                    if a == origin {
-                        continue;
-                    }
-                    prop_assert_eq!(
-                        sim.loc_route(a, pfx()).map(|r| r.learned_from),
-                        table.next_hop(a),
-                        "{} disagrees with the static fixed point (shape {}, matrix {}, down {:?})",
-                        a,
-                        shape,
-                        matrix.label(),
-                        &down
+                }
+                Some(shape) => {
+                    let table = compute_routes(
+                        static_net,
+                        &make_spec(static_net, *prefix, shape, origin, target),
                     );
+                    for a in net.graph().ases() {
+                        if a == origin {
+                            continue;
+                        }
+                        prop_assert_eq!(
+                            sim.loc_route(a, *prefix).map(|r| r.learned_from),
+                            table.next_hop(a),
+                            "{} disagrees with the static fixed point \
+                             (prefix {:?}, shape {}, matrix {}, down {:?})",
+                            a,
+                            prefix,
+                            shape,
+                            matrix.label(),
+                            &down
+                        );
+                    }
                 }
             }
         }
@@ -314,32 +355,38 @@ fn calibrated_topology_parallel_matches_sequential_oracle() {
             advance_max_ms: 45_000,
         });
 
-        let run = |workers: usize| {
+        let run = |workers: usize, pack: bool| {
             let mut sim = DynamicSim::new(
                 &net,
                 DynamicSimConfig {
                     out_queue: OutQueue::Ring,
                     workers,
                     parallel_spawn_min: 0,
+                    pack_updates: pack,
                     ..DynamicSimConfig::default()
                 },
             );
             sim.record_updates(true);
-            sim.begin_epoch(churn_prefix());
+            for p in &world.prefixes {
+                sim.begin_epoch(*p);
+            }
             let mut runner = ChurnRunner::new(&world);
             for op in &ops {
                 runner.apply(&mut sim, &net, op);
             }
             let tick = sim.run_until_quiescent(sim.now() + Time::from_mins(600).millis());
-            let locs: Vec<_> = net
-                .graph()
-                .ases()
-                .map(|a| {
-                    (
-                        a,
-                        sim.loc_route(a, churn_prefix())
-                            .map(|r| (r.learned_from, r.path.hops().to_vec())),
-                    )
+            let locs: Vec<_> = world
+                .prefixes
+                .iter()
+                .flat_map(|p| {
+                    net.graph().ases().map(|a| {
+                        (
+                            *p,
+                            a,
+                            sim.loc_route(a, *p)
+                                .map(|r| (r.learned_from, r.path.hops().to_vec())),
+                        )
+                    })
                 })
                 .collect();
             (
@@ -351,8 +398,10 @@ fn calibrated_topology_parallel_matches_sequential_oracle() {
             )
         };
 
-        let par = run(workers);
-        let oracle = run(1);
+        // Subject packs multi-prefix UPDATEs; the oracle doesn't. The
+        // comparison pins packing as observational at calibrated scale.
+        let par = run(workers, true);
+        let oracle = run(1, false);
         assert!(
             oracle.2,
             "calibrated-{n} oracle not quiescent (seed {seed:#x})"

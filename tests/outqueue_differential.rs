@@ -25,6 +25,14 @@
 //! compares against the oracle (default 2), and a dedicated test covers
 //! {2, 4, 8} with thread spawning forced on. Replay = seed +
 //! `LG_FILTER_MATRIX` + `LG_WORKER_MATRIX`.
+//!
+//! Prefix pool: schedules select from `LG_PREFIX_COUNT` prefixes
+//! (default 2, including a covering/covered pair), and every dump spans
+//! the whole pool. The subject side additionally runs with multi-prefix
+//! UPDATE packing enabled while the oracle runs unpacked — packing is
+//! observational (wire accounting only), and this sweep is what pins
+//! that: logs, Loc-RIBs, and metrics must stay byte-identical anyway.
+//! Replay also needs the same `LG_PREFIX_COUNT`.
 
 use std::collections::HashMap;
 
@@ -32,7 +40,7 @@ use lifeguard_repro::asmap::AsId;
 use lifeguard_repro::bgp::Prefix;
 use lifeguard_repro::sim::{DynamicSim, DynamicSimConfig, OutQueue, Time, UpdateRecord};
 use lifeguard_repro::workloads::churn::{
-    churn_network, churn_prefix, generate_ops, ChurnConfig, ChurnRunner, ChurnWorld,
+    churn_network, generate_ops, ChurnConfig, ChurnRunner, ChurnWorld,
 };
 use lifeguard_repro::workloads::{FilterMatrix, WorkerMatrix};
 
@@ -66,7 +74,7 @@ fn schedule_seed(base: u64, i: u64) -> u64 {
 /// `workers > 1` engages the parallel window engine with thread spawning
 /// forced on (`parallel_spawn_min: 0`) so even small windows cross real
 /// thread boundaries.
-fn config_for(seed: u64, out_queue: OutQueue, workers: usize) -> DynamicSimConfig {
+fn config_for(seed: u64, out_queue: OutQueue, workers: usize, pack: bool) -> DynamicSimConfig {
     DynamicSimConfig {
         mrai_ms: [5_000, 15_000, 30_000][(seed % 3) as usize],
         mrai_jitter: seed.is_multiple_of(2),
@@ -74,6 +82,7 @@ fn config_for(seed: u64, out_queue: OutQueue, workers: usize) -> DynamicSimConfi
         out_queue,
         workers,
         parallel_spawn_min: 0,
+        pack_updates: pack,
     }
 }
 
@@ -85,19 +94,22 @@ type MetricsDump = Vec<(AsId, u64, Time, Time, u64, Time, Time)>;
 /// Per-AS Loc-RIB selection: `(holder, Some((neighbor, path)))`.
 type LocRibDump = Vec<(AsId, Option<(AsId, Vec<AsId>)>)>;
 
+/// A per-prefix dump over the whole pool, in pool order.
+type PoolDump<T> = Vec<(Prefix, T)>;
+
 /// The observable end state of one simulation run.
 #[derive(Debug, PartialEq, Eq)]
 struct Outcome {
     quiesce_at: Time,
     now: Time,
     quiescent: bool,
-    loc_ribs: LocRibDump,
+    loc_ribs: PoolDump<LocRibDump>,
     log: Vec<UpdateRecord>,
-    metrics: MetricsDump,
+    metrics: PoolDump<MetricsDump>,
 }
 
-fn dump_metrics(sim: &DynamicSim) -> MetricsDump {
-    let m = sim.metrics(churn_prefix());
+fn dump_metrics(sim: &DynamicSim, prefix: Prefix) -> MetricsDump {
+    let m = sim.metrics(prefix);
     let mut ids: Vec<AsId> = m
         .updates_sent
         .keys()
@@ -121,7 +133,13 @@ fn dump_metrics(sim: &DynamicSim) -> MetricsDump {
         .collect()
 }
 
-fn run_one(seed: u64, out_queue: OutQueue, matrix: FilterMatrix, workers: usize) -> Outcome {
+fn run_one(
+    seed: u64,
+    out_queue: OutQueue,
+    matrix: FilterMatrix,
+    workers: usize,
+    pack: bool,
+) -> Outcome {
     let mut net = churn_network(seed ^ 0xA5A5);
     matrix.apply(&mut net, seed);
     let world = ChurnWorld::new(&net);
@@ -131,24 +149,39 @@ fn run_one(seed: u64, out_queue: OutQueue, matrix: FilterMatrix, workers: usize)
         advance_max_ms: 45_000,
     });
 
-    let mut sim = DynamicSim::new(&net, config_for(seed, out_queue, workers));
+    let mut sim = DynamicSim::new(&net, config_for(seed, out_queue, workers, pack));
     sim.record_updates(true);
-    sim.begin_epoch(churn_prefix());
+    for p in &world.prefixes {
+        sim.begin_epoch(*p);
+    }
     let mut runner = ChurnRunner::new(&world);
     for op in &ops {
         runner.apply(&mut sim, &net, op);
     }
     let quiesce_at = sim.run_until_quiescent(sim.now() + Time::from_mins(600).millis());
-    let loc_ribs = net
-        .graph()
-        .ases()
-        .map(|a| {
+    let loc_ribs = world
+        .prefixes
+        .iter()
+        .map(|p| {
             (
-                a,
-                sim.loc_route(a, churn_prefix())
-                    .map(|r| (r.learned_from, r.path.hops().to_vec())),
+                *p,
+                net.graph()
+                    .ases()
+                    .map(|a| {
+                        (
+                            a,
+                            sim.loc_route(a, *p)
+                                .map(|r| (r.learned_from, r.path.hops().to_vec())),
+                        )
+                    })
+                    .collect(),
             )
         })
+        .collect();
+    let metrics = world
+        .prefixes
+        .iter()
+        .map(|p| (*p, dump_metrics(&sim, *p)))
         .collect();
     Outcome {
         quiesce_at,
@@ -156,7 +189,7 @@ fn run_one(seed: u64, out_queue: OutQueue, matrix: FilterMatrix, workers: usize)
         quiescent: sim.quiescent(),
         loc_ribs,
         log: sim.update_log().to_vec(),
-        metrics: dump_metrics(&sim),
+        metrics,
     }
 }
 
@@ -245,17 +278,20 @@ fn assert_identical(tag: &str, got: &Outcome, oracle: &Outcome) {
 
 fn diff_one(seed: u64, matrix: FilterMatrix, workers: usize) {
     let tag = format!("seed {seed} matrix {} workers {workers}", matrix.label());
-    let ring = run_one(seed, OutQueue::Ring, matrix, 1);
-    let reference = run_one(seed, OutQueue::Reference, matrix, 1);
+    // Subject sides run with UPDATE packing on; the oracle runs unpacked.
+    // Packing is wire accounting only, so every comparison below must
+    // still be byte-identical — this sweep is the packed-vs-unpacked pin.
+    let ring = run_one(seed, OutQueue::Ring, matrix, 1, true);
+    let reference = run_one(seed, OutQueue::Reference, matrix, 1, false);
     assert_identical(&format!("{tag} [ring vs reference]"), &ring, &reference);
 
     // The parallel engine against the sequential oracle, in both
     // out-queue shapes (the wheel-sharded collection path and the
     // heap-fire path stress different window machinery).
     if workers > 1 {
-        let ring_p = run_one(seed, OutQueue::Ring, matrix, workers);
+        let ring_p = run_one(seed, OutQueue::Ring, matrix, workers, true);
         assert_identical(&format!("{tag} [parallel ring vs oracle]"), &ring_p, &ring);
-        let ref_p = run_one(seed, OutQueue::Reference, matrix, workers);
+        let ref_p = run_one(seed, OutQueue::Reference, matrix, workers, false);
         assert_identical(
             &format!("{tag} [parallel reference vs oracle]"),
             &ref_p,
@@ -265,7 +301,7 @@ fn diff_one(seed: u64, matrix: FilterMatrix, workers: usize) {
 
     check_invariants(
         seed,
-        &config_for(seed, OutQueue::Ring, 1),
+        &config_for(seed, OutQueue::Ring, 1, true),
         seed ^ 0xA5A5,
         &ring.log,
     );
@@ -286,7 +322,7 @@ fn ring_out_queue_matches_reference_across_randomized_churn() {
     let mut total_updates = 0usize;
     for i in 0..SCHEDULES {
         let seed = schedule_seed(base, i);
-        let ring = run_one(seed, OutQueue::Ring, matrix, 1);
+        let ring = run_one(seed, OutQueue::Ring, matrix, 1, true);
         total_updates += ring.log.len();
         diff_one(seed, matrix, workers);
     }
